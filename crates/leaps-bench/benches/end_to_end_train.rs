@@ -1,0 +1,48 @@
+//! Criterion bench for the full training phase, per detection method —
+//! the cost a deployment pays to (re)train an application-wise classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leaps::core::config::PipelineConfig;
+use leaps::core::dataset::Dataset;
+use leaps::core::pipeline::{train_classifier, Method};
+use leaps::etw::scenario::{GenParams, Scenario};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let scenario = Scenario::by_name("putty_reverse_tcp").expect("known dataset");
+    let params = GenParams {
+        benign_events: 1200,
+        mixed_events: 1200,
+        malicious_events: 600,
+        benign_ratio: 0.5,
+    };
+    let dataset = Dataset::materialize(scenario, &params, 1).expect("generation");
+    let (train, _test) = dataset.split_benign(0.5, 1);
+    // Keep the grid small so the bench measures one representative
+    // training pass rather than the full CV sweep.
+    let config = PipelineConfig::fast();
+
+    let mut group = c.benchmark_group("train_classifier");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| {
+                train_classifier(
+                    method,
+                    black_box(&train),
+                    black_box(&dataset.mixed),
+                    &config,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("dataset_materialize_1200_events", |b| {
+        b.iter(|| Dataset::materialize(scenario, &params, 1).expect("generation"))
+    });
+}
+
+criterion_group!(end_to_end, bench_training);
+criterion_main!(end_to_end);

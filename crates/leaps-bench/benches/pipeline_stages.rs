@@ -1,0 +1,70 @@
+//! Criterion benches for the individual pipeline stages: raw-log parsing,
+//! stack partitioning, CFG inference (Algorithm 1), weight assessment
+//! (Algorithm 2) and feature clustering/encoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use leaps::cfg::infer::infer_cfg;
+use leaps::cfg::weight::{assess_weights, WeightConfig};
+use leaps::cluster::features::{FeatureEncoder, PreprocessConfig};
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::trace::parser::parse_log;
+use leaps::trace::partition::{partition_events, PartitionedEvent};
+use std::hint::black_box;
+
+fn gen_params() -> GenParams {
+    GenParams {
+        benign_events: 1500,
+        mixed_events: 1500,
+        malicious_events: 750,
+        benign_ratio: 0.5,
+    }
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let scenario = Scenario::by_name("vim_reverse_tcp").expect("known dataset");
+    let raw = scenario.generate(&gen_params(), 1);
+    let parsed_benign = parse_log(&raw.benign).expect("parse");
+    let parsed_mixed = parse_log(&raw.mixed).expect("parse");
+    let benign = partition_events(&parsed_benign.events);
+    let mixed = partition_events(&parsed_mixed.events);
+
+    c.bench_function("parse_raw_log_1500_events", |b| {
+        b.iter(|| parse_log(black_box(&raw.mixed)).expect("parse"))
+    });
+
+    c.bench_function("partition_1500_events", |b| {
+        b.iter(|| partition_events(black_box(&parsed_mixed.events)))
+    });
+
+    c.bench_function("cfg_inference_1500_events", |b| {
+        b.iter(|| infer_cfg(black_box(&mixed)))
+    });
+
+    let bcfg = infer_cfg(&benign);
+    let mcfg = infer_cfg(&mixed);
+    c.bench_function("weight_assessment", |b| {
+        b.iter(|| assess_weights(black_box(&bcfg.cfg), black_box(&mcfg), WeightConfig::default()))
+    });
+
+    let refs: Vec<&PartitionedEvent> = benign.iter().chain(mixed.iter()).collect();
+    c.bench_function("feature_encoder_fit", |b| {
+        b.iter_batched(
+            || refs.clone(),
+            |refs| FeatureEncoder::fit(&refs, PreprocessConfig::default()),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let encoder = FeatureEncoder::fit(&refs, PreprocessConfig::default());
+    let mixed_refs: Vec<&PartitionedEvent> = mixed.iter().collect();
+    c.bench_function("encode_sequence_1500_events", |b| {
+        b.iter(|| encoder.encode_sequence(black_box(&mixed_refs)))
+    });
+}
+
+criterion_group! {
+    name = stages;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stages
+}
+criterion_main!(stages);

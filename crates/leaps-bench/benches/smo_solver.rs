@@ -1,0 +1,69 @@
+//! Criterion benches for the SMO solver: scaling with training-set size,
+//! and weighted vs unweighted problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leaps::etw::rng::SimRng;
+use leaps::svm::data::{Sample, TrainSet};
+use leaps::svm::kernel::Kernel;
+use leaps::svm::smo::{train, SmoParams};
+use std::hint::black_box;
+
+/// Two noisy 30-dimensional clusters, mimicking the pipeline's coalesced
+/// feature vectors.
+fn synthetic_set(n_per_class: usize, weighted: bool, seed: u64) -> TrainSet {
+    let mut rng = SimRng::new(seed);
+    let mut samples = Vec::with_capacity(2 * n_per_class);
+    for _ in 0..n_per_class {
+        let pos: Vec<f64> = (0..30).map(|_| 0.3 + 0.2 * rng.f64()).collect();
+        samples.push(Sample::new(pos, 1.0, 1.0));
+        let neg: Vec<f64> = (0..30).map(|_| 0.5 + 0.2 * rng.f64()).collect();
+        let c = if weighted { 0.1 + 0.9 * rng.f64() } else { 1.0 };
+        samples.push(Sample::new(neg, -1.0, c));
+    }
+    TrainSet::new(samples).expect("valid synthetic set")
+}
+
+fn bench_smo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_train");
+    group.sample_size(10);
+    for &n in &[50usize, 150, 400] {
+        let set = synthetic_set(n, false, 7);
+        group.bench_with_input(BenchmarkId::new("unweighted", 2 * n), &set, |b, set| {
+            b.iter(|| {
+                train(
+                    black_box(set),
+                    Kernel::Gaussian { sigma2: 2.0 },
+                    &SmoParams::default(),
+                )
+            })
+        });
+        let wset = synthetic_set(n, true, 7);
+        group.bench_with_input(BenchmarkId::new("weighted", 2 * n), &wset, |b, set| {
+            b.iter(|| {
+                train(
+                    black_box(set),
+                    Kernel::Gaussian { sigma2: 2.0 },
+                    &SmoParams::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let set = synthetic_set(150, false, 7);
+    let mut kernels = c.benchmark_group("smo_kernels");
+    kernels.sample_size(10);
+    for (name, kernel) in [
+        ("linear", Kernel::Linear),
+        ("gaussian", Kernel::Gaussian { sigma2: 2.0 }),
+        ("poly2", Kernel::Polynomial { degree: 2, coef0: 1.0 }),
+    ] {
+        kernels.bench_function(name, |b| {
+            b.iter(|| train(black_box(&set), kernel, &SmoParams::default()))
+        });
+    }
+    kernels.finish();
+}
+
+criterion_group!(smo, bench_smo);
+criterion_main!(smo);

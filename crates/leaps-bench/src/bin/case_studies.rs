@@ -1,0 +1,50 @@
+//! Regenerates the three **Section V-C case studies**:
+//!
+//! * Case I — `winscp_reverse_tcp` (offline infection via Metasploit
+//!   Meterpreter, shikata_ga_nai-encoded, embedded in WinSCP);
+//! * Case II — `vim_codeinject` (password dialog injected into Vim's PE);
+//! * Case III — `putty_reverse_https_online` (Meterpreter injected into a
+//!   running Putty via `post/windows/manage/payload_inject`).
+//!
+//! For each, the paper reports how the five measures climb from the
+//! call-graph model through plain SVM to the CFG-guided Weighted SVM.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin case_studies
+//! ```
+
+use leaps::etw::scenario::Scenario;
+use leaps_bench::{fmt3, harness_experiment};
+
+const CASES: [(&str, &str); 3] = [
+    ("Case Study I", "winscp_reverse_tcp"),
+    ("Case Study II", "vim_codeinject"),
+    ("Case Study III", "putty_reverse_https_online"),
+];
+
+fn main() {
+    let experiment = harness_experiment();
+    for (title, name) in CASES {
+        let scenario = Scenario::by_name(name).expect("known dataset");
+        println!("{title} — {name} ({} runs)", experiment.runs);
+        println!(
+            "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
+        );
+        for (method, m) in experiment
+            .run_all_methods(scenario)
+            .expect("dataset generation/parsing failed")
+        {
+            println!(
+                "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                method.label(),
+                fmt3(m.acc),
+                fmt3(m.ppv),
+                fmt3(m.tpr),
+                fmt3(m.tnr),
+                fmt3(m.npv),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Figure 6**: CGraph vs SVM vs WSVM on the five measures,
+//! for every offline-infection dataset.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin fig6
+//! ```
+
+use leaps::etw::scenario::Scenario;
+use leaps_bench::chart::grouped_bars;
+use leaps_bench::{fmt3, harness_experiment};
+
+fn main() {
+    let experiment = harness_experiment();
+    let mut acc_groups: Vec<(String, Vec<f64>)> = Vec::new();
+    println!(
+        "FIGURE 6: LEAPS (WSVM) vs System-level Call Graph and SVM — \
+         Offline Infection ({} runs)",
+        experiment.runs
+    );
+    println!(
+        "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Dataset", "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
+    );
+    for scenario in Scenario::offline() {
+        let results = experiment
+            .run_all_methods(scenario)
+            .expect("dataset generation/parsing failed");
+        acc_groups.push((
+            scenario.name(),
+            results.iter().map(|(_, m)| m.acc).collect(),
+        ));
+        for (method, metrics) in results {
+            println!(
+                "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                scenario.name(),
+                method.label(),
+                fmt3(metrics.acc),
+                fmt3(metrics.ppv),
+                fmt3(metrics.tpr),
+                fmt3(metrics.tnr),
+                fmt3(metrics.npv),
+            );
+        }
+        println!();
+    }
+    println!("{}", grouped_bars("ACC", &acc_groups, &["CGraph", "SVM", "WSVM"]));
+}

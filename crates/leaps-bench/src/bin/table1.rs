@@ -1,0 +1,41 @@
+//! Regenerates **Table I**: the five effectiveness measures of the
+//! CFG-guided Weighted SVM on all 21 camouflaged-attack datasets.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin table1
+//! ```
+//!
+//! Env overrides: `LEAPS_RUNS`, `LEAPS_SEED`, `LEAPS_EVENTS`.
+
+use leaps::core::pipeline::Method;
+use leaps::etw::scenario::Scenario;
+use leaps_bench::{fmt3, harness_experiment};
+
+fn main() {
+    let experiment = harness_experiment();
+    println!(
+        "TABLE I: Evaluation Results of LEAPS on Camouflaged Attacks \
+         (WSVM, {} runs, {} events/log)",
+        experiment.runs, experiment.gen.benign_events
+    );
+    println!(
+        "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "Name", "Attack Method", "Application", "ACC", "PPV", "TPR", "TNR", "NPV"
+    );
+    for scenario in Scenario::table1() {
+        let metrics = experiment
+            .run(scenario, Method::Wsvm)
+            .expect("dataset generation/parsing failed");
+        println!(
+            "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            scenario.name(),
+            scenario.method.label(),
+            scenario.app.name(),
+            fmt3(metrics.acc),
+            fmt3(metrics.ppv),
+            fmt3(metrics.tpr),
+            fmt3(metrics.tnr),
+            fmt3(metrics.npv),
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Terminal bar-chart rendering for the figure harnesses (the paper's
+//! Figures 6 and 7 are grouped bar charts of the five measures).
+
+/// Renders a horizontal grouped bar chart: one group per dataset, one bar
+/// per series (method), values in `[0, 1]`.
+///
+/// ```
+/// let chart = leaps_bench::chart::grouped_bars(
+///     "ACC",
+///     &[("vim".into(), vec![0.7, 0.8, 0.95])],
+///     &["CGraph", "SVM", "WSVM"],
+/// );
+/// assert!(chart.contains("WSVM"));
+/// assert!(chart.contains("0.950"));
+/// ```
+#[must_use]
+pub fn grouped_bars(
+    metric: &str,
+    groups: &[(String, Vec<f64>)],
+    series: &[&str],
+) -> String {
+    const WIDTH: usize = 40;
+    let mut out = String::new();
+    out.push_str(&format!("{metric} (0 .. 1, bar width {WIDTH} cols)\n"));
+    let name_width = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for (label, values) in groups {
+        out.push_str(&format!("{label}\n"));
+        for (name, &value) in series.iter().zip(values) {
+            let clamped = value.clamp(0.0, 1.0);
+            let cells = clamped * WIDTH as f64;
+            let full = cells.floor() as usize;
+            // Unicode eighth-blocks for sub-cell resolution.
+            let remainder = ((cells - full as f64) * 8.0).round() as usize;
+            let partial = [' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉'][remainder.min(7)];
+            let mut bar = "█".repeat(full);
+            if full < WIDTH && remainder > 0 {
+                bar.push(partial);
+            }
+            out.push_str(&format!(
+                "  {name:<name_width$} |{bar:<WIDTH$}| {clamped:.3}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_groups_and_series() {
+        let chart = grouped_bars(
+            "ACC",
+            &[
+                ("a".into(), vec![0.5, 1.0]),
+                ("b".into(), vec![0.0, 0.25]),
+            ],
+            &["SVM", "WSVM"],
+        );
+        assert!(chart.contains("a\n"));
+        assert!(chart.contains("b\n"));
+        assert_eq!(chart.matches("WSVM").count(), 2);
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+    }
+
+    #[test]
+    fn full_bar_is_exactly_width() {
+        let chart = grouped_bars("X", &[("g".into(), vec![1.0])], &["m"]);
+        let bar_line = chart.lines().find(|l| l.contains('█')).unwrap();
+        assert_eq!(bar_line.matches('█').count(), 40);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let chart = grouped_bars("X", &[("g".into(), vec![1.7, -0.3])], &["a", "b"]);
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the LEAPS evaluation harness binaries and benches.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! * `table1` — Table I (21 datasets × five measures, WSVM);
+//! * `fig6` / `fig7` — Figures 6/7 (CGraph vs SVM vs WSVM per dataset);
+//! * `case_studies` — the three Section V-C case studies;
+//! * `fig4_cfg` — benign vs mixed CFG DOT dumps (Figure 4);
+//! * `fig2_clustering` — the clustering example of Figure 2;
+//! * `fig5_boundary` — SVM vs WSVM boundary illustration (Figure 5);
+//! * `ablations` — design-choice ablations (coalescing window, linkage,
+//!   weight polarity, density interpolation).
+//!
+//! Environment overrides honoured by the binaries:
+//! `LEAPS_RUNS` (averaging runs, default 10), `LEAPS_SEED` (master seed),
+//! `LEAPS_EVENTS` (events per log, default 6000 benign/mixed).
+
+pub mod chart;
+
+use leaps::core::experiment::Experiment;
+use leaps::etw::scenario::GenParams;
+
+/// Builds the experiment configuration used by the harness binaries,
+/// honouring the `LEAPS_*` environment overrides.
+#[must_use]
+pub fn harness_experiment() -> Experiment {
+    let runs = env_usize("LEAPS_RUNS", 10);
+    let seed = env_u64("LEAPS_SEED", 0x1ea5);
+    let events = env_usize("LEAPS_EVENTS", 6000);
+    Experiment {
+        gen: GenParams {
+            benign_events: events,
+            mixed_events: events,
+            malicious_events: events / 2,
+            benign_ratio: 0.5,
+        },
+        runs,
+        seed,
+        ..Experiment::default()
+    }
+}
+
+/// Reads a `usize` env var with a default.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` env var with a default.
+#[must_use]
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a metric value the way the paper's table does.
+#[must_use]
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        assert_eq!(env_usize("LEAPS_NO_SUCH_VAR", 7), 7);
+        assert_eq!(env_u64("LEAPS_NO_SUCH_VAR", 9), 9);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.9321), "0.932");
+    }
+
+    #[test]
+    fn harness_experiment_has_paper_defaults() {
+        // (Assumes the LEAPS_* vars are unset in the test environment.)
+        let e = harness_experiment();
+        assert!(e.runs >= 1);
+        assert!(e.gen.benign_events >= 100);
+    }
+}

@@ -1,0 +1,549 @@
+//! CFG alignment for source-level trojans (paper Section VI-A).
+//!
+//! Algorithm 2 compares CFGs by *address*: it assumes the benign code of
+//! the trojaned binary sits at the same offsets as in the clean binary.
+//! A source-level trojan breaks that — the adversary weaves the payload
+//! into the source and recompiles, shifting every function. The paper
+//! proposes, as future work, to "search for isomorphic subgraphs in both
+//! benign/mixed CFGs by identifying and aligning pivotal nodes".
+//!
+//! This module implements that proposal:
+//!
+//! 1. every node of both CFGs gets a **structural signature** —
+//!    iterated Weisfeiler–Lehman-style hashing of its in/out
+//!    neighborhood (addresses never enter the hash);
+//! 2. **pivotal nodes** are nodes whose signature is unique within both
+//!    graphs; equal signatures are matched, mapping mixed-CFG addresses
+//!    onto benign-CFG addresses;
+//! 3. the match is propagated: an unmatched pair becomes matched when its
+//!    signature is unique *among the unmatched remainder* of both graphs,
+//!    which peels structure-preserving graphs almost completely;
+//! 4. [`assess_weights_aligned`] then scores mixed edges in the aligned
+//!    space — matched endpoints are checked by reachability like
+//!    Algorithm 2; edges touching unmatched nodes are scored by how
+//!    anchored the unmatched node is to matched (benign) structure,
+//!    the structural analogue of the density array.
+
+use crate::graph::{Cfg, ReachabilityCache};
+use crate::infer::CfgWithEvents;
+use crate::weight::WeightAssessment;
+use leaps_etw::addr::Va;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A node correspondence between a mixed CFG and a benign CFG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfgAlignment {
+    /// Mixed-CFG address → benign-CFG address for matched nodes.
+    pub node_map: HashMap<Va, Va>,
+}
+
+impl CfgAlignment {
+    /// Number of matched node pairs.
+    #[must_use]
+    pub fn matched(&self) -> usize {
+        self.node_map.len()
+    }
+
+    /// The benign counterpart of a mixed node, if matched.
+    #[must_use]
+    pub fn to_benign(&self, mixed_node: Va) -> Option<Va> {
+        self.node_map.get(&mixed_node).copied()
+    }
+}
+
+/// Maximum Weisfeiler–Lehman refinement depth. Matching is
+/// multi-resolution: deep signatures (3-hop neighborhoods) pin down
+/// distinctive nodes first; shallower rounds then match nodes whose deep
+/// neighborhoods were perturbed by the trojan insertion itself.
+const WL_ROUNDS: usize = 3;
+
+fn hash_one(items: &[u64]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    items.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Computes WL signatures for every node of `cfg`. Purely structural:
+/// the initial label is (out-degree, in-degree); each round rehashes the
+/// node with the sorted multisets of its predecessor/successor labels.
+fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
+    let nodes = cfg.nodes();
+    let mut preds: HashMap<Va, Vec<Va>> = HashMap::new();
+    let mut succs: HashMap<Va, Vec<Va>> = HashMap::new();
+    for (s, t) in cfg.iter_edges() {
+        succs.entry(s).or_default().push(t);
+        preds.entry(t).or_default().push(s);
+    }
+    let empty: Vec<Va> = Vec::new();
+    let mut labels: HashMap<Va, u64> = nodes
+        .iter()
+        .map(|&n| {
+            let out = succs.get(&n).unwrap_or(&empty).len() as u64;
+            let inn = preds.get(&n).unwrap_or(&empty).len() as u64;
+            (n, hash_one(&[out, inn]))
+        })
+        .collect();
+    for _ in 0..rounds {
+        let mut next = HashMap::with_capacity(labels.len());
+        for &n in &nodes {
+            let mut out_labels: Vec<u64> = succs
+                .get(&n)
+                .unwrap_or(&empty)
+                .iter()
+                .map(|m| labels[m])
+                .collect();
+            out_labels.sort_unstable();
+            let mut in_labels: Vec<u64> = preds
+                .get(&n)
+                .unwrap_or(&empty)
+                .iter()
+                .map(|m| labels[m])
+                .collect();
+            in_labels.sort_unstable();
+            let mut items = vec![labels[&n], 0xfeed];
+            items.extend(out_labels);
+            items.push(0xface);
+            items.extend(in_labels);
+            next.insert(n, hash_one(&items));
+        }
+        labels = next;
+    }
+    labels
+}
+
+/// Collects signatures that occur exactly once, as `sig → node`.
+fn unique_signatures(labels: &HashMap<Va, u64>, restrict: Option<&HashSet<Va>>) -> HashMap<u64, Va> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for (n, &sig) in labels {
+        if restrict.is_none_or(|r| r.contains(n)) {
+            *counts.entry(sig).or_insert(0) += 1;
+        }
+    }
+    labels
+        .iter()
+        .filter(|(n, sig)| restrict.is_none_or(|r| r.contains(n)) && counts[sig] == 1)
+        .map(|(&n, &sig)| (sig, n))
+        .collect()
+}
+
+/// Aligns `mixed` onto `benign` by pivotal-node matching.
+///
+/// Both inputs should be **explicit-path subgraphs**
+/// ([`crate::infer::CfgWithEvents::explicit`]): implicit edges encode
+/// event adjacency, which varies between runs and would defeat any
+/// structural signature.
+///
+/// Phases:
+///
+/// 1. **root matching** — explicit subgraphs of stack walks are
+///    call forests; in-degree-0 roots (`main`) are matched by subtree
+///    similarity;
+/// 2. **tree-guided descent** — for each matched pair, unmatched children
+///    are greedily paired by subtree-feature similarity (relative
+///    subtree size, height, fanout), when the similarity clears a
+///    threshold; matched pairs recurse. Coverage differences between runs
+///    (unexercised functions) cost a little similarity but do not break
+///    the descent, while a payload subtree grafted onto a hijacked benign
+///    function looks nothing like the children it competes with;
+/// 3. **WL refinement** — remaining unmatched nodes are matched when
+///    their Weisfeiler–Lehman signature is unique in both remainders
+///    (the "pivotal node" idea from the paper's sketch).
+#[must_use]
+pub fn align(benign: &Cfg, mixed: &Cfg) -> CfgAlignment {
+    let mut node_map: HashMap<Va, Va> = HashMap::new();
+    let mut unmatched_benign: HashSet<Va> = benign.nodes().into_iter().collect();
+    let mut unmatched_mixed: HashSet<Va> = mixed.nodes().into_iter().collect();
+
+    // Phase 1+2: tree-guided descent from matched roots.
+    let b_feats = subtree_features(benign);
+    let m_feats = subtree_features(mixed);
+    let b_roots = roots_of(benign);
+    let m_roots = roots_of(mixed);
+    let mut queue: Vec<(Va, Va)> = Vec::new();
+    greedy_pair(
+        &b_roots,
+        &m_roots,
+        &b_feats,
+        &m_feats,
+        &mut node_map,
+        &mut unmatched_benign,
+        &mut unmatched_mixed,
+        &mut queue,
+    );
+    while let Some((b_node, m_node)) = queue.pop() {
+        let b_children: Vec<Va> = benign
+            .successors(b_node)
+            .filter(|c| unmatched_benign.contains(c))
+            .collect();
+        let m_children: Vec<Va> = mixed
+            .successors(m_node)
+            .filter(|c| unmatched_mixed.contains(c))
+            .collect();
+        greedy_pair(
+            &b_children,
+            &m_children,
+            &b_feats,
+            &m_feats,
+            &mut node_map,
+            &mut unmatched_benign,
+            &mut unmatched_mixed,
+            &mut queue,
+        );
+    }
+
+    // Phase 3: WL-unique refinement on the remainder.
+    for rounds in (0..=WL_ROUNDS).rev() {
+        let benign_sigs = wl_signatures_at(benign, rounds);
+        let mixed_sigs = wl_signatures_at(mixed, rounds);
+        loop {
+            let b_unique = unique_signatures(&benign_sigs, Some(&unmatched_benign));
+            let m_unique = unique_signatures(&mixed_sigs, Some(&unmatched_mixed));
+            let mut progress = false;
+            for (sig, b_node) in &b_unique {
+                if let Some(&m_node) = m_unique.get(sig) {
+                    node_map.insert(m_node, *b_node);
+                    unmatched_benign.remove(b_node);
+                    unmatched_mixed.remove(&m_node);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+    CfgAlignment { node_map }
+}
+
+/// Minimum similarity for a tree-guided match. Genuine counterparts with
+/// moderate coverage differences score well above this; a payload subtree
+/// competing against benign children scores below it unless it happens to
+/// mimic their shape.
+const MATCH_THRESHOLD: f64 = 0.5;
+
+/// Per-node structural features of the (forest-shaped) explicit graph:
+/// `(subtree size, height, out-degree)` with cycle-guarded DFS.
+fn subtree_features(cfg: &Cfg) -> HashMap<Va, (usize, usize, usize)> {
+    let mut memo: HashMap<Va, (usize, usize, usize)> = HashMap::new();
+    fn visit(
+        cfg: &Cfg,
+        node: Va,
+        memo: &mut HashMap<Va, (usize, usize, usize)>,
+        on_stack: &mut HashSet<Va>,
+    ) -> (usize, usize) {
+        if let Some(&(size, height, _)) = memo.get(&node) {
+            return (size, height);
+        }
+        if !on_stack.insert(node) {
+            return (1, 0); // cycle (recursion): cap the contribution
+        }
+        let mut size = 1;
+        let mut height = 0;
+        let succs: Vec<Va> = cfg.successors(node).collect();
+        for child in &succs {
+            let (cs, ch) = visit(cfg, *child, memo, on_stack);
+            size += cs;
+            height = height.max(ch + 1);
+        }
+        on_stack.remove(&node);
+        memo.insert(node, (size, height, succs.len()));
+        (size, height)
+    }
+    for node in cfg.nodes() {
+        let mut on_stack = HashSet::new();
+        visit(cfg, node, &mut memo, &mut on_stack);
+    }
+    memo
+}
+
+/// In-degree-0 nodes.
+fn roots_of(cfg: &Cfg) -> Vec<Va> {
+    let mut has_pred: HashSet<Va> = HashSet::new();
+    for (_, t) in cfg.iter_edges() {
+        has_pred.insert(t);
+    }
+    cfg.nodes().into_iter().filter(|n| !has_pred.contains(n)).collect()
+}
+
+/// Similarity of two subtrees as the product of min/max ratios of their
+/// features; 1.0 for identical shapes.
+fn similarity(a: (usize, usize, usize), b: (usize, usize, usize)) -> f64 {
+    let ratio = |x: usize, y: usize| {
+        let (lo, hi) = ((x.min(y) + 1) as f64, (x.max(y) + 1) as f64);
+        lo / hi
+    };
+    ratio(a.0, b.0) * ratio(a.1, b.1) * ratio(a.2, b.2)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn greedy_pair(
+    b_candidates: &[Va],
+    m_candidates: &[Va],
+    b_feats: &HashMap<Va, (usize, usize, usize)>,
+    m_feats: &HashMap<Va, (usize, usize, usize)>,
+    node_map: &mut HashMap<Va, Va>,
+    unmatched_benign: &mut HashSet<Va>,
+    unmatched_mixed: &mut HashSet<Va>,
+    queue: &mut Vec<(Va, Va)>,
+) {
+    let mut scored: Vec<(f64, Va, Va)> = Vec::new();
+    for &b in b_candidates {
+        for &m in m_candidates {
+            let s = similarity(b_feats[&b], m_feats[&m]);
+            if s >= MATCH_THRESHOLD {
+                scored.push((s, b, m));
+            }
+        }
+    }
+    // Deterministic order: best score first, ties by address.
+    scored.sort_by(|x, y| {
+        y.0.total_cmp(&x.0)
+            .then_with(|| x.1.cmp(&y.1))
+            .then_with(|| x.2.cmp(&y.2))
+    });
+    for (_, b, m) in scored {
+        if unmatched_benign.contains(&b) && unmatched_mixed.contains(&m) {
+            node_map.insert(m, b);
+            unmatched_benign.remove(&b);
+            unmatched_mixed.remove(&m);
+            queue.push((b, m));
+        }
+    }
+    // Relaxation: when exactly one candidate remains on each side, the
+    // pairing is unambiguous even if the shapes diverged — this is
+    // exactly the hijacked function, whose subtree grew by the payload.
+    let b_rest: Vec<Va> = b_candidates
+        .iter()
+        .copied()
+        .filter(|b| unmatched_benign.contains(b))
+        .collect();
+    let m_rest: Vec<Va> = m_candidates
+        .iter()
+        .copied()
+        .filter(|m| unmatched_mixed.contains(m))
+        .collect();
+    if let ([b], [m]) = (b_rest.as_slice(), m_rest.as_slice()) {
+        node_map.insert(*m, *b);
+        unmatched_benign.remove(b);
+        unmatched_mixed.remove(m);
+        queue.push((*b, *m));
+    }
+}
+
+/// Aligned variant of Algorithm 2: scores the mixed CFG's edges against
+/// the benign CFG *through a structural node alignment* so that
+/// recompiled (shifted) benign code still scores benign.
+///
+/// Edge scoring:
+///
+/// * both endpoints matched → 1 if the aligned pair is connected in the
+///   benign CFG (reachability), else the mean *anchoring* of the
+///   endpoints (see below);
+/// * any endpoint unmatched → the mean anchoring of the unmatched
+///   endpoint(s), where anchoring of a node is the fraction of its mixed
+///   neighbors that are matched. Payload subgraphs are mostly
+///   unmatched-next-to-unmatched → anchoring ≈ 0; novel benign leaves
+///   hang off matched structure → anchoring ≈ 1.
+#[must_use]
+pub fn assess_weights_aligned(benign: &CfgWithEvents, mixed: &CfgWithEvents) -> WeightAssessment {
+    let alignment = align(&benign.explicit, &mixed.explicit);
+    let benign = &benign.cfg;
+    let mut reach = ReachabilityCache::new(benign);
+
+    // Neighbor sets in the mixed graph (undirected view).
+    let mut neighbors: HashMap<Va, Vec<Va>> = HashMap::new();
+    for (s, t) in mixed.cfg.iter_edges() {
+        neighbors.entry(s).or_default().push(t);
+        neighbors.entry(t).or_default().push(s);
+    }
+    // Anchoring: how strongly a node is tied to matched (benign)
+    // structure. Matched nodes anchor at 1; everything else takes the
+    // damped mean of its neighbors' anchoring over a few rounds, so novel
+    // benign code hanging off matched structure scores high while payload
+    // subgraphs (connected to benign code only through the hijack edge)
+    // decay toward 0.
+    let nodes = mixed.cfg.nodes();
+    let mut anchor: HashMap<Va, f64> = nodes
+        .iter()
+        .map(|&n| (n, if alignment.node_map.contains_key(&n) { 1.0 } else { 0.0 }))
+        .collect();
+    let empty: Vec<Va> = Vec::new();
+    for _ in 0..3 {
+        let mut next = anchor.clone();
+        for &n in &nodes {
+            if alignment.node_map.contains_key(&n) {
+                continue;
+            }
+            let ns = neighbors.get(&n).unwrap_or(&empty);
+            if !ns.is_empty() {
+                let mean = ns.iter().map(|m| anchor[m]).sum::<f64>() / ns.len() as f64;
+                next.insert(n, 0.9 * mean);
+            }
+        }
+        anchor = next;
+    }
+    let anchoring = |n: Va| -> f64 { anchor.get(&n).copied().unwrap_or(0.0) };
+
+    let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
+    for (start, end) in mixed.cfg.iter_edges() {
+        let score = match (alignment.to_benign(start), alignment.to_benign(end)) {
+            (Some(bs), Some(be)) => {
+                if benign.has_edge(bs, be) || reach.reachable(bs, be) {
+                    1.0
+                } else {
+                    0.5 * (anchoring(start) + anchoring(end))
+                }
+            }
+            (Some(_), None) => anchoring(end),
+            (None, Some(_)) => anchoring(start),
+            (None, None) => 0.5 * (anchoring(start) + anchoring(end)),
+        };
+        if let Some(events) = mixed.events_of(start, end) {
+            for &num in events {
+                let entry = sums.entry(num).or_insert((0.0, 0));
+                entry.0 += score;
+                entry.1 += 1;
+            }
+        }
+    }
+    WeightAssessment::from_means(
+        sums.into_iter()
+            .map(|(num, (sum, count))| (num, sum / count as f64)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_cfg;
+    use leaps_etw::event::{EventType, StackFrame};
+    use leaps_trace::partition::PartitionedEvent;
+
+    fn chain_cfg(addrs: &[u64]) -> Cfg {
+        let mut cfg = Cfg::new();
+        for w in addrs.windows(2) {
+            cfg.add_edge(Va(w[0]), Va(w[1]));
+        }
+        cfg
+    }
+
+    /// A small benign "program": root with two distinct subtrees.
+    fn tree(base: u64) -> Cfg {
+        let mut cfg = Cfg::new();
+        // root -> a -> {a1, a2, a3}, root -> b -> b1 -> b2
+        cfg.add_edge(Va(base), Va(base + 10));
+        cfg.add_edge(Va(base + 10), Va(base + 11));
+        cfg.add_edge(Va(base + 10), Va(base + 12));
+        cfg.add_edge(Va(base + 10), Va(base + 13));
+        cfg.add_edge(Va(base), Va(base + 20));
+        cfg.add_edge(Va(base + 20), Va(base + 21));
+        cfg.add_edge(Va(base + 21), Va(base + 22));
+        cfg
+    }
+
+    #[test]
+    fn identical_structure_at_shifted_addresses_fully_aligns() {
+        let benign = tree(0x1000);
+        let shifted = tree(0x9000);
+        let a = align(&benign, &shifted);
+        // Distinctive nodes match by signature; identical siblings match
+        // via the parent-guided phase.
+        assert_eq!(a.matched(), benign.node_count());
+        assert_eq!(a.to_benign(Va(0x9000)), Some(Va(0x1000)));
+        assert_eq!(a.to_benign(Va(0x9016)), Some(Va(0x1016))); // b2
+    }
+
+    #[test]
+    fn extra_payload_subgraph_stays_unmatched() {
+        let benign = tree(0x1000);
+        let mut mixed = tree(0x9000);
+        // Payload: a chain hanging off node a (hijack) — structurally
+        // alien to the benign graph.
+        mixed.add_edge(Va(0x9010), Va(0xf000));
+        mixed.add_edge(Va(0xf000), Va(0xf001));
+        mixed.add_edge(Va(0xf001), Va(0xf002));
+        mixed.add_edge(Va(0xf001), Va(0xf003));
+        mixed.add_edge(Va(0xf001), Va(0xf004));
+        mixed.add_edge(Va(0xf004), Va(0xf005));
+        let a = align(&benign, &mixed);
+        for payload_node in [0xf000u64, 0xf001, 0xf002, 0xf004, 0xf005] {
+            assert_eq!(a.to_benign(Va(payload_node)), None, "{payload_node:#x}");
+        }
+        // Most of the benign structure still matches despite the altered
+        // neighborhood around the hijack point.
+        assert!(a.matched() >= benign.node_count() / 2, "matched {}", a.matched());
+    }
+
+    #[test]
+    fn symmetric_chains_align_partially_without_mismatching() {
+        // Two identical chains are ambiguous; alignment must not invent
+        // wrong pairs (it may match the distinguishable middle).
+        let benign = chain_cfg(&[1, 2, 3]);
+        let mixed = chain_cfg(&[101, 102, 103]);
+        let a = align(&benign, &mixed);
+        for (m, b) in &a.node_map {
+            assert_eq!(m.0 - 100, b.0, "wrong pair {m} -> {b}");
+        }
+    }
+
+    fn event(num: u64, addrs: &[u64]) -> PartitionedEvent {
+        PartitionedEvent {
+            num,
+            etype: EventType::FileRead,
+            tid: 1,
+            app_stack: addrs
+                .iter()
+                .map(|&a| StackFrame::new("app", format!("f{a}"), Va(a), true))
+                .collect(),
+            system_stack: Vec::new(),
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn aligned_assessment_scores_shifted_benign_high_and_payload_low() {
+        // Benign CFG at low addresses.
+        let benign_events = [
+            event(1, &[0x1000, 0x1010, 0x1011]),
+            event(2, &[0x1000, 0x1010, 0x1012]),
+            event(3, &[0x1000, 0x1020, 0x1021, 0x1022]),
+            event(4, &[0x1000, 0x1010, 0x1013]),
+        ];
+        let benign = infer_cfg(&benign_events);
+        // "Recompiled" mixed run: same structure shifted by 0x8000, plus
+        // a payload chain (events 5-6).
+        let mixed_events = [
+            event(1, &[0x9000, 0x9010, 0x9011]),
+            event(2, &[0x9000, 0x9010, 0x9012]),
+            event(3, &[0x9000, 0x9020, 0x9021, 0x9022]),
+            event(4, &[0x9000, 0x9010, 0x9013]),
+            event(5, &[0x9000, 0x9010, 0xf000, 0xf001, 0xf002]),
+            event(6, &[0x9000, 0x9010, 0xf000, 0xf001, 0xf003]),
+        ];
+        let mixed = infer_cfg(&mixed_events);
+        let weights = assess_weights_aligned(&benign, &mixed);
+        let benign_score = weights.benignity(3).expect("scored");
+        let payload_score = weights.benignity(5).expect("scored");
+        assert!(
+            benign_score > payload_score + 0.2,
+            "benign {benign_score} vs payload {payload_score}"
+        );
+        // Vanilla Algorithm 2 would give the shifted benign events low
+        // scores (their addresses are all outside the benign span).
+        let vanilla = crate::weight::assess_weights(
+            &benign.cfg,
+            &mixed,
+            crate::weight::WeightConfig::default(),
+        );
+        assert!(vanilla.benignity(3).expect("scored") < benign_score);
+    }
+
+    #[test]
+    fn empty_graphs_align_trivially() {
+        let a = align(&Cfg::new(), &Cfg::new());
+        assert_eq!(a.matched(), 0);
+        assert_eq!(a.to_benign(Va(1)), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Structural comparison of two inferred CFGs (used by Figure 4 style
+//! analyses and by tests asserting that the payload forms a distinct
+//! subgraph).
+
+use crate::graph::Cfg;
+use leaps_etw::addr::Va;
+use std::collections::BTreeSet;
+
+/// Overlap statistics between a benign CFG and a mixed CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CfgOverlap {
+    /// Nodes present in both graphs.
+    pub shared_nodes: usize,
+    /// Nodes only in the benign graph.
+    pub benign_only_nodes: usize,
+    /// Nodes only in the mixed graph (candidate payload code).
+    pub mixed_only_nodes: usize,
+    /// Edges present in both graphs.
+    pub shared_edges: usize,
+    /// Edges only in the mixed graph.
+    pub mixed_only_edges: usize,
+}
+
+/// Computes node/edge overlap between `benign` and `mixed`.
+#[must_use]
+pub fn overlap(benign: &Cfg, mixed: &Cfg) -> CfgOverlap {
+    let bn: BTreeSet<Va> = benign.nodes().into_iter().collect();
+    let mn: BTreeSet<Va> = mixed.nodes().into_iter().collect();
+    let be: BTreeSet<(Va, Va)> = benign.iter_edges().collect();
+    let me: BTreeSet<(Va, Va)> = mixed.iter_edges().collect();
+    CfgOverlap {
+        shared_nodes: bn.intersection(&mn).count(),
+        benign_only_nodes: bn.difference(&mn).count(),
+        mixed_only_nodes: mn.difference(&bn).count(),
+        shared_edges: be.intersection(&me).count(),
+        mixed_only_edges: me.difference(&be).count(),
+    }
+}
+
+/// Nodes of `mixed` that are absent from `benign` (the anomalous
+/// subgraph of Figure 4), ascending.
+#[must_use]
+pub fn mixed_only_nodes(benign: &Cfg, mixed: &Cfg) -> Vec<Va> {
+    let bn: BTreeSet<Va> = benign.nodes().into_iter().collect();
+    mixed.nodes().into_iter().filter(|n| !bn.contains(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_counts() {
+        let mut b = Cfg::new();
+        b.add_edge(Va(1), Va(2));
+        b.add_edge(Va(2), Va(3));
+        let mut m = Cfg::new();
+        m.add_edge(Va(1), Va(2));
+        m.add_edge(Va(2), Va(9));
+        let o = overlap(&b, &m);
+        assert_eq!(o.shared_nodes, 2); // 1, 2
+        assert_eq!(o.benign_only_nodes, 1); // 3
+        assert_eq!(o.mixed_only_nodes, 1); // 9
+        assert_eq!(o.shared_edges, 1);
+        assert_eq!(o.mixed_only_edges, 1);
+        assert_eq!(mixed_only_nodes(&b, &m), vec![Va(9)]);
+    }
+
+    #[test]
+    fn identical_graphs_fully_overlap() {
+        let mut g = Cfg::new();
+        g.add_edge(Va(1), Va(2));
+        let o = overlap(&g, &g);
+        assert_eq!(o.mixed_only_nodes, 0);
+        assert_eq!(o.mixed_only_edges, 0);
+        assert_eq!(o.shared_edges, 1);
+    }
+
+    #[test]
+    fn trojaned_run_produces_distinct_subgraph() {
+        use crate::infer::infer_cfg;
+        use leaps_etw::logfmt::write_log;
+        use leaps_etw::scenario::{GenParams, Scenario};
+        use leaps_trace::parser::parse_log;
+        use leaps_trace::partition::partition_events;
+
+        let logs = Scenario::by_name("vim_reverse_tcp")
+            .unwrap()
+            .generate_events(&GenParams::small(), 5);
+        let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
+        let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
+        let bcfg = infer_cfg(&benign).cfg;
+        let mcfg = infer_cfg(&mixed).cfg;
+        let o = overlap(&bcfg, &mcfg);
+        // Payload code forms a substantial mixed-only region.
+        assert!(o.mixed_only_nodes > 10, "{o:?}");
+        // The benign functionality is shared.
+        assert!(o.shared_nodes > 30, "{o:?}");
+    }
+}

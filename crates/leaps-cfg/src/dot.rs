@@ -1,0 +1,83 @@
+//! Graphviz (DOT) export of inferred CFGs, for Figure 4-style
+//! visual comparison of benign vs mixed graphs.
+
+use crate::graph::Cfg;
+use leaps_etw::addr::Va;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders `cfg` as a DOT digraph named `name`.
+///
+/// If `reference` is given, nodes absent from the reference graph (the
+/// anomalous/payload subgraph) are filled red, as in the paper's Figure 4
+/// comparison of the Vim benign CFG and the trojaned Vim mixed CFG.
+#[must_use]
+pub fn to_dot(cfg: &Cfg, name: &str, reference: Option<&Cfg>) -> String {
+    let reference_nodes: BTreeSet<Va> = reference
+        .map(|r| r.nodes().into_iter().collect())
+        .unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    out.push_str("  node [shape=box, fontsize=9];\n");
+    for node in cfg.nodes() {
+        let anomalous = reference.is_some() && !reference_nodes.contains(&node);
+        if anomalous {
+            let _ = writeln!(
+                out,
+                "  \"{node}\" [style=filled, fillcolor=\"#e74c3c\", fontcolor=white];"
+            );
+        } else {
+            let _ = writeln!(out, "  \"{node}\";");
+        }
+    }
+    for (start, end) in cfg.iter_edges() {
+        let _ = writeln!(out, "  \"{start}\" -> \"{end}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Cfg {
+        let mut g = Cfg::new();
+        g.add_edge(Va(0x10), Va(0x20));
+        g.add_edge(Va(0x20), Va(0x30));
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = to_dot(&graph(), "benign", None);
+        assert!(dot.starts_with("digraph \"benign\" {"));
+        assert!(dot.contains("\"0x0000000000000010\" -> \"0x0000000000000020\";"));
+        assert!(dot.contains("\"0x0000000000000020\" -> \"0x0000000000000030\";"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(!dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn reference_highlights_anomalous_nodes() {
+        let benign = graph();
+        let mut mixed = graph();
+        mixed.add_edge(Va(0x20), Va(0x900));
+        let dot = to_dot(&mixed, "mixed", Some(&benign));
+        // Only the payload node is highlighted.
+        assert_eq!(dot.matches("fillcolor").count(), 1);
+        assert!(dot.contains("\"0x0000000000000900\" [style=filled"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let dot = to_dot(&graph(), "vim reverse-tcp", None);
+        assert!(dot.starts_with("digraph \"vim_reverse_tcp\""));
+    }
+}

@@ -1,0 +1,227 @@
+//! The inferred control-flow graph: directed adjacency over virtual
+//! addresses.
+
+use leaps_etw::addr::Va;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A directed graph whose vertices are function addresses, as inferred
+/// from application stack traces (paper Algorithm 1's `cfg` dictionary).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    edges: BTreeMap<Va, BTreeSet<Va>>,
+}
+
+impl Cfg {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Cfg {
+        Cfg::default()
+    }
+
+    /// Adds the edge `start → end` (paper `ADDTO_CFG`). Idempotent.
+    pub fn add_edge(&mut self, start: Va, end: Va) {
+        self.edges.entry(start).or_default().insert(end);
+    }
+
+    /// Whether the direct edge `start → end` exists.
+    #[must_use]
+    pub fn has_edge(&self, start: Va, end: Va) -> bool {
+        self.edges.get(&start).is_some_and(|s| s.contains(&end))
+    }
+
+    /// Successors of `start` (empty if none).
+    pub fn successors(&self, start: Va) -> impl Iterator<Item = Va> + '_ {
+        self.edges.get(&start).into_iter().flatten().copied()
+    }
+
+    /// Iterates all edges in deterministic (address) order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (Va, Va)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(&start, ends)| ends.iter().map(move |&end| (start, end)))
+    }
+
+    /// All vertices (sources and targets), ascending, deduplicated.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<Va> {
+        let mut nodes: BTreeSet<Va> = BTreeSet::new();
+        for (start, ends) in &self.edges {
+            nodes.insert(*start);
+            nodes.extend(ends.iter().copied());
+        }
+        nodes.into_iter().collect()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Whether the graph has no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `end` is reachable from `start` via a **non-empty** path
+    /// (paper `CHECK_CFG`, including its `start = end ∧ level ≠ 0`
+    /// self-loop rule).
+    ///
+    /// The paper's recursive formulation diverges on cyclic graphs
+    /// (recursion is ubiquitous in real programs); this implementation is
+    /// an iterative DFS with a visited set — same answer, guaranteed
+    /// termination.
+    #[must_use]
+    pub fn reachable(&self, start: Va, end: Va) -> bool {
+        let mut visited: HashSet<Va> = HashSet::new();
+        let mut stack: Vec<Va> = self.successors(start).collect();
+        while let Some(node) = stack.pop() {
+            if node == end {
+                return true;
+            }
+            if visited.insert(node) {
+                stack.extend(self.successors(node));
+            }
+        }
+        false
+    }
+}
+
+/// A reachability oracle over a fixed [`Cfg`] that caches the full
+/// descendant set per queried source (Algorithm 2 issues many
+/// `CHECK_CFG` queries against the same benign CFG).
+#[derive(Debug)]
+pub struct ReachabilityCache<'g> {
+    cfg: &'g Cfg,
+    descendants: HashMap<Va, HashSet<Va>>,
+}
+
+impl<'g> ReachabilityCache<'g> {
+    /// Creates a cache over `cfg`.
+    #[must_use]
+    pub fn new(cfg: &'g Cfg) -> Self {
+        ReachabilityCache { cfg, descendants: HashMap::new() }
+    }
+
+    /// Whether `end` is reachable from `start` via a non-empty path.
+    pub fn reachable(&mut self, start: Va, end: Va) -> bool {
+        if !self.descendants.contains_key(&start) {
+            let mut visited: HashSet<Va> = HashSet::new();
+            let mut stack: Vec<Va> = self.cfg.successors(start).collect();
+            while let Some(node) = stack.pop() {
+                if visited.insert(node) {
+                    stack.extend(self.cfg.successors(node));
+                }
+            }
+            self.descendants.insert(start, visited);
+        }
+        self.descendants[&start].contains(&end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Cfg {
+        // 1 → 2 → 4, 1 → 3 → 4
+        let mut cfg = Cfg::new();
+        cfg.add_edge(Va(1), Va(2));
+        cfg.add_edge(Va(1), Va(3));
+        cfg.add_edge(Va(2), Va(4));
+        cfg.add_edge(Va(3), Va(4));
+        cfg
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut cfg = Cfg::new();
+        cfg.add_edge(Va(1), Va(2));
+        cfg.add_edge(Va(1), Va(2));
+        assert_eq!(cfg.edge_count(), 1);
+        assert!(cfg.has_edge(Va(1), Va(2)));
+        assert!(!cfg.has_edge(Va(2), Va(1)));
+    }
+
+    #[test]
+    fn nodes_and_counts() {
+        let cfg = diamond();
+        assert_eq!(cfg.nodes(), vec![Va(1), Va(2), Va(3), Va(4)]);
+        assert_eq!(cfg.node_count(), 4);
+        assert_eq!(cfg.edge_count(), 4);
+        assert!(!cfg.is_empty());
+        assert!(Cfg::new().is_empty());
+    }
+
+    #[test]
+    fn reachability_transitive() {
+        let cfg = diamond();
+        assert!(cfg.reachable(Va(1), Va(4)));
+        assert!(cfg.reachable(Va(1), Va(2)));
+        assert!(!cfg.reachable(Va(4), Va(1)));
+        assert!(!cfg.reachable(Va(2), Va(3)));
+    }
+
+    #[test]
+    fn self_reachability_requires_a_cycle() {
+        let mut cfg = diamond();
+        assert!(!cfg.reachable(Va(1), Va(1)));
+        cfg.add_edge(Va(4), Va(1)); // close the loop
+        assert!(cfg.reachable(Va(1), Va(1)));
+        assert!(cfg.reachable(Va(4), Va(4)));
+    }
+
+    #[test]
+    fn reachability_terminates_on_cycles() {
+        let mut cfg = Cfg::new();
+        cfg.add_edge(Va(1), Va(2));
+        cfg.add_edge(Va(2), Va(1));
+        assert!(cfg.reachable(Va(1), Va(2)));
+        assert!(!cfg.reachable(Va(1), Va(9)));
+    }
+
+    #[test]
+    fn unknown_source_unreachable() {
+        let cfg = diamond();
+        assert!(!cfg.reachable(Va(99), Va(1)));
+        assert_eq!(cfg.successors(Va(99)).count(), 0);
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_dfs() {
+        let mut cfg = diamond();
+        cfg.add_edge(Va(4), Va(2)); // cycle 2→4→2
+        let mut cache = ReachabilityCache::new(&cfg);
+        for s in 1..=4 {
+            for e in 1..=4 {
+                assert_eq!(
+                    cache.reachable(Va(s), Va(e)),
+                    cfg.reachable(Va(s), Va(e)),
+                    "({s},{e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iter_edges_is_deterministic_and_complete() {
+        let cfg = diamond();
+        let edges: Vec<_> = cfg.iter_edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (Va(1), Va(2)),
+                (Va(1), Va(3)),
+                (Va(2), Va(4)),
+                (Va(3), Va(4)),
+            ]
+        );
+    }
+}

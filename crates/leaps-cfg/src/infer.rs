@@ -1,0 +1,203 @@
+//! Algorithm 1: CFG inference from application stack traces.
+//!
+//! Two kinds of control flow are recovered (paper Fig. 3):
+//!
+//! * **explicit paths** — within one event's stack, frame *i* invoked
+//!   frame *i+1*, so `stack[i] → stack[i+1]` is an edge;
+//! * **implicit paths** — between two adjacent events, let `k` be the
+//!   length of the common stack prefix; then control flowed from the first
+//!   divergent frame of the previous stack to the first divergent frame of
+//!   the current one: `prev[k] → curr[k]`.
+//!
+//! In addition to the graph itself, inference records the reverse mapping
+//! from each edge to the event numbers whose stacks produced it (the
+//! paper's `memap`), which Algorithm 2 uses to turn edge scores into
+//! per-event weights.
+
+use crate::graph::Cfg;
+use leaps_etw::addr::Va;
+use leaps_trace::partition::PartitionedEvent;
+use std::collections::{BTreeSet, HashMap};
+
+/// An inferred CFG plus the edge→events reverse mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfgWithEvents {
+    /// The control flow graph (explicit and implicit paths).
+    pub cfg: Cfg,
+    /// The subgraph of **explicit paths only** (invocations within one
+    /// stack). Explicit edges reflect the program's call structure and are
+    /// stable across runs; implicit edges depend on event adjacency and
+    /// are execution-order artifacts. Structural alignment
+    /// ([`crate::align`]) therefore works on this subgraph.
+    pub explicit: Cfg,
+    /// For every edge, the set of event numbers whose stacks contributed
+    /// it (`memap` in Algorithm 2's input).
+    pub edge_events: HashMap<(Va, Va), BTreeSet<u64>>,
+}
+
+impl CfgWithEvents {
+    /// Event numbers that contributed the edge, if any.
+    #[must_use]
+    pub fn events_of(&self, start: Va, end: Va) -> Option<&BTreeSet<u64>> {
+        self.edge_events.get(&(start, end))
+    }
+}
+
+/// Infers the CFG of the traced application from the application stack
+/// traces of `events` (paper Algorithm 1, `GEN_CFG`).
+///
+/// Events whose application stack is empty are skipped (they contribute no
+/// control-flow information); they also do not participate in implicit-path
+/// pairing, mirroring the paper which walks event by event.
+#[must_use]
+pub fn infer_cfg(events: &[PartitionedEvent]) -> CfgWithEvents {
+    let mut out = CfgWithEvents::default();
+    let mut prev: Option<(Vec<Va>, u64)> = None;
+
+    for event in events {
+        let curr: Vec<Va> = event.app_stack.iter().map(|f| f.addr).collect();
+        if curr.is_empty() {
+            continue;
+        }
+        // Implicit path: divergence point between adjacent stacks
+        // (BRANCH_POINT + line 13 of Algorithm 1).
+        if let Some((prev_stack, prev_num)) = &prev {
+            let k = common_prefix_len(prev_stack, &curr);
+            if k < prev_stack.len() && k < curr.len() {
+                add_edge(&mut out, prev_stack[k], curr[k], &[*prev_num, event.num]);
+            }
+        }
+        // Explicit paths: invocations within this stack (line 15).
+        for w in curr.windows(2) {
+            add_edge(&mut out, w[0], w[1], &[event.num]);
+            out.explicit.add_edge(w[0], w[1]);
+        }
+        prev = Some((curr, event.num));
+    }
+    out
+}
+
+fn add_edge(out: &mut CfgWithEvents, start: Va, end: Va, events: &[u64]) {
+    out.cfg.add_edge(start, end);
+    let set = out.edge_events.entry((start, end)).or_default();
+    set.extend(events.iter().copied());
+}
+
+fn common_prefix_len(a: &[Va], b: &[Va]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaps_etw::event::{EventType, StackFrame};
+
+    fn event(num: u64, addrs: &[u64]) -> PartitionedEvent {
+        PartitionedEvent {
+            num,
+            etype: EventType::FileRead,
+            tid: 1,
+            app_stack: addrs
+                .iter()
+                .map(|&a| StackFrame::new("app", format!("f{a}"), Va(a), true))
+                .collect(),
+            system_stack: vec![StackFrame::new("ntdll", "NtReadFile", Va(0x7000), false)],
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn explicit_paths_within_one_stack() {
+        let out = infer_cfg(&[event(1, &[1, 2, 3])]);
+        assert!(out.cfg.has_edge(Va(1), Va(2)));
+        assert!(out.cfg.has_edge(Va(2), Va(3)));
+        assert_eq!(out.cfg.edge_count(), 2);
+        assert_eq!(out.events_of(Va(1), Va(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn implicit_path_between_adjacent_events_matches_figure_3() {
+        // Figure 3: Event 1 stack [1,2,3,4,5], Event 2 stack [1,2,3,6,7].
+        // Common prefix length 3 → implicit edge 4 → 6.
+        let out = infer_cfg(&[event(1, &[1, 2, 3, 4, 5]), event(2, &[1, 2, 3, 6, 7])]);
+        assert!(out.cfg.has_edge(Va(4), Va(6)), "implicit path missing");
+        // Both events are attributed to the implicit edge.
+        let evs = out.events_of(Va(4), Va(6)).unwrap();
+        assert!(evs.contains(&1) && evs.contains(&2));
+        // Explicit edges from both stacks.
+        assert!(out.cfg.has_edge(Va(4), Va(5)));
+        assert!(out.cfg.has_edge(Va(6), Va(7)));
+        assert!(out.cfg.has_edge(Va(3), Va(4)));
+        assert!(out.cfg.has_edge(Va(3), Va(6)));
+    }
+
+    #[test]
+    fn identical_adjacent_stacks_add_no_implicit_edge() {
+        let out = infer_cfg(&[event(1, &[1, 2]), event(2, &[1, 2])]);
+        // Only the explicit edge 1→2.
+        assert_eq!(out.cfg.edge_count(), 1);
+    }
+
+    #[test]
+    fn prefix_subsumption_adds_no_implicit_edge() {
+        // curr extends prev: divergence index equals prev.len() → no
+        // implicit edge (there is no divergent frame in prev).
+        let out = infer_cfg(&[event(1, &[1, 2]), event(2, &[1, 2, 3])]);
+        assert!(out.cfg.has_edge(Va(2), Va(3)));
+        assert_eq!(out.cfg.edge_count(), 2); // 1→2, 2→3
+    }
+
+    #[test]
+    fn totally_disjoint_stacks_link_at_roots() {
+        let out = infer_cfg(&[event(1, &[1, 2]), event(2, &[8, 9])]);
+        assert!(out.cfg.has_edge(Va(1), Va(8)), "divergence at index 0");
+    }
+
+    #[test]
+    fn empty_app_stacks_are_skipped() {
+        let mut no_app = event(2, &[]);
+        no_app.app_stack.clear();
+        let out = infer_cfg(&[event(1, &[1, 2]), no_app, event(3, &[1, 5])]);
+        // Event 3 pairs with event 1 (event 2 contributed nothing).
+        assert!(out.cfg.has_edge(Va(2), Va(5)));
+    }
+
+    #[test]
+    fn single_frame_stacks_contribute_only_implicit_edges() {
+        let out = infer_cfg(&[event(1, &[4]), event(2, &[6])]);
+        assert_eq!(out.cfg.edge_count(), 1);
+        assert!(out.cfg.has_edge(Va(4), Va(6)));
+    }
+
+    #[test]
+    fn memap_accumulates_events_per_edge() {
+        let out = infer_cfg(&[event(1, &[1, 2]), event(5, &[1, 2]), event(9, &[1, 2])]);
+        let evs = out.events_of(Va(1), Va(2)).unwrap();
+        assert_eq!(evs.iter().copied().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_cfg() {
+        let out = infer_cfg(&[]);
+        assert!(out.cfg.is_empty());
+        assert!(out.edge_events.is_empty());
+    }
+
+    #[test]
+    fn inference_on_generated_logs_builds_substantial_graphs() {
+        use leaps_etw::logfmt::write_log;
+        use leaps_etw::scenario::{GenParams, Scenario};
+        use leaps_trace::parser::parse_log;
+        use leaps_trace::partition::partition_events;
+
+        let logs = Scenario::by_name("vim_reverse_tcp")
+            .unwrap()
+            .generate_events(&GenParams::small(), 3);
+        let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
+        let out = infer_cfg(&benign);
+        assert!(out.cfg.node_count() > 30);
+        assert!(out.cfg.edge_count() > 30);
+        // Every edge is attributed to at least one event.
+        assert_eq!(out.edge_events.len(), out.cfg.edge_count());
+    }
+}

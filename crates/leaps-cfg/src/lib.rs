@@ -1,0 +1,55 @@
+//! Control-flow-graph inference from stack walks and CFG-guided weight
+//! assessment — the paper's program-analysis half (Sections III-B and
+//! III-C).
+//!
+//! * [`graph`] — the inferred CFG data structure (adjacency over virtual
+//!   addresses) and reachability queries.
+//! * [`infer`] — Algorithm 1: builds a CFG from the *application stack
+//!   traces* in a system event log, using **explicit paths** (frame
+//!   invocations within one stack) and **implicit paths** (divergence
+//!   points between adjacent events' stacks). Also maintains the reverse
+//!   map from CFG edges to the events that produced them (`memap`).
+//! * [`weight`] — Algorithm 2: scores every edge of the mixed CFG against
+//!   the benign CFG (reachable → benign; inside the benign address span →
+//!   density-interpolated; outside → malicious) and averages edge scores
+//!   into per-event *benignity* weights.
+//! * [`align`] — the Section VI-A extension: structural CFG alignment so
+//!   the weight assessment survives source-level trojans (recompiled,
+//!   shifted benign code).
+//! * [`dot`] — Graphviz export for Figure 4-style CFG comparisons.
+//! * [`compare`] — structural overlap statistics between two CFGs.
+//!
+//! # Example
+//!
+//! ```
+//! use leaps_cfg::infer::infer_cfg;
+//! use leaps_cfg::weight::{assess_weights, WeightConfig};
+//! use leaps_etw::logfmt::write_log;
+//! use leaps_etw::scenario::{GenParams, Scenario};
+//! use leaps_trace::parser::parse_log;
+//! use leaps_trace::partition::partition_events;
+//!
+//! let logs = Scenario::by_name("vim_reverse_tcp")
+//!     .unwrap()
+//!     .generate_events(&GenParams::small(), 7);
+//! let benign = partition_events(&parse_log(&write_log(&logs.benign))?.events);
+//! let mixed = partition_events(&parse_log(&write_log(&logs.mixed))?.events);
+//!
+//! let bcfg = infer_cfg(&benign);
+//! let mcfg = infer_cfg(&mixed);
+//! let weights = assess_weights(&bcfg.cfg, &mcfg, WeightConfig::default());
+//! // Every mixed event that contributed CFG edges has a benignity score.
+//! assert!(weights.scored_events() > 0);
+//! # Ok::<(), leaps_trace::parser::ParseError>(())
+//! ```
+
+pub mod align;
+pub mod compare;
+pub mod dot;
+pub mod graph;
+pub mod infer;
+pub mod weight;
+
+pub use graph::Cfg;
+pub use infer::{infer_cfg, CfgWithEvents};
+pub use weight::{assess_weights, WeightAssessment, WeightConfig};

@@ -1,0 +1,366 @@
+//! Algorithm 2: CFG-guided weight assessment.
+//!
+//! Every edge of the **mixed** CFG is scored for *benignity* against the
+//! **benign** CFG:
+//!
+//! * start → end reachable in the benign CFG → score **1** (benign path);
+//! * otherwise, if both endpoints lie inside the benign CFG's address span
+//!   (the *density array* of benign node addresses), the score is the
+//!   normalized proximity of `start` to its surrounding benign nodes
+//!   (`ESTIMATE_WEIGHT`) — unseen paths interleaved with benign code are
+//!   probably benign functionality missing from the incomplete benign CFG;
+//! * otherwise → score **0** (code far outside the benign layout:
+//!   appended trojan sections, injected memory).
+//!
+//! Per-event benignity is the running mean of the scores of all edges the
+//! event contributed (`SET_WEIGHT`/`REBALANCE`, which the paper describes
+//! as "averaging all its paths' weights").
+//!
+//! **Polarity note** (see DESIGN.md): these scores are *benignity*; the
+//! Weighted SVM consumes `1 − benignity` as the confidence that a
+//! mixed-log sample is genuinely malicious.
+
+use crate::graph::{Cfg, ReachabilityCache};
+use crate::infer::CfgWithEvents;
+use leaps_etw::addr::Va;
+use std::collections::HashMap;
+
+/// Options for the weight assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightConfig {
+    /// Enable the density-array interpolation for in-span unseen paths.
+    /// Disabling it (ablation) scores every non-reachable edge 0.
+    pub density_estimation: bool,
+}
+
+impl Default for WeightConfig {
+    fn default() -> Self {
+        WeightConfig { density_estimation: true }
+    }
+}
+
+/// Result of Algorithm 2: per-event benignity scores in `[0, 1]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightAssessment {
+    event_benignity: HashMap<u64, f64>,
+}
+
+impl WeightAssessment {
+    /// Benignity of an event, if the event contributed any CFG edge.
+    #[must_use]
+    pub fn benignity(&self, event_num: u64) -> Option<f64> {
+        self.event_benignity.get(&event_num).copied()
+    }
+
+    /// Benignity of an event, defaulting to 1 (treat-as-benign: an event
+    /// without control-flow evidence must not be trained on as malicious).
+    #[must_use]
+    pub fn benignity_or_default(&self, event_num: u64) -> f64 {
+        self.benignity(event_num).unwrap_or(1.0)
+    }
+
+    /// Maliciousness weight for the Weighted SVM: `1 − benignity`.
+    #[must_use]
+    pub fn maliciousness(&self, event_num: u64) -> f64 {
+        1.0 - self.benignity_or_default(event_num)
+    }
+
+    /// Number of events that received a score.
+    #[must_use]
+    pub fn scored_events(&self) -> usize {
+        self.event_benignity.len()
+    }
+
+    /// Iterates `(event number, benignity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.event_benignity.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Builds an assessment from precomputed per-event means (used by the
+    /// aligned variant in [`crate::align`]).
+    #[must_use]
+    pub fn from_means(means: impl IntoIterator<Item = (u64, f64)>) -> WeightAssessment {
+        WeightAssessment { event_benignity: means.into_iter().collect() }
+    }
+}
+
+/// The sorted benign-node address array used by `ESTIMATE_WEIGHT`
+/// (paper `GEN_CFG_DENSITY`). Deduplicated so interpolation gaps are
+/// well-defined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensityArray {
+    addrs: Vec<Va>,
+}
+
+impl DensityArray {
+    /// Builds the density array from a CFG's node addresses.
+    #[must_use]
+    pub fn from_cfg(cfg: &Cfg) -> DensityArray {
+        DensityArray { addrs: cfg.nodes() }
+    }
+
+    /// Whether the array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Whether `addr` lies within `[min, max]` of the benign nodes
+    /// (paper `WITHIN_RANGE` for a single address).
+    #[must_use]
+    pub fn in_range(&self, addr: Va) -> bool {
+        match (self.addrs.first(), self.addrs.last()) {
+            (Some(&lo), Some(&hi)) => lo <= addr && addr <= hi,
+            _ => false,
+        }
+    }
+
+    /// `ESTIMATE_WEIGHT`: proximity of `addr` to its surrounding benign
+    /// nodes, in `[0, 1]`. An address coinciding with a benign node scores
+    /// 1; the midpoint of a gap scores 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not [`Self::in_range`] (callers must check
+    /// `WITHIN_RANGE` first, as Algorithm 2 does).
+    #[must_use]
+    pub fn estimate(&self, addr: Va) -> f64 {
+        assert!(self.in_range(addr), "estimate() requires an in-range address");
+        match self.addrs.binary_search(&addr) {
+            Ok(_) => 1.0,
+            Err(idx) => {
+                // in_range guarantees 0 < idx < len.
+                let left = self.addrs[idx - 1];
+                let right = self.addrs[idx];
+                let gap = right.distance(left);
+                let mindiff = addr.distance(left).min(right.distance(addr));
+                1.0 - mindiff as f64 / gap as f64
+            }
+        }
+    }
+}
+
+/// Runs Algorithm 2 (`COMPARE_CFG`): scores every edge of `mixed` against
+/// `benign` and aggregates per-event benignity via running means.
+#[must_use]
+pub fn assess_weights(
+    benign: &Cfg,
+    mixed: &CfgWithEvents,
+    config: WeightConfig,
+) -> WeightAssessment {
+    let density = DensityArray::from_cfg(benign);
+    let mut reach = ReachabilityCache::new(benign);
+    let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
+
+    for (start, end) in mixed.cfg.iter_edges() {
+        let score = edge_benignity(benign, &mut reach, &density, start, end, config);
+        if let Some(events) = mixed.events_of(start, end) {
+            for &num in events {
+                let entry = sums.entry(num).or_insert((0.0, 0));
+                entry.0 += score;
+                entry.1 += 1;
+            }
+        }
+    }
+
+    WeightAssessment {
+        event_benignity: sums
+            .into_iter()
+            .map(|(num, (sum, count))| (num, sum / count as f64))
+            .collect(),
+    }
+}
+
+/// Scores a single edge (exposed for tests and diagnostics).
+#[must_use]
+pub fn edge_benignity(
+    benign: &Cfg,
+    reach: &mut ReachabilityCache<'_>,
+    density: &DensityArray,
+    start: Va,
+    end: Va,
+    config: WeightConfig,
+) -> f64 {
+    // Direct edges and longer benign paths both count as "connected in the
+    // benign CFG" (CHECK_CFG is a reachability query).
+    if benign.has_edge(start, end) || reach.reachable(start, end) {
+        return 1.0;
+    }
+    if config.density_estimation && density.in_range(start) && density.in_range(end) {
+        return density.estimate(start);
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_cfg;
+    use leaps_etw::event::{EventType, StackFrame};
+    use leaps_trace::partition::PartitionedEvent;
+
+    fn event(num: u64, addrs: &[u64]) -> PartitionedEvent {
+        PartitionedEvent {
+            num,
+            etype: EventType::FileRead,
+            tid: 1,
+            app_stack: addrs
+                .iter()
+                .map(|&a| StackFrame::new("app", format!("f{a}"), Va(a), true))
+                .collect(),
+            system_stack: Vec::new(),
+            truth: None,
+        }
+    }
+
+    fn benign_cfg() -> Cfg {
+        // Benign layout: nodes 100, 200, 300, 400 with 100→200→300→400.
+        let mut cfg = Cfg::new();
+        cfg.add_edge(Va(100), Va(200));
+        cfg.add_edge(Va(200), Va(300));
+        cfg.add_edge(Va(300), Va(400));
+        cfg
+    }
+
+    #[test]
+    fn density_array_range_and_estimation() {
+        let d = DensityArray::from_cfg(&benign_cfg());
+        assert!(d.in_range(Va(100)));
+        assert!(d.in_range(Va(399)));
+        assert!(!d.in_range(Va(99)));
+        assert!(!d.in_range(Va(401)));
+        // On a node → 1.0.
+        assert_eq!(d.estimate(Va(200)), 1.0);
+        // Midpoint of [200, 300] → 0.5.
+        assert!((d.estimate(Va(250)) - 0.5).abs() < 1e-12);
+        // Close to a node → close to 1.
+        assert!((d.estimate(Va(290)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_density_array() {
+        let d = DensityArray::from_cfg(&Cfg::new());
+        assert!(d.is_empty());
+        assert!(!d.in_range(Va(0)));
+    }
+
+    #[test]
+    fn edge_scores_follow_algorithm_2() {
+        let benign = benign_cfg();
+        let density = DensityArray::from_cfg(&benign);
+        let mut reach = ReachabilityCache::new(&benign);
+        let cfg = WeightConfig::default();
+        // Reachable (transitively) → 1.
+        assert_eq!(
+            edge_benignity(&benign, &mut reach, &density, Va(100), Va(400), cfg),
+            1.0
+        );
+        // In-range unseen → interpolated from start address.
+        let w = edge_benignity(&benign, &mut reach, &density, Va(250), Va(150), cfg);
+        assert!((w - 0.5).abs() < 1e-12);
+        // Out of range → 0 (e.g. injected payload at high addresses).
+        assert_eq!(
+            edge_benignity(&benign, &mut reach, &density, Va(9000), Va(9100), cfg),
+            0.0
+        );
+        // Start in range but end outside (hijack into appended code) → 0.
+        assert_eq!(
+            edge_benignity(&benign, &mut reach, &density, Va(200), Va(9000), cfg),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ablation_disables_density_interpolation() {
+        let benign = benign_cfg();
+        let density = DensityArray::from_cfg(&benign);
+        let mut reach = ReachabilityCache::new(&benign);
+        let cfg = WeightConfig { density_estimation: false };
+        assert_eq!(
+            edge_benignity(&benign, &mut reach, &density, Va(250), Va(150), cfg),
+            0.0
+        );
+    }
+
+    #[test]
+    fn per_event_weights_average_edge_scores() {
+        let benign = benign_cfg();
+        // Mixed trace: event 1 walks the benign path (all edges benign),
+        // event 2 walks far-away payload code.
+        let mixed = infer_cfg(&[event(1, &[100, 200, 300]), event(2, &[9000, 9100])]);
+        let weights = assess_weights(&benign, &mixed, WeightConfig::default());
+        // Event 1 contributed explicit edges 100→200 and 200→300 (score 1
+        // each) plus the shared implicit divergence edge 100→9000
+        // (score 0): mean 2/3.
+        let b1 = weights.benignity(1).unwrap();
+        assert!((b1 - 2.0 / 3.0).abs() < 1e-12, "benign event benignity {b1}");
+        // Event 2 contributed the implicit edge (100→9000) and its
+        // explicit edge (9000→9100), both score 0.
+        let b2 = weights.benignity(2).unwrap();
+        assert_eq!(b2, 0.0, "payload event benignity {b2}");
+        assert_eq!(weights.maliciousness(2), 1.0);
+    }
+
+    #[test]
+    fn unscored_event_defaults_to_benign() {
+        let w = WeightAssessment::default();
+        assert_eq!(w.benignity(42), None);
+        assert_eq!(w.benignity_or_default(42), 1.0);
+        assert_eq!(w.maliciousness(42), 0.0);
+        assert_eq!(w.scored_events(), 0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval_on_generated_data() {
+        use leaps_etw::logfmt::write_log;
+        use leaps_etw::scenario::{GenParams, Scenario};
+        use leaps_trace::parser::parse_log;
+        use leaps_trace::partition::partition_events;
+
+        let logs = Scenario::by_name("putty_reverse_tcp_online")
+            .unwrap()
+            .generate_events(&GenParams::small(), 5);
+        let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
+        let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
+        let bcfg = infer_cfg(&benign);
+        let mcfg = infer_cfg(&mixed);
+        let weights = assess_weights(&bcfg.cfg, &mcfg, WeightConfig::default());
+        assert!(weights.scored_events() > 100);
+        for (_, b) in weights.iter() {
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn payload_events_score_lower_than_benign_events_on_generated_data() {
+        use leaps_etw::event::Provenance;
+        use leaps_etw::logfmt::write_log;
+        use leaps_etw::scenario::{GenParams, Scenario};
+        use leaps_trace::parser::parse_log;
+        use leaps_trace::partition::partition_events;
+
+        let logs = Scenario::by_name("vim_reverse_tcp")
+            .unwrap()
+            .generate_events(&GenParams::small(), 5);
+        let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
+        let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
+        let bcfg = infer_cfg(&benign);
+        let mcfg = infer_cfg(&mixed);
+        let weights = assess_weights(&bcfg.cfg, &mcfg, WeightConfig::default());
+
+        let mean = |truth: Provenance| {
+            let vals: Vec<f64> = mixed
+                .iter()
+                .filter(|e| e.truth == Some(truth))
+                .filter_map(|e| weights.benignity(e.num))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let benign_mean = mean(Provenance::Benign);
+        let malicious_mean = mean(Provenance::Malicious);
+        assert!(
+            benign_mean > malicious_mean + 0.3,
+            "benign {benign_mean} vs malicious {malicious_mean}"
+        );
+    }
+}

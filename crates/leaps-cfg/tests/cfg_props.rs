@@ -1,0 +1,140 @@
+//! Property tests for the CFG machinery: reachability against a
+//! brute-force transitive closure, density-array estimation bounds, and
+//! alignment sanity on random trees.
+
+use leaps_cfg::align::align;
+use leaps_cfg::graph::{Cfg, ReachabilityCache};
+use leaps_cfg::weight::DensityArray;
+use leaps_etw::addr::Va;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random directed graph over nodes 0..n as an edge list.
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
+    (2u64..10).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..30)
+            .prop_map(move |edges| (n as usize, edges))
+    })
+}
+
+fn build(edges: &[(u64, u64)]) -> Cfg {
+    let mut cfg = Cfg::new();
+    for &(s, t) in edges {
+        cfg.add_edge(Va(s), Va(t));
+    }
+    cfg
+}
+
+/// Brute-force transitive closure via repeated squaring over a boolean
+/// matrix; `closure[i][j]` = path of length ≥ 1 from i to j.
+fn brute_closure(n: usize, edges: &[(u64, u64)]) -> Vec<Vec<bool>> {
+    let mut reach = vec![vec![false; n]; n];
+    for &(s, t) in edges {
+        reach[s as usize][t as usize] = true;
+    }
+    for _ in 0..n {
+        let prev = reach.clone();
+        for i in 0..n {
+            for j in 0..n {
+                if !reach[i][j] {
+                    reach[i][j] = (0..n).any(|k| prev[i][k] && prev[k][j]);
+                }
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DFS reachability (plain and cached) agrees with the brute-force
+    /// transitive closure on arbitrary graphs, including cycles and
+    /// self-loops.
+    #[test]
+    fn reachability_matches_transitive_closure((n, edges) in random_graph()) {
+        let cfg = build(&edges);
+        let closure = brute_closure(n, &edges);
+        let mut cache = ReachabilityCache::new(&cfg);
+        for i in 0..n {
+            for j in 0..n {
+                let expected = closure[i][j];
+                prop_assert_eq!(
+                    cfg.reachable(Va(i as u64), Va(j as u64)),
+                    expected,
+                    "({}, {})", i, j
+                );
+                prop_assert_eq!(
+                    cache.reachable(Va(i as u64), Va(j as u64)),
+                    expected
+                );
+            }
+        }
+    }
+
+    /// Density-array estimates are always in [0, 1], equal 1 exactly on
+    /// nodes, and are symmetric around gap midpoints.
+    #[test]
+    fn density_estimates_bounded((_, edges) in random_graph(), probe in 0u64..12) {
+        let cfg = build(&edges);
+        if cfg.is_empty() {
+            return Ok(());
+        }
+        let density = DensityArray::from_cfg(&cfg);
+        let addr = Va(probe);
+        if density.in_range(addr) {
+            let w = density.estimate(addr);
+            prop_assert!((0.0..=1.0).contains(&w), "estimate {w}");
+            if cfg.nodes().contains(&addr) {
+                prop_assert_eq!(w, 1.0);
+            }
+        }
+    }
+
+    /// Aligning a graph with itself matches every node to itself wherever
+    /// a match is made at all, and never mismatches.
+    #[test]
+    fn self_alignment_is_identity((_, edges) in random_graph()) {
+        let cfg = build(&edges);
+        let a = align(&cfg, &cfg);
+        for (m, b) in a
+            .node_map
+            .iter()
+            .map(|(m, b)| (*m, *b))
+            .collect::<Vec<_>>()
+        {
+            prop_assert_eq!(m, b);
+        }
+    }
+
+    /// Aligning a uniformly shifted copy maps every matched node back by
+    /// exactly the shift.
+    #[test]
+    fn shifted_alignment_preserves_offset((_, edges) in random_graph(), shift in 100u64..1000) {
+        let cfg = build(&edges);
+        let shifted = build(
+            &edges
+                .iter()
+                .map(|&(s, t)| (s + shift, t + shift))
+                .collect::<Vec<_>>(),
+        );
+        let a = align(&cfg, &shifted);
+        for (m, b) in &a.node_map {
+            prop_assert_eq!(m.0 - shift, b.0, "mismatch {} -> {}", m, b);
+        }
+    }
+
+    /// Edge/node bookkeeping is consistent.
+    #[test]
+    fn graph_counts_consistent((_, edges) in random_graph()) {
+        let cfg = build(&edges);
+        let unique: HashSet<(u64, u64)> = edges.iter().copied().collect();
+        prop_assert_eq!(cfg.edge_count(), unique.len());
+        let nodes = cfg.nodes();
+        prop_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes sorted/deduped");
+        for (s, t) in cfg.iter_edges() {
+            prop_assert!(nodes.contains(&s) && nodes.contains(&t));
+            prop_assert!(cfg.has_edge(s, t));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The system-level call-graph baseline classifier (paper Section
+//! III-D-1).
+//!
+//! From the benign and mixed training logs, two **system-level function
+//! call graphs** are built — the *benign call graph* (BCG, positive model)
+//! and the *mixed call graph* (MCG, negative model) — over the function
+//! invocation chains in each event's system stack trace. At testing time,
+//! an event's call relations are looked up in both graphs and a decision
+//! is made from where they (fail to) appear.
+//!
+//! The paper reports this model performs poorly exactly because (a) it
+//! cannot classify unseen call relations and (b) benign relations appear
+//! in *both* graphs (mixed logs contain benign execution), leaving events
+//! undecidable. Both failure modes fall out of this implementation
+//! naturally; undecidable events are counted as misclassifications by the
+//! evaluation harness, as in the paper.
+
+pub mod classify;
+pub mod graph;
+
+pub use classify::{CallGraphClassifier, Decision};
+pub use graph::CallGraph;

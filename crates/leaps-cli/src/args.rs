@@ -1,0 +1,155 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Errors from argument parsing and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A token that is not a `--flag`.
+    UnexpectedToken(String),
+    /// A required option is absent.
+    MissingOption(&'static str),
+    /// An option failed to parse.
+    InvalidOption {
+        /// Option name.
+        name: &'static str,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::UnexpectedToken(tok) => write!(f, "unexpected argument {tok:?}"),
+            ArgError::MissingOption(name) => write!(f, "required option --{name} missing"),
+            ArgError::InvalidOption { name, value } => {
+                write!(f, "invalid value {value:?} for --{name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `tokens` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on malformed input.
+    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+        let mut iter = tokens.iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?.clone();
+        let mut options = HashMap::new();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedToken(tok.clone()));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
+            options.insert(key.to_owned(), value.clone());
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingOption`] if absent.
+    pub fn required(&self, name: &'static str) -> Result<&str, ArgError> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingOption(name))
+    }
+
+    /// An optional string option.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::InvalidOption`] if present but unparsable.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        name: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidOption {
+                name,
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|&x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(&toks(&["eval", "--scenario", "vim_reverse_tcp", "--runs", "3"]))
+            .unwrap();
+        assert_eq!(a.command, "eval");
+        assert_eq!(a.required("scenario").unwrap(), "vim_reverse_tcp");
+        assert_eq!(a.parse_or("runs", 1usize).unwrap(), 3);
+        assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(a.get("nope"), None);
+    }
+
+    #[test]
+    fn rejects_missing_command_and_values() {
+        assert_eq!(Args::parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            Args::parse(&toks(&["gen", "--out"])),
+            Err(ArgError::MissingValue("out".into()))
+        );
+        assert_eq!(
+            Args::parse(&toks(&["gen", "stray"])),
+            Err(ArgError::UnexpectedToken("stray".into()))
+        );
+    }
+
+    #[test]
+    fn reports_missing_and_invalid_options() {
+        let a = Args::parse(&toks(&["eval", "--runs", "abc"])).unwrap();
+        assert_eq!(a.required("scenario"), Err(ArgError::MissingOption("scenario")));
+        assert!(matches!(
+            a.parse_or("runs", 1usize),
+            Err(ArgError::InvalidOption { name: "runs", .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ArgError::MissingOption("x").to_string().contains("--x"));
+    }
+}

@@ -1,0 +1,253 @@
+//! `leaps` — command-line front end for the LEAPS camouflaged-attack
+//! detector.
+//!
+//! ```text
+//! leaps list
+//! leaps gen    --scenario vim_reverse_tcp --out ./data [--events 4000] [--seed 7]
+//! leaps eval   --scenario vim_reverse_tcp [--method wsvm] [--runs 3] [--events 2000]
+//! leaps detect --benign b.log --mixed m.log --target t.log [--method wsvm]
+//! leaps cfg    --log m.log --dot out.dot [--reference b.log]
+//! ```
+
+mod args;
+
+use args::Args;
+use leaps::cfg::dot::to_dot;
+use leaps::cfg::infer::infer_cfg;
+use leaps::core::config::PipelineConfig;
+use leaps::core::experiment::Experiment;
+use leaps::core::persist::{load_classifier, save_classifier};
+use leaps::core::pipeline::{train_classifier, Method};
+use leaps::core::stream::StreamDetector;
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::trace::parser::parse_log;
+use leaps::trace::partition::{partition_events, PartitionedEvent};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+leaps — detect camouflaged attacks (LEAPS, DSN 2015 reproduction)
+
+USAGE:
+  leaps list
+      List every known dataset scenario.
+  leaps gen --scenario NAME --out DIR [--events N] [--seed S] [--ratio R]
+      Generate the benign/mixed/malicious raw logs of a scenario.
+  leaps eval --scenario NAME [--method cgraph|svm|wsvm|hmm] [--runs N]
+             [--events N] [--seed S]
+      Train and evaluate on a scenario; prints ACC/PPV/TPR/TNR/NPV.
+  leaps train --benign FILE --mixed FILE --out MODEL
+              [--method cgraph|svm|wsvm|hmm] [--seed S]
+      Train a classifier from a benign and a mixed raw log and save it.
+  leaps detect --target FILE (--model MODEL | --benign FILE --mixed FILE)
+               [--method cgraph|svm|wsvm|hmm] [--seed S]
+      Stream-detect over a target log with a saved model (or train
+      in-place from raw logs); prints flagged windows and a summary.
+  leaps cfg --log FILE --dot FILE [--reference FILE]
+      Infer the CFG of a raw log and write Graphviz; with --reference,
+      highlight nodes absent from the reference log's CFG.
+";
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match run(&tokens) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(tokens: &[String]) -> Result<(), String> {
+    let args = Args::parse(tokens).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "list" => cmd_list(),
+        "gen" => cmd_gen(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "detect" => cmd_detect(&args),
+        "cfg" => cmd_cfg(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn method_of(args: &Args) -> Result<Method, String> {
+    match args.get("method").unwrap_or("wsvm") {
+        "cgraph" => Ok(Method::CGraph),
+        "svm" => Ok(Method::Svm),
+        "wsvm" => Ok(Method::Wsvm),
+        "hmm" => Ok(Method::Hmm),
+        other => Err(format!("unknown method {other:?} (cgraph|svm|wsvm|hmm)")),
+    }
+}
+
+fn gen_params(args: &Args) -> Result<GenParams, String> {
+    let events = args.parse_or("events", 2000usize).map_err(|e| e.to_string())?;
+    let ratio = args.parse_or("ratio", 0.5f64).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err("--ratio must be in [0,1]".to_owned());
+    }
+    Ok(GenParams {
+        benign_events: events,
+        mixed_events: events,
+        malicious_events: events / 2,
+        benign_ratio: ratio,
+    })
+}
+
+fn scenario_of(args: &Args) -> Result<Scenario, String> {
+    let name = args.required("scenario").map_err(|e| e.to_string())?;
+    Scenario::by_name(name)
+        .ok_or_else(|| format!("unknown scenario {name:?}; run `leaps list`"))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("Table I datasets:");
+    for s in Scenario::table1() {
+        println!("  {:<34} {}", s.name(), s.method.label());
+    }
+    println!("\nSource-level trojan extension datasets:");
+    for s in Scenario::source_trojans() {
+        println!("  {:<34} {}", s.name(), s.method.label());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let scenario = scenario_of(args)?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let seed = args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?;
+    let params = gen_params(args)?;
+    let logs = scenario.generate(&params, seed);
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {out}: {e}"))?;
+    for (name, content) in [
+        ("benign.log", &logs.benign),
+        ("mixed.log", &logs.mixed),
+        ("malicious.log", &logs.malicious),
+    ] {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path} ({} lines)", content.lines().count());
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let scenario = scenario_of(args)?;
+    let method = method_of(args)?;
+    let experiment = Experiment {
+        gen: gen_params(args)?,
+        runs: args.parse_or("runs", 3usize).map_err(|e| e.to_string())?,
+        seed: args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?,
+        ..Experiment::default()
+    };
+    println!(
+        "evaluating {} with {} ({} runs, {} events/log)...",
+        scenario.name(),
+        method.label(),
+        experiment.runs,
+        experiment.gen.benign_events
+    );
+    let metrics = experiment
+        .run(scenario, method)
+        .map_err(|e| format!("evaluation failed: {e}"))?;
+    println!("{metrics}");
+    Ok(())
+}
+
+fn load_log(path: &str) -> Result<Vec<PartitionedEvent>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let parsed = parse_log(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok(partition_events(&parsed.events))
+}
+
+fn train_from_logs(args: &Args) -> Result<leaps::core::pipeline::Classifier, String> {
+    let benign = load_log(args.required("benign").map_err(|e| e.to_string())?)?;
+    let mixed = load_log(args.required("mixed").map_err(|e| e.to_string())?)?;
+    let method = method_of(args)?;
+    let seed = args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?;
+    println!(
+        "training {} on {} benign + {} mixed events...",
+        method.label(),
+        benign.len(),
+        mixed.len()
+    );
+    Ok(train_classifier(method, &benign, &mixed, &PipelineConfig::default(), seed))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let classifier = train_from_logs(args)?;
+    let text = save_classifier(&classifier);
+    std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote model to {out} ({} lines)", text.lines().count());
+    Ok(())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let target_path = args.required("target").map_err(|e| e.to_string())?;
+    let target = load_log(target_path)?;
+    let classifier = match args.get("model") {
+        Some(path) => {
+            for conflicting in ["benign", "mixed", "method"] {
+                if args.get(conflicting).is_some() {
+                    return Err(format!(
+                        "--model conflicts with --{conflicting}: a saved model \
+                         already fixes the method and training data"
+                    ));
+                }
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let classifier = load_classifier(&text).map_err(|e| e.to_string())?;
+            println!("loaded model from {path}");
+            classifier
+        }
+        None => train_from_logs(args)?,
+    };
+    let mut detector = StreamDetector::new(classifier);
+    let verdicts = detector.push_all(target.iter().cloned());
+    let flagged: Vec<_> = verdicts.iter().filter(|v| !v.benign).collect();
+    println!(
+        "{}: {} verdicts over {} events, {} flagged malicious ({:.1}%)",
+        target_path,
+        verdicts.len(),
+        target.len(),
+        flagged.len(),
+        100.0 * flagged.len() as f64 / verdicts.len().max(1) as f64
+    );
+    for v in flagged.iter().take(20) {
+        match v.score {
+            Some(score) => println!("  ALERT window ending @{} (score {score:.3})", v.last_event),
+            None => println!("  ALERT event @{}", v.last_event),
+        }
+    }
+    if flagged.len() > 20 {
+        println!("  ... {} more", flagged.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_cfg(args: &Args) -> Result<(), String> {
+    let events = load_log(args.required("log").map_err(|e| e.to_string())?)?;
+    let dot_path = args.required("dot").map_err(|e| e.to_string())?;
+    let inferred = infer_cfg(&events);
+    let reference = match args.get("reference") {
+        Some(path) => Some(infer_cfg(&load_log(path)?).cfg),
+        None => None,
+    };
+    let dot = to_dot(&inferred.cfg, "inferred_cfg", reference.as_ref());
+    std::fs::write(dot_path, dot).map_err(|e| format!("writing {dot_path}: {e}"))?;
+    println!(
+        "inferred CFG: {} nodes, {} edges -> {dot_path}",
+        inferred.cfg.node_count(),
+        inferred.cfg.edge_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Assignment of unseen sets to existing clusters.
+//!
+//! The paper clusters the Lib/Func sets observed in the *training* data.
+//! At testing time unseen sets appear; a usable pipeline needs a rule to
+//! discretize them with the trained clustering. We use the UPGMA-consistent
+//! rule: assign the set to the cluster with the smallest **mean**
+//! dissimilarity to its members.
+
+use crate::dissim::jaccard_dissimilarity;
+
+/// A trained clustering over a vocabulary of sets, supporting nearest-
+/// cluster assignment for unseen sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterAssigner<T: Ord> {
+    /// Vocabulary of training sets (each sorted + deduplicated).
+    members: Vec<Vec<T>>,
+    /// Cluster label per vocabulary entry.
+    labels: Vec<u32>,
+    /// Number of clusters.
+    n_clusters: usize,
+}
+
+impl<T: Ord + Clone> ClusterAssigner<T> {
+    /// Creates an assigner from a vocabulary and its cluster labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, the vocabulary is empty, or labels are
+    /// not dense `0..k`.
+    #[must_use]
+    pub fn new(members: Vec<Vec<T>>, labels: Vec<u32>) -> Self {
+        assert_eq!(members.len(), labels.len(), "vocabulary/label length mismatch");
+        assert!(!members.is_empty(), "empty vocabulary");
+        let n_clusters = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        for k in 0..n_clusters {
+            assert!(
+                labels.iter().any(|&l| l as usize == k),
+                "labels are not dense: cluster {k} has no members"
+            );
+        }
+        ClusterAssigner { members, labels, n_clusters }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Assigns a (sorted, deduplicated) set to the cluster with minimal
+    /// mean Jaccard dissimilarity to its members. Ties break toward the
+    /// lower cluster label.
+    #[must_use]
+    pub fn assign(&self, set: &[T]) -> u32 {
+        let mut sums = vec![0.0f64; self.n_clusters];
+        let mut counts = vec![0usize; self.n_clusters];
+        for (member, &label) in self.members.iter().zip(&self.labels) {
+            sums[label as usize] += jaccard_dissimilarity(member, set);
+            counts[label as usize] += 1;
+        }
+        let mut best = 0u32;
+        let mut best_mean = f64::INFINITY;
+        for k in 0..self.n_clusters {
+            let mean = sums[k] / counts[k] as f64;
+            if mean < best_mean {
+                best_mean = mean;
+                best = k as u32;
+            }
+        }
+        best
+    }
+
+    /// The vocabulary members, parallel to [`Self::labels`].
+    #[must_use]
+    pub fn members(&self) -> &[Vec<T>] {
+        &self.members
+    }
+
+    /// Cluster label per vocabulary entry, parallel to [`Self::members`].
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Mean dissimilarity from `set` to the members of cluster `label`
+    /// (exposed for diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    #[must_use]
+    pub fn mean_distance(&self, set: &[T], label: u32) -> f64 {
+        assert!((label as usize) < self.n_clusters, "label out of range");
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (member, &l) in self.members.iter().zip(&self.labels) {
+            if l == label {
+                sum += jaccard_dissimilarity(member, set);
+                count += 1;
+            }
+        }
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assigner() -> ClusterAssigner<&'static str> {
+        ClusterAssigner::new(
+            vec![
+                vec!["kernel32", "ntdll"],         // cluster 0
+                vec!["kernel32", "kernelbase", "ntdll"], // cluster 0
+                vec!["tcpip", "ws2_32"],           // cluster 1
+                vec!["afd", "tcpip", "ws2_32"],    // cluster 1
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn member_sets_assign_to_their_own_cluster() {
+        let a = assigner();
+        assert_eq!(a.assign(&["kernel32", "ntdll"]), 0);
+        assert_eq!(a.assign(&["tcpip", "ws2_32"]), 1);
+    }
+
+    #[test]
+    fn unseen_set_assigns_to_nearest_cluster() {
+        let a = assigner();
+        assert_eq!(a.assign(&["kernelbase", "ntdll"]), 0);
+        assert_eq!(a.assign(&["afd", "ws2_32"]), 1);
+    }
+
+    #[test]
+    fn mean_distance_matches_manual_computation() {
+        let a = assigner();
+        let set = ["ntdll"];
+        // d to {kernel32, ntdll} = 1 - 1/2; d to {kernel32, kernelbase, ntdll} = 1 - 1/3.
+        let expect = (0.5 + (1.0 - 1.0 / 3.0)) / 2.0;
+        assert!((a.mean_distance(&set, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totally_alien_set_still_gets_some_cluster() {
+        let a = assigner();
+        let label = a.assign(&["win32k"]);
+        assert!(label < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let _ = ClusterAssigner::new(vec![vec![1]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not dense")]
+    fn sparse_labels_rejected() {
+        let _ = ClusterAssigner::new(vec![vec![1], vec![2]], vec![0, 2]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Set dissimilarity (paper Eq. 1) and pairwise distance matrices.
+
+/// Jaccard set dissimilarity between two **sorted, deduplicated** slices:
+/// `1 − |a ∩ b| / |a ∪ b|` (Eq. 1).
+///
+/// Two empty sets are defined to be identical (dissimilarity 0).
+///
+/// ```
+/// use leaps_cluster::dissim::jaccard_dissimilarity;
+/// let a = ["kernel32", "ntdll"];
+/// let b = ["ntdll", "ws2_32"];
+/// assert!((jaccard_dissimilarity(&a, &b) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn jaccard_dissimilarity<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted+deduped");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted+deduped");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut intersection = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                intersection += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - intersection;
+    1.0 - intersection as f64 / union as f64
+}
+
+/// A symmetric pairwise distance matrix with zero diagonal, stored in
+/// condensed (upper-triangle) form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Condensed upper triangle, row-major: entry for `(i, j)` with
+    /// `i < j` at index `i*n − i*(i+1)/2 + (j − i − 1)`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix by applying `dist` to every pair of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist` returns a negative or non-finite value.
+    #[must_use]
+    pub fn from_sets<T>(items: &[T], mut dist: impl FnMut(&T, &T) -> f64) -> Self {
+        let n = items.len();
+        let mut data = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(&items[i], &items[j]);
+                assert!(d.is_finite() && d >= 0.0, "invalid distance {d} for pair ({i},{j})");
+                data.push(d);
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Builds a matrix from an explicit full square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` is not square/symmetric with a zero diagonal.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
+    pub fn from_full(full: &[Vec<f64>]) -> Self {
+        let n = full.len();
+        for (i, row) in full.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix not square");
+            assert_eq!(row[i], 0.0, "nonzero diagonal at {i}");
+        }
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(
+                    (full[i][j] - full[j][i]).abs() < 1e-12,
+                    "matrix not symmetric at ({i},{j})"
+                );
+                data.push(full[i][j]);
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (zero items).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.data[lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_zero_dissimilarity() {
+        let a = [1, 2, 3];
+        assert_eq!(jaccard_dissimilarity(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_unit_dissimilarity() {
+        assert_eq!(jaccard_dissimilarity(&[1, 2], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let empty: [i32; 0] = [];
+        assert_eq!(jaccard_dissimilarity(&empty, &empty), 0.0);
+        assert_eq!(jaccard_dissimilarity(&empty, &[1]), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_matches_formula() {
+        // |∩| = 2, |∪| = 4 → 1 − 0.5.
+        assert!((jaccard_dissimilarity(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = ["x", "y", "z"];
+        let b = ["w", "y"];
+        assert_eq!(jaccard_dissimilarity(&a, &b), jaccard_dissimilarity(&b, &a));
+    }
+
+    #[test]
+    fn matrix_indexing() {
+        let items = [vec![1], vec![1, 2], vec![3]];
+        let dm = DistanceMatrix::from_sets(&items, |a, b| jaccard_dissimilarity(a, b));
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.get(0, 0), 0.0);
+        assert!((dm.get(0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(dm.get(0, 2), 1.0);
+        assert_eq!(dm.get(1, 0), dm.get(0, 1));
+    }
+
+    #[test]
+    fn from_full_roundtrip() {
+        let full = vec![
+            vec![0.0, 0.3, 0.7],
+            vec![0.3, 0.0, 0.9],
+            vec![0.7, 0.9, 0.0],
+        ];
+        let dm = DistanceMatrix::from_full(&full);
+        for (i, row) in full.iter().enumerate() {
+            for (j, &expect) in row.iter().enumerate() {
+                assert!((dm.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn from_full_rejects_asymmetry() {
+        let _ = DistanceMatrix::from_full(&[vec![0.0, 0.1], vec![0.2, 0.0]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let items: Vec<Vec<i32>> = vec![];
+        let dm = DistanceMatrix::from_sets(&items, |a, b| jaccard_dissimilarity(a, b));
+        assert!(dm.is_empty());
+    }
+}

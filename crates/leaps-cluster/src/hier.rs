@@ -1,0 +1,315 @@
+//! Agglomerative hierarchical clustering with Lance–Williams updates.
+//!
+//! The paper uses SciPy's `cluster.hierarchy` with the **UPGMA** linkage
+//! ("the distance between any two clusters is the mean distance between
+//! all elements of each cluster"). This module implements the same
+//! agglomerative procedure from scratch: start with singleton clusters,
+//! repeatedly merge the closest pair, and update inter-cluster distances
+//! with the linkage-specific Lance–Williams recurrence.
+
+use crate::dissim::DistanceMatrix;
+
+/// Linkage criterion for inter-cluster distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// UPGMA / mean distance between all element pairs (the paper's
+    /// choice).
+    #[default]
+    Average,
+    /// Minimum element-pair distance.
+    Single,
+    /// Maximum element-pair distance.
+    Complete,
+}
+
+/// One merge step of the dendrogram. Node ids: leaves are `0..n`, the
+/// cluster created by `merges[k]` has id `n + k` (SciPy convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node id.
+    pub left: usize,
+    /// Second merged node id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// A full dendrogram over `n` leaves (`n − 1` merges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Runs agglomerative clustering over the distance matrix.
+    ///
+    /// Ties are broken toward the smallest pair indices so the result is
+    /// deterministic.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
+    pub fn build(dm: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+        let n = dm.len();
+        if n == 0 {
+            return Dendrogram { n_leaves: 0, merges: Vec::new() };
+        }
+        // Working distance matrix over active clusters.
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i][j] = dm.get(i, j);
+            }
+        }
+        // cluster slot -> (node id, leaf count); None = retired slot.
+        let mut clusters: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
+        let mut active = n;
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+        while active > 1 {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+            for i in 0..n {
+                if clusters[i].is_none() {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if clusters[j].is_none() {
+                        continue;
+                    }
+                    if dist[i][j] < best.2 {
+                        best = (i, j, dist[i][j]);
+                    }
+                }
+            }
+            let (i, j, d) = best;
+            let (id_i, size_i) = clusters[i].expect("active");
+            let (id_j, size_j) = clusters[j].expect("active");
+            let merged_size = size_i + size_j;
+            merges.push(Merge {
+                left: id_i.min(id_j),
+                right: id_i.max(id_j),
+                distance: d,
+                size: merged_size,
+            });
+            // Lance–Williams update: new cluster occupies slot i.
+            for k in 0..n {
+                if k == i || k == j || clusters[k].is_none() {
+                    continue;
+                }
+                let dik = dist[i][k];
+                let djk = dist[j][k];
+                let updated = match linkage {
+                    Linkage::Average => {
+                        (size_i as f64 * dik + size_j as f64 * djk) / merged_size as f64
+                    }
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                };
+                dist[i][k] = updated;
+                dist[k][i] = updated;
+            }
+            clusters[i] = Some((n + merges.len() - 1, merged_size));
+            clusters[j] = None;
+            active -= 1;
+        }
+        Dendrogram { n_leaves: n, merges }
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge sequence (SciPy-style linkage matrix rows).
+    #[must_use]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram so that merges with linkage distance
+    /// `<= threshold` are applied. Returns a dense cluster label per leaf
+    /// (labels are `0..k` in order of first appearance).
+    #[must_use]
+    pub fn cut_at_distance(&self, threshold: f64) -> Vec<u32> {
+        let applied = self
+            .merges
+            .iter()
+            .map(|m| m.distance <= threshold)
+            .collect::<Vec<_>>();
+        self.labels_from_applied(&applied)
+    }
+
+    /// Cuts the dendrogram to exactly `k` clusters (clamped to
+    /// `[1, n_leaves]`): the last `k − 1` merges are undone.
+    #[must_use]
+    pub fn cut_at_count(&self, k: usize) -> Vec<u32> {
+        if self.n_leaves == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, self.n_leaves);
+        let n_applied = self.n_leaves - k;
+        let applied: Vec<bool> = (0..self.merges.len()).map(|i| i < n_applied).collect();
+        self.labels_from_applied(&applied)
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn labels_from_applied(&self, applied: &[bool]) -> Vec<u32> {
+        // Union-find over leaves + internal nodes.
+        let total = self.n_leaves + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (k, merge) in self.merges.iter().enumerate() {
+            let node = self.n_leaves + k;
+            if applied[k] {
+                let l = find(&mut parent, merge.left);
+                let r = find(&mut parent, merge.right);
+                parent[l] = node;
+                parent[r] = node;
+            }
+        }
+        let mut labels = vec![0u32; self.n_leaves];
+        let mut next = 0u32;
+        let mut seen: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            let label = *seen.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[leaf] = label;
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissim::jaccard_dissimilarity;
+
+    fn two_blob_matrix() -> DistanceMatrix {
+        // Leaves 0,1,2 close together; 3,4 close together; blobs far apart.
+        DistanceMatrix::from_full(&[
+            vec![0.0, 0.1, 0.2, 0.9, 0.8],
+            vec![0.1, 0.0, 0.1, 0.9, 0.9],
+            vec![0.2, 0.1, 0.0, 0.8, 0.9],
+            vec![0.9, 0.9, 0.8, 0.0, 0.1],
+            vec![0.8, 0.9, 0.9, 0.1, 0.0],
+        ])
+    }
+
+    #[test]
+    fn builds_n_minus_one_merges_with_nondecreasing_distance_for_upgma() {
+        let d = Dendrogram::build(&two_blob_matrix(), Linkage::Average);
+        assert_eq!(d.merges().len(), 4);
+        // UPGMA on a metric-like matrix is monotone here.
+        let dists: Vec<f64> = d.merges().iter().map(|m| m.distance).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{dists:?}");
+        assert_eq!(d.merges().last().unwrap().size, 5);
+    }
+
+    #[test]
+    fn cut_at_count_two_recovers_blobs() {
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let d = Dendrogram::build(&two_blob_matrix(), linkage);
+            let labels = d.cut_at_count(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn cut_at_distance_recovers_blobs() {
+        let d = Dendrogram::build(&two_blob_matrix(), Linkage::Average);
+        let labels = d.cut_at_distance(0.5);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[4]);
+        // Threshold below every distance → all singletons.
+        let labels = d.cut_at_distance(0.05);
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), 5);
+        // Threshold above everything → one cluster.
+        let labels = d.cut_at_distance(1.0);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn cut_count_extremes_and_clamping() {
+        let d = Dendrogram::build(&two_blob_matrix(), Linkage::Average);
+        assert!(d.cut_at_count(1).iter().all(|&l| l == 0));
+        let singletons = d.cut_at_count(99);
+        let unique: std::collections::HashSet<_> = singletons.iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert!(d.cut_at_count(0).iter().all(|&l| l == 0)); // clamped to 1
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain: 0-1 close, 1-2 close, 0-2 far. Single linkage chains
+        // them together at low threshold; complete linkage does not.
+        let dm = DistanceMatrix::from_full(&[
+            vec![0.0, 0.1, 0.8],
+            vec![0.1, 0.0, 0.1],
+            vec![0.8, 0.1, 0.0],
+        ]);
+        let single = Dendrogram::build(&dm, Linkage::Single).cut_at_distance(0.2);
+        assert!(single.iter().all(|&l| l == single[0]));
+        let complete = Dendrogram::build(&dm, Linkage::Complete).cut_at_distance(0.2);
+        let unique: std::collections::HashSet<_> = complete.iter().collect();
+        assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty = DistanceMatrix::from_full(&[]);
+        let d = Dendrogram::build(&empty, Linkage::Average);
+        assert_eq!(d.n_leaves(), 0);
+        assert!(d.cut_at_distance(0.5).is_empty());
+
+        let one = DistanceMatrix::from_full(&[vec![0.0]]);
+        let d = Dendrogram::build(&one, Linkage::Average);
+        assert_eq!(d.cut_at_count(1), vec![0]);
+        assert!(d.merges().is_empty());
+    }
+
+    #[test]
+    fn upgma_average_is_exact_mean_of_pairs() {
+        // Clusters {0,1} and {2}: UPGMA distance must be mean(d02, d12).
+        let dm = DistanceMatrix::from_full(&[
+            vec![0.0, 0.1, 0.4],
+            vec![0.1, 0.0, 0.6],
+            vec![0.4, 0.6, 0.0],
+        ]);
+        let d = Dendrogram::build(&dm, Linkage::Average);
+        assert!((d.merges()[1].distance - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_jaccard_sets_merge_at_zero() {
+        let sets = vec![vec!["a", "b"], vec!["a", "b"], vec!["c"]];
+        let dm = DistanceMatrix::from_sets(&sets, |a, b| jaccard_dissimilarity(a, b));
+        let d = Dendrogram::build(&dm, Linkage::Average);
+        assert_eq!(d.merges()[0].distance, 0.0);
+        let labels = d.cut_at_distance(0.0);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}

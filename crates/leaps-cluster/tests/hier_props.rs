@@ -1,0 +1,117 @@
+//! Property tests for the hierarchical clustering: invariants that must
+//! hold for any distance matrix.
+
+use leaps_cluster::dissim::DistanceMatrix;
+use leaps_cluster::hier::{Dendrogram, Linkage};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric distance matrix with zero diagonal over
+/// 2..=12 items.
+fn distance_matrix() -> impl Strategy<Value = DistanceMatrix> {
+    (2usize..=12)
+        .prop_flat_map(|n| {
+            prop::collection::vec(0.0f64..1.0, n * (n - 1) / 2).prop_map(move |upper| {
+                let mut full = vec![vec![0.0; n]; n];
+                let mut it = upper.into_iter();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let d = it.next().expect("sized above");
+                        full[i][j] = d;
+                        full[j][i] = d;
+                    }
+                }
+                DistanceMatrix::from_full(&full)
+            })
+        })
+}
+
+fn linkages() -> impl Strategy<Value = Linkage> {
+    prop::sample::select(vec![Linkage::Average, Linkage::Single, Linkage::Complete])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// n leaves always produce exactly n−1 merges, the final merge holds
+    /// all leaves, and merge sizes are consistent.
+    #[test]
+    fn merge_structure(dm in distance_matrix(), linkage in linkages()) {
+        let n = dm.len();
+        let d = Dendrogram::build(&dm, linkage);
+        prop_assert_eq!(d.n_leaves(), n);
+        prop_assert_eq!(d.merges().len(), n - 1);
+        prop_assert_eq!(d.merges().last().unwrap().size, n);
+        for (k, m) in d.merges().iter().enumerate() {
+            prop_assert!(m.left < n + k);
+            prop_assert!(m.right < n + k);
+            prop_assert!(m.left != m.right);
+            prop_assert!(m.size >= 2);
+            prop_assert!(m.distance >= 0.0);
+        }
+    }
+
+    /// Cutting at count k yields exactly min(k, n) dense labels.
+    #[test]
+    fn cut_at_count_yields_k_dense_labels(
+        dm in distance_matrix(),
+        linkage in linkages(),
+        k in 1usize..=14,
+    ) {
+        let n = dm.len();
+        let labels = Dendrogram::build(&dm, linkage).cut_at_count(k);
+        prop_assert_eq!(labels.len(), n);
+        let distinct: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k.min(n));
+        // Dense: labels are 0..count.
+        prop_assert_eq!(*distinct.iter().max().unwrap() as usize, distinct.len() - 1);
+    }
+
+    /// Raising the distance threshold only coarsens the clustering: any
+    /// two items together at threshold t stay together at t' >= t.
+    #[test]
+    fn distance_cut_is_monotone(
+        dm in distance_matrix(),
+        linkage in linkages(),
+        t1 in 0.0f64..1.0,
+        t2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let d = Dendrogram::build(&dm, linkage);
+        let fine = d.cut_at_distance(lo);
+        let coarse = d.cut_at_distance(hi);
+        for i in 0..dm.len() {
+            for j in (i + 1)..dm.len() {
+                if fine[i] == fine[j] {
+                    prop_assert_eq!(coarse[i], coarse[j], "pair ({},{})", i, j);
+                }
+            }
+        }
+    }
+
+    /// Single-linkage merge distances are non-decreasing (single linkage
+    /// is always monotone).
+    #[test]
+    fn single_linkage_is_monotone(dm in distance_matrix()) {
+        let d = Dendrogram::build(&dm, Linkage::Single);
+        let dists: Vec<f64> = d.merges().iter().map(|m| m.distance).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "{:?}", dists);
+        }
+    }
+
+    /// Zero-distance pairs always land in the same cluster at any
+    /// positive threshold.
+    #[test]
+    fn duplicates_cluster_together(n in 3usize..=8, linkage in linkages()) {
+        // Items 0 and 1 are identical (distance 0), everything else far.
+        let mut full = vec![vec![0.9; n]; n];
+        for (i, row) in full.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        full[0][1] = 0.0;
+        full[1][0] = 0.0;
+        let dm = DistanceMatrix::from_full(&full);
+        let labels = Dendrogram::build(&dm, linkage).cut_at_distance(0.1);
+        prop_assert_eq!(labels[0], labels[1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Pipeline configuration.
+
+use leaps_cfg::weight::WeightConfig;
+use leaps_cluster::features::PreprocessConfig;
+
+/// Hyper-parameter grid for cross-validated tuning of `(λ, σ²)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningConfig {
+    /// Candidate λ values.
+    pub lambdas: Vec<f64>,
+    /// Candidate σ² values.
+    pub sigma2s: Vec<f64>,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            lambdas: vec![1.0, 10.0, 100.0],
+            sigma2s: vec![2.0, 8.0, 32.0],
+            folds: 10,
+        }
+    }
+}
+
+impl TuningConfig {
+    /// A reduced grid/fold count for fast tests and smoke runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        TuningConfig {
+            lambdas: vec![10.0],
+            sigma2s: vec![2.0],
+            folds: 3,
+        }
+    }
+}
+
+/// Which direction the CFG-derived score feeds the Weighted SVM.
+///
+/// Algorithm 2 scores *benignity*; LEAPS trains the negative class with
+/// `cᵢ = 1 − benignity` (see DESIGN.md). [`WeightPolarity::Benignity`]
+/// feeds the raw score instead — an ablation showing that the polarity
+/// interpretation matters (it up-weights exactly the mislabeled points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightPolarity {
+    /// `cᵢ = 1 − benignity` (the paper's intent; default).
+    #[default]
+    Maliciousness,
+    /// `cᵢ = benignity` (ablation).
+    Benignity,
+}
+
+/// How mixed-CFG edges are compared against the benign CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightMode {
+    /// Algorithm 2 as published: address-space comparison with the
+    /// density array (correct for binary-level trojans and injection,
+    /// where benign code keeps its offsets).
+    #[default]
+    AddressSpace,
+    /// The Section VI-A extension: structural CFG alignment first, then
+    /// reachability in the aligned space — survives source-level trojans
+    /// whose recompilation shifts every benign function.
+    Aligned,
+}
+
+/// Configuration of the full training/testing pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Feature discretization settings (Section III-A).
+    pub preprocess: PreprocessConfig,
+    /// Weight-assessment settings (Section III-C).
+    pub weight: WeightConfig,
+    /// Hyper-parameter tuning (Section IV).
+    pub tuning: TuningConfig,
+    /// Fraction of the pure benign samples used for training; the rest is
+    /// held out for testing (paper: 50%).
+    pub benign_train_fraction: f64,
+    /// Fraction of coalesced data points sampled into the training set
+    /// (paper: 20%).
+    pub sample_fraction: f64,
+    /// Floor applied to the maliciousness weight of mixed training points
+    /// so the negative class never degenerates to an empty feasible box.
+    pub weight_floor: f64,
+    /// Weight polarity (ablation hook; see [`WeightPolarity`]).
+    pub weight_polarity: WeightPolarity,
+    /// CFG comparison mode (see [`WeightMode`]).
+    pub weight_mode: WeightMode,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            preprocess: PreprocessConfig::default(),
+            weight: WeightConfig::default(),
+            tuning: TuningConfig::default(),
+            benign_train_fraction: 0.5,
+            sample_fraction: 0.2,
+            weight_floor: 0.05,
+            weight_polarity: WeightPolarity::default(),
+            weight_mode: WeightMode::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration sized for fast tests: small grid, higher sampling
+    /// (small logs), otherwise paper-faithful.
+    #[must_use]
+    pub fn fast() -> Self {
+        PipelineConfig {
+            tuning: TuningConfig::fast(),
+            sample_fraction: 0.5,
+            ..Default::default()
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `(0, 1]` or the benign split
+    /// would leave an empty side.
+    pub fn validate(&self) {
+        assert!(
+            self.benign_train_fraction > 0.0 && self.benign_train_fraction < 1.0,
+            "benign_train_fraction must be in (0,1)"
+        );
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample_fraction must be in (0,1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.weight_floor),
+            "weight_floor must be in [0,1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.tuning.folds, 10);
+        assert_eq!(c.tuning.lambdas.len(), 3);
+        assert_eq!(c.benign_train_fraction, 0.5);
+        assert_eq!(c.sample_fraction, 0.2);
+        assert_eq!(c.preprocess.window, 10);
+        c.validate();
+    }
+
+    #[test]
+    fn fast_config_is_valid() {
+        PipelineConfig::fast().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_fraction")]
+    fn invalid_sample_fraction_rejected() {
+        let c = PipelineConfig { sample_fraction: 0.0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "benign_train_fraction")]
+    fn invalid_split_rejected() {
+        let c = PipelineConfig { benign_train_fraction: 1.0, ..Default::default() };
+        c.validate();
+    }
+}

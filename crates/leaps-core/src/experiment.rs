@@ -1,0 +1,141 @@
+//! The evaluation harness of Section V: run a scenario with a method,
+//! average metrics over several randomized runs.
+
+use crate::config::PipelineConfig;
+use crate::dataset::Dataset;
+use crate::metrics::Metrics;
+use crate::pipeline::{train_classifier, Method};
+use leaps_etw::rng::splitmix64;
+use leaps_etw::scenario::{GenParams, Scenario};
+use leaps_trace::parser::ParseError;
+
+/// Experiment parameters: which dataset sizes, how many randomized runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Log-generation sizes.
+    pub gen: GenParams,
+    /// Pipeline settings.
+    pub pipeline: PipelineConfig,
+    /// Number of randomized runs to average ("we average all results over
+    /// 10 runs").
+    pub runs: usize,
+    /// Master seed; per-run seeds are derived with SplitMix64.
+    pub seed: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            gen: GenParams::paper(),
+            pipeline: PipelineConfig::default(),
+            runs: 10,
+            seed: 0x1ea5,
+        }
+    }
+}
+
+impl Experiment {
+    /// A small, fast experiment for tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        Experiment {
+            gen: GenParams::small(),
+            pipeline: PipelineConfig::fast(),
+            runs: 2,
+            seed: 0x1ea5,
+        }
+    }
+
+    /// Runs `scenario` with `method`, averaging metrics over the
+    /// configured number of runs. The dataset is regenerated per run with
+    /// a derived seed, covering both data randomness and split/sampling
+    /// randomness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseError`] from dataset materialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn run(&self, scenario: Scenario, method: Method) -> Result<Metrics, ParseError> {
+        assert!(self.runs > 0, "need at least one run");
+        let mut state = self.seed;
+        let mut per_run = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            let run_seed = splitmix64(&mut state);
+            per_run.push(self.run_once(scenario, method, run_seed)?);
+        }
+        Ok(Metrics::mean(&per_run))
+    }
+
+    /// Runs a single train/test round with an explicit seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseError`] from dataset materialization.
+    pub fn run_once(
+        &self,
+        scenario: Scenario,
+        method: Method,
+        seed: u64,
+    ) -> Result<Metrics, ParseError> {
+        let dataset = Dataset::materialize(scenario, &self.gen, seed)?;
+        let (train, test) = dataset.split_benign(self.pipeline.benign_train_fraction, seed);
+        let classifier = train_classifier(method, &train, &dataset.mixed, &self.pipeline, seed);
+        Ok(classifier.evaluate(&test, &dataset.malicious).metrics())
+    }
+
+    /// Runs all three methods on a scenario (one Figure 6/7 group).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseError`] from dataset materialization.
+    pub fn run_all_methods(&self, scenario: Scenario) -> Result<[(Method, Metrics); 3], ParseError> {
+        Ok([
+            (Method::CGraph, self.run(scenario, Method::CGraph)?),
+            (Method::Svm, self.run(scenario, Method::Svm)?),
+            (Method::Wsvm, self.run(scenario, Method::Wsvm)?),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_experiment_runs_and_averages() {
+        let exp = Experiment::fast();
+        let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+        let m = exp.run(scenario, Method::Wsvm).unwrap();
+        assert!(m.acc > 0.5, "{m}");
+        assert!(m.acc <= 1.0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let exp = Experiment::fast();
+        let scenario = Scenario::by_name("putty_reverse_https_online").unwrap();
+        let a = exp.run(scenario, Method::CGraph).unwrap();
+        let b = exp.run(scenario, Method::CGraph).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let mut exp = Experiment::fast();
+        let scenario = Scenario::by_name("vim_codeinject").unwrap();
+        let a = exp.run(scenario, Method::Svm).unwrap();
+        exp.seed = 99;
+        let b = exp.run(scenario, Method::Svm).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let exp = Experiment { runs: 0, ..Experiment::fast() };
+        let _ = exp.run(Scenario::by_name("vim_reverse_tcp").unwrap(), Method::Wsvm);
+    }
+}

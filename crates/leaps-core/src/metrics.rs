@@ -1,0 +1,201 @@
+//! Confusion-matrix bookkeeping and the five effectiveness measures of
+//! Section V-B.
+//!
+//! The paper's convention: **positive = benign**, **negative =
+//! malicious**. So TP is a benign sample classified benign, TN a
+//! malicious sample classified malicious, FP a malicious sample
+//! misclassified benign, FN a benign sample misclassified malicious.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Raw classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Benign samples classified benign.
+    pub tp: usize,
+    /// Malicious samples classified malicious.
+    pub tn: usize,
+    /// Malicious samples misclassified benign.
+    pub fp: usize,
+    /// Benign samples misclassified malicious.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Records one benign test sample's outcome.
+    pub fn record_benign(&mut self, predicted_benign: bool) {
+        if predicted_benign {
+            self.tp += 1;
+        } else {
+            self.fn_ += 1;
+        }
+    }
+
+    /// Records one malicious test sample's outcome.
+    pub fn record_malicious(&mut self, predicted_malicious: bool) {
+        if predicted_malicious {
+            self.tn += 1;
+        } else {
+            self.fp += 1;
+        }
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Derives the five measures. Undefined ratios (zero denominators)
+    /// are reported as 0.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Metrics {
+            acc: ratio(self.tp + self.tn, self.total()),
+            ppv: ratio(self.tp, self.tp + self.fp),
+            tpr: ratio(self.tp, self.tp + self.fn_),
+            tnr: ratio(self.tn, self.tn + self.fp),
+            npv: ratio(self.tn, self.tn + self.fn_),
+        }
+    }
+}
+
+impl AddAssign for ConfusionMatrix {
+    fn add_assign(&mut self, rhs: ConfusionMatrix) {
+        self.tp += rhs.tp;
+        self.tn += rhs.tn;
+        self.fp += rhs.fp;
+        self.fn_ += rhs.fn_;
+    }
+}
+
+/// The five measures of Section V-B (Eq. 6–10).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Accuracy: `(TP + TN) / total`.
+    pub acc: f64,
+    /// Positive predictive value (precision): `TP / (TP + FP)`.
+    pub ppv: f64,
+    /// True positive rate (recall): `TP / (TP + FN)`.
+    pub tpr: f64,
+    /// True negative rate (specificity): `TN / (TN + FP)`.
+    pub tnr: f64,
+    /// Negative predictive value: `TN / (TN + FN)`.
+    pub npv: f64,
+}
+
+impl Metrics {
+    /// Element-wise mean of several runs' metrics ("we average all results
+    /// over 10 runs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    #[must_use]
+    pub fn mean(runs: &[Metrics]) -> Metrics {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        Metrics {
+            acc: runs.iter().map(|m| m.acc).sum::<f64>() / n,
+            ppv: runs.iter().map(|m| m.ppv).sum::<f64>() / n,
+            tpr: runs.iter().map(|m| m.tpr).sum::<f64>() / n,
+            tnr: runs.iter().map(|m| m.tnr).sum::<f64>() / n,
+            npv: runs.iter().map(|m| m.npv).sum::<f64>() / n,
+        }
+    }
+
+    /// The measures as `(name, value)` pairs in Table I column order.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, f64); 5] {
+        [
+            ("ACC", self.acc),
+            ("PPV", self.ppv),
+            ("TPR", self.tpr),
+            ("TNR", self.tnr),
+            ("NPV", self.npv),
+        ]
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ACC={:.3} PPV={:.3} TPR={:.3} TNR={:.3} NPV={:.3}",
+            self.acc, self.ppv, self.tpr, self.tnr, self.npv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_updates_the_right_cells() {
+        let mut cm = ConfusionMatrix::default();
+        cm.record_benign(true);
+        cm.record_benign(false);
+        cm.record_malicious(true);
+        cm.record_malicious(false);
+        assert_eq!(cm, ConfusionMatrix { tp: 1, fn_: 1, tn: 1, fp: 1 });
+        assert_eq!(cm.total(), 4);
+    }
+
+    #[test]
+    fn metrics_match_paper_formulas() {
+        let cm = ConfusionMatrix { tp: 8, tn: 6, fp: 2, fn_: 4 };
+        let m = cm.metrics();
+        assert!((m.acc - 14.0 / 20.0).abs() < 1e-12);
+        assert!((m.ppv - 8.0 / 10.0).abs() < 1e-12);
+        assert!((m.tpr - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.tnr - 6.0 / 8.0).abs() < 1e-12);
+        assert!((m.npv - 6.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_yield_zero() {
+        let m = ConfusionMatrix::default().metrics();
+        assert_eq!(m, Metrics::default());
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one_everywhere() {
+        let cm = ConfusionMatrix { tp: 5, tn: 5, fp: 0, fn_: 0 };
+        let m = cm.metrics();
+        for (_, v) in m.named() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let a = Metrics { acc: 0.8, ppv: 0.6, tpr: 0.4, tnr: 0.2, npv: 0.0 };
+        let b = Metrics { acc: 0.6, ppv: 0.8, tpr: 0.6, tnr: 0.4, npv: 0.2 };
+        let m = Metrics::mean(&[a, b]);
+        assert!((m.acc - 0.7).abs() < 1e-12);
+        assert!((m.ppv - 0.7).abs() < 1e-12);
+        assert!((m.npv - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = ConfusionMatrix { tp: 1, tn: 2, fp: 3, fn_: 4 };
+        a += ConfusionMatrix { tp: 10, tn: 20, fp: 30, fn_: 40 };
+        assert_eq!(a, ConfusionMatrix { tp: 11, tn: 22, fp: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ConfusionMatrix { tp: 1, tn: 1, fp: 0, fn_: 0 }.metrics().to_string();
+        assert!(s.contains("ACC=1.000"));
+    }
+}

@@ -1,0 +1,592 @@
+//! Model persistence: save a trained [`Classifier`] to a versioned,
+//! dependency-free text format and load it back — so a deployment trains
+//! once in the controlled environment and detects forever after
+//! (`leaps train` / `leaps detect --model`).
+//!
+//! The format is line-oriented `LEAPS-MODEL v1`: one record per line,
+//! space-separated tokens. Symbols (`module!function`) and set members
+//! never contain whitespace, and floats are written with Rust's `{:?}`
+//! (shortest round-trip representation), so parsing is exact.
+
+use crate::pipeline::{Classifier, HmmDetector, SvmClassifier};
+use leaps_cgraph::classify::CallGraphClassifier;
+use leaps_cgraph::graph::CallGraph;
+use leaps_cluster::assign::ClusterAssigner;
+use leaps_cluster::features::{CutRule, FeatureEncoder, PreprocessConfig};
+use leaps_cluster::hier::Linkage;
+use leaps_hmm::classify::{HmmClassifier, SymbolTable};
+use leaps_hmm::hmm::Hmm;
+use leaps_svm::kernel::Kernel;
+use leaps_svm::model::SvmModel;
+use std::error::Error;
+use std::fmt;
+
+/// Magic first line of a model file.
+pub const MODEL_HEADER: &str = "# LEAPS-MODEL v1";
+
+/// Errors loading a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A record is malformed.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The file ended before the model was complete.
+    Truncated,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadHeader => write!(f, "missing `{MODEL_HEADER}` header"),
+            ModelError::BadRecord { line, reason } => {
+                write!(f, "bad model record at line {line}: {reason}")
+            }
+            ModelError::Truncated => write!(f, "model file ended unexpectedly"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Serializes a classifier to the text model format.
+#[must_use]
+pub fn save_classifier(classifier: &Classifier) -> String {
+    let mut out = String::new();
+    out.push_str(MODEL_HEADER);
+    out.push('\n');
+    match classifier {
+        Classifier::CGraph(model) => {
+            out.push_str("kind cgraph\n");
+            write_call_graph(&mut out, "bcg", model.bcg());
+            write_call_graph(&mut out, "mcg", model.mcg());
+        }
+        Classifier::Svm(svm) => {
+            out.push_str("kind svm\n");
+            write_svm(&mut out, svm);
+        }
+        Classifier::Hmm(hmm) => {
+            out.push_str("kind hmm\n");
+            write_hmm(&mut out, hmm);
+        }
+    }
+    out
+}
+
+/// Parses a classifier from the text model format.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on malformed input.
+pub fn load_classifier(text: &str) -> Result<Classifier, ModelError> {
+    let mut lines = Lines::new(text);
+    if lines.next_line() != Some(MODEL_HEADER) {
+        return Err(ModelError::BadHeader);
+    }
+    let kind_line = lines.expect_prefixed("kind")?;
+    match kind_line {
+        "cgraph" => {
+            let bcg = read_call_graph(&mut lines, "bcg")?;
+            let mcg = read_call_graph(&mut lines, "mcg")?;
+            Ok(Classifier::CGraph(CallGraphClassifier::from_parts(bcg, mcg)))
+        }
+        "svm" => Ok(Classifier::Svm(read_svm(&mut lines)?)),
+        "hmm" => Ok(Classifier::Hmm(read_hmm(&mut lines)?)),
+        other => Err(lines.bad(format!("unknown model kind {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_call_graph(out: &mut String, tag: &str, graph: &CallGraph) {
+    let mut edges: Vec<(String, String)> = graph
+        .edges()
+        .map(|(a, b)| (a.to_owned(), b.to_owned()))
+        .collect();
+    edges.sort();
+    let mut chains: Vec<Vec<String>> = graph.chains().map(<[String]>::to_vec).collect();
+    chains.sort();
+    out.push_str(&format!("{tag}_edges {}\n", edges.len()));
+    for (a, b) in edges {
+        out.push_str(&format!("edge {a} {b}\n"));
+    }
+    out.push_str(&format!("{tag}_chains {}\n", chains.len()));
+    for chain in chains {
+        out.push_str("chain ");
+        out.push_str(&chain.join(" "));
+        out.push('\n');
+    }
+}
+
+fn write_kernel(out: &mut String, kernel: Kernel) {
+    match kernel {
+        Kernel::Linear => out.push_str("kernel linear\n"),
+        Kernel::Gaussian { sigma2 } => out.push_str(&format!("kernel gaussian {sigma2:?}\n")),
+        Kernel::Polynomial { degree, coef0 } => {
+            out.push_str(&format!("kernel poly {degree} {coef0:?}\n"));
+        }
+    }
+}
+
+fn write_encoder(out: &mut String, encoder: &FeatureEncoder) {
+    let config = encoder.config();
+    let (cut_kind, cut_val) = match config.cut {
+        CutRule::Distance(d) => ("distance", format!("{d:?}")),
+        CutRule::Count(k) => ("count", k.to_string()),
+    };
+    let linkage = match config.linkage {
+        Linkage::Average => "average",
+        Linkage::Single => "single",
+        Linkage::Complete => "complete",
+    };
+    out.push_str(&format!(
+        "encoder {linkage} {cut_kind} {cut_val} {} {} {}\n",
+        config.window, config.stride, config.max_vocab
+    ));
+    let (lib, func) = encoder.parts();
+    write_assigner(out, "lib", lib);
+    write_assigner(out, "func", func);
+}
+
+fn write_assigner(out: &mut String, tag: &str, assigner: &ClusterAssigner<String>) {
+    out.push_str(&format!("{tag}_vocab {}\n", assigner.members().len()));
+    for (set, &label) in assigner.members().iter().zip(assigner.labels()) {
+        out.push_str(&format!("set {label} "));
+        out.push_str(&set.join(" "));
+        out.push('\n');
+    }
+}
+
+fn write_svm(out: &mut String, svm: &SvmClassifier) {
+    out.push_str(&format!("tuned {:?} {:?}\n", svm.tuned.0, svm.tuned.1));
+    write_kernel(out, svm.model.kernel());
+    out.push_str(&format!("bias {:?}\n", svm.model.bias()));
+    out.push_str(&format!("sv_count {}\n", svm.model.support_vector_count()));
+    for (alpha_y, sv) in svm.model.dual_coefficients() {
+        out.push_str(&format!("sv {alpha_y:?}"));
+        for v in sv {
+            out.push_str(&format!(" {v:?}"));
+        }
+        out.push('\n');
+    }
+    write_encoder(out, &svm.encoder);
+}
+
+fn write_hmm_model(out: &mut String, tag: &str, model: &Hmm) {
+    out.push_str(&format!(
+        "{tag} {} {}\n",
+        model.state_count(),
+        model.symbol_count()
+    ));
+    let (pi, a, b) = model.parts();
+    for (name, values) in [("pi", pi), ("a", a), ("b", b)] {
+        out.push_str(name);
+        for v in values {
+            out.push_str(&format!(" {v:?}"));
+        }
+        out.push('\n');
+    }
+}
+
+fn write_hmm(out: &mut String, hmm: &HmmDetector) {
+    let (clf, encoder, table) = hmm.parts();
+    write_encoder(out, encoder);
+    let mut entries: Vec<((u32, u32, u32), usize)> =
+        table.entries().map(|(&k, v)| (k, v)).collect();
+    entries.sort();
+    out.push_str(&format!("symbols {}\n", entries.len()));
+    for ((e, l, f), id) in entries {
+        out.push_str(&format!("sym {id} {e} {l} {f}\n"));
+    }
+    write_hmm_model(out, "benign_hmm", clf.benign_model());
+    write_hmm_model(out, "mixed_hmm", clf.mixed_model());
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines { iter: text.lines(), line_no: 0 }
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        self.line_no += 1;
+        self.iter.next()
+    }
+
+    fn bad(&self, reason: String) -> ModelError {
+        ModelError::BadRecord { line: self.line_no, reason }
+    }
+
+    /// Reads the next line and strips `"{prefix} "`.
+    fn expect_prefixed(&mut self, prefix: &str) -> Result<&'a str, ModelError> {
+        let line = self.next_line().ok_or(ModelError::Truncated)?;
+        line.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| self.bad(format!("expected `{prefix} ...`, got {line:?}")))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, token: &str, what: &str) -> Result<T, ModelError> {
+        token
+            .parse()
+            .map_err(|_| self.bad(format!("invalid {what}: {token:?}")))
+    }
+}
+
+fn read_call_graph(lines: &mut Lines<'_>, tag: &str) -> Result<CallGraph, ModelError> {
+    let n_edges: usize = {
+        let rest = lines.expect_prefixed(&format!("{tag}_edges"))?;
+        lines.parse(rest, "edge count")?
+    };
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let rest = lines.expect_prefixed("edge")?;
+        let mut parts = rest.split_whitespace();
+        let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(lines.bad("edge needs exactly two symbols".into()));
+        };
+        edges.push((a.to_owned(), b.to_owned()));
+    }
+    let n_chains: usize = {
+        let rest = lines.expect_prefixed(&format!("{tag}_chains"))?;
+        lines.parse(rest, "chain count")?
+    };
+    let mut chains = Vec::with_capacity(n_chains);
+    for _ in 0..n_chains {
+        let rest = lines.expect_prefixed("chain")?;
+        chains.push(rest.split_whitespace().map(str::to_owned).collect());
+    }
+    Ok(CallGraph::from_parts(edges, chains))
+}
+
+fn read_kernel(lines: &mut Lines<'_>) -> Result<Kernel, ModelError> {
+    let rest = lines.expect_prefixed("kernel")?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("linear") => Ok(Kernel::Linear),
+        Some("gaussian") => {
+            let sigma2 = lines.parse(
+                parts.next().ok_or_else(|| lines.bad("gaussian needs sigma2".into()))?,
+                "sigma2",
+            )?;
+            Ok(Kernel::Gaussian { sigma2 })
+        }
+        Some("poly") => {
+            let degree = lines.parse(
+                parts.next().ok_or_else(|| lines.bad("poly needs degree".into()))?,
+                "degree",
+            )?;
+            let coef0 = lines.parse(
+                parts.next().ok_or_else(|| lines.bad("poly needs coef0".into()))?,
+                "coef0",
+            )?;
+            Ok(Kernel::Polynomial { degree, coef0 })
+        }
+        other => Err(lines.bad(format!("unknown kernel {other:?}"))),
+    }
+}
+
+fn read_encoder(lines: &mut Lines<'_>) -> Result<FeatureEncoder, ModelError> {
+    let rest = lines.expect_prefixed("encoder")?;
+    let tokens: Vec<&str> = rest.split_whitespace().collect();
+    let [linkage, cut_kind, cut_val, window, stride, max_vocab] = tokens.as_slice() else {
+        return Err(lines.bad("encoder needs 6 fields".into()));
+    };
+    let linkage = match *linkage {
+        "average" => Linkage::Average,
+        "single" => Linkage::Single,
+        "complete" => Linkage::Complete,
+        other => return Err(lines.bad(format!("unknown linkage {other:?}"))),
+    };
+    let cut = match *cut_kind {
+        "distance" => CutRule::Distance(lines.parse(cut_val, "cut distance")?),
+        "count" => CutRule::Count(lines.parse(cut_val, "cut count")?),
+        other => return Err(lines.bad(format!("unknown cut rule {other:?}"))),
+    };
+    let config = PreprocessConfig {
+        linkage,
+        cut,
+        window: lines.parse(window, "window")?,
+        stride: lines.parse(stride, "stride")?,
+        max_vocab: lines.parse(max_vocab, "max_vocab")?,
+    };
+    let lib = read_assigner(lines, "lib")?;
+    let func = read_assigner(lines, "func")?;
+    Ok(FeatureEncoder::from_parts(lib, func, config))
+}
+
+fn read_assigner(lines: &mut Lines<'_>, tag: &str) -> Result<ClusterAssigner<String>, ModelError> {
+    let n: usize = {
+        let rest = lines.expect_prefixed(&format!("{tag}_vocab"))?;
+        lines.parse(rest, "vocab size")?
+    };
+    let mut members = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rest = lines.expect_prefixed("set")?;
+        let mut parts = rest.split_whitespace();
+        let label = lines.parse(
+            parts.next().ok_or_else(|| lines.bad("set needs a label".into()))?,
+            "cluster label",
+        )?;
+        labels.push(label);
+        members.push(parts.map(str::to_owned).collect());
+    }
+    if members.is_empty() {
+        return Err(lines.bad("empty vocabulary".into()));
+    }
+    Ok(ClusterAssigner::new(members, labels))
+}
+
+fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
+    let rest = lines.expect_prefixed("tuned")?;
+    let mut parts = rest.split_whitespace();
+    let lambda: f64 = lines.parse(
+        parts.next().ok_or_else(|| lines.bad("tuned needs lambda".into()))?,
+        "lambda",
+    )?;
+    let sigma2: f64 = lines.parse(
+        parts.next().ok_or_else(|| lines.bad("tuned needs sigma2".into()))?,
+        "sigma2",
+    )?;
+    let kernel = read_kernel(lines)?;
+    let bias: f64 = {
+        let rest = lines.expect_prefixed("bias")?;
+        lines.parse(rest, "bias")?
+    };
+    let n: usize = {
+        let rest = lines.expect_prefixed("sv_count")?;
+        lines.parse(rest, "support vector count")?
+    };
+    let mut support = Vec::with_capacity(n);
+    let mut alpha_y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rest = lines.expect_prefixed("sv")?;
+        let mut values = rest.split_whitespace();
+        let ay: f64 = lines.parse(
+            values.next().ok_or_else(|| lines.bad("sv needs alpha_y".into()))?,
+            "alpha_y",
+        )?;
+        let x: Result<Vec<f64>, ModelError> =
+            values.map(|v| lines.parse(v, "feature value")).collect();
+        alpha_y.push(ay);
+        support.push(x?);
+    }
+    if let Some(first) = support.first() {
+        let dim = first.len();
+        if support.iter().any(|sv| sv.len() != dim) {
+            return Err(lines.bad("support vectors have inconsistent dimensions".into()));
+        }
+    }
+    let encoder = read_encoder(lines)?;
+    Ok(SvmClassifier {
+        model: SvmModel::from_parts(support, alpha_y, bias, kernel),
+        encoder,
+        tuned: (lambda, sigma2),
+    })
+}
+
+fn read_hmm_model(lines: &mut Lines<'_>, tag: &str) -> Result<Hmm, ModelError> {
+    let rest = lines.expect_prefixed(tag)?;
+    let mut parts = rest.split_whitespace();
+    let states: usize = lines.parse(
+        parts.next().ok_or_else(|| lines.bad("hmm needs states".into()))?,
+        "states",
+    )?;
+    let symbols: usize = lines.parse(
+        parts.next().ok_or_else(|| lines.bad("hmm needs symbols".into()))?,
+        "symbols",
+    )?;
+    let mut matrices = Vec::with_capacity(3);
+    for (name, expected) in [("pi", states), ("a", states * states), ("b", states * symbols)] {
+        let rest = lines.expect_prefixed(name)?;
+        let values: Result<Vec<f64>, ModelError> = rest
+            .split_whitespace()
+            .map(|v| lines.parse(v, "probability"))
+            .collect();
+        let values = values?;
+        if values.len() != expected {
+            return Err(lines.bad(format!(
+                "{name} has {} values, expected {expected}",
+                values.len()
+            )));
+        }
+        matrices.push(values);
+    }
+    let b = matrices.pop().expect("pushed above");
+    let a = matrices.pop().expect("pushed above");
+    let pi = matrices.pop().expect("pushed above");
+    Ok(Hmm::from_parts(states, symbols, pi, a, b))
+}
+
+fn read_hmm(lines: &mut Lines<'_>) -> Result<HmmDetector, ModelError> {
+    let encoder = read_encoder(lines)?;
+    let n: usize = {
+        let rest = lines.expect_prefixed("symbols")?;
+        lines.parse(rest, "symbol count")?
+    };
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rest = lines.expect_prefixed("sym")?;
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        let [id, e, l, f] = tokens.as_slice() else {
+            return Err(lines.bad("sym needs 4 fields".into()));
+        };
+        entries.push((
+            (
+                lines.parse(e, "event type")?,
+                lines.parse(l, "lib cluster")?,
+                lines.parse(f, "func cluster")?,
+            ),
+            lines.parse(id, "symbol id")?,
+        ));
+    }
+    let table = SymbolTable::from_entries(entries);
+    let benign = read_hmm_model(lines, "benign_hmm")?;
+    let mixed = read_hmm_model(lines, "mixed_hmm")?;
+    Ok(HmmDetector::from_parts(
+        HmmClassifier::from_parts(benign, mixed),
+        encoder,
+        table,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::dataset::Dataset;
+    use crate::pipeline::{train_classifier, Method};
+    use leaps_etw::scenario::{GenParams, Scenario};
+
+    fn dataset() -> Dataset {
+        Dataset::materialize(
+            Scenario::by_name("vim_reverse_tcp").unwrap(),
+            &GenParams::small(),
+            7,
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(method: Method) {
+        let d = dataset();
+        let (train, test) = d.split_benign(0.5, 7);
+        let original = train_classifier(method, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        let text = save_classifier(&original);
+        assert!(text.starts_with(MODEL_HEADER));
+        let loaded = load_classifier(&text).expect("roundtrip parse");
+
+        // The loaded classifier must make byte-identical decisions.
+        let original_cm = original.evaluate(&test, &d.malicious);
+        let loaded_cm = loaded.evaluate(&test, &d.malicious);
+        assert_eq!(original_cm, loaded_cm, "{method:?} decisions diverged");
+
+        // And re-saving must be a fixed point.
+        assert_eq!(save_classifier(&loaded), text, "{method:?} not canonical");
+    }
+
+    #[test]
+    fn cgraph_roundtrips() {
+        roundtrip(Method::CGraph);
+    }
+
+    #[test]
+    fn wsvm_roundtrips() {
+        roundtrip(Method::Wsvm);
+    }
+
+    #[test]
+    fn hmm_roundtrips() {
+        roundtrip(Method::Hmm);
+    }
+
+    #[test]
+    fn streaming_detector_works_on_loaded_model() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        let original = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        let loaded = load_classifier(&save_classifier(&original)).unwrap();
+        let mut detector = crate::stream::StreamDetector::new(loaded);
+        let verdicts = detector.push_all(d.malicious.iter().cloned());
+        let flagged = verdicts.iter().filter(|v| !v.benign).count();
+        assert!(flagged * 2 > verdicts.len(), "{flagged}/{}", verdicts.len());
+    }
+
+    #[test]
+    fn malformed_inputs_are_diagnosed() {
+        assert!(matches!(load_classifier(""), Err(ModelError::BadHeader)));
+        assert!(matches!(
+            load_classifier("# LEAPS-MODEL v1\n"),
+            Err(ModelError::Truncated)
+        ));
+        let bad_kind = load_classifier("# LEAPS-MODEL v1\nkind forest\n");
+        assert!(matches!(bad_kind, Err(ModelError::BadRecord { line: 2, .. })));
+        let bad_record = load_classifier("# LEAPS-MODEL v1\nkind cgraph\nnope\n");
+        assert!(matches!(bad_record, Err(ModelError::BadRecord { .. })));
+    }
+
+    #[test]
+    fn truncated_svm_is_diagnosed_not_panicking() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        let text = save_classifier(&clf);
+        // Chop the file at 60% and expect a clean error.
+        let cut = &text[..text.len() * 6 / 10];
+        let cut = &cut[..cut.rfind('\n').unwrap() + 1];
+        assert!(load_classifier(cut).is_err());
+    }
+
+    #[test]
+    fn ragged_support_vectors_are_rejected() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        let text = save_classifier(&clf);
+        // Drop the last value of the first support-vector line.
+        let corrupted: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("sv ") {
+                    l.rsplit_once(' ').map(|(head, _)| head.to_owned()).unwrap()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect();
+        let corrupted = corrupted.join("\n");
+        // Only corrupt one line: restore all but the first `sv `.
+        let mut fixed = Vec::new();
+        let mut corrupted_one = false;
+        for (orig, maybe) in text.lines().zip(corrupted.lines()) {
+            if orig.starts_with("sv ") && !corrupted_one {
+                fixed.push(maybe.to_owned());
+                corrupted_one = true;
+            } else {
+                fixed.push(orig.to_owned());
+            }
+        }
+        let err = load_classifier(&fixed.join("\n")).unwrap_err();
+        assert!(
+            err.to_string().contains("inconsistent dimensions"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ModelError::BadHeader.to_string().contains("LEAPS-MODEL"));
+        let e = ModelError::BadRecord { line: 3, reason: "x".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The universal classifier of paper Section II-B-2: "LEAPS can coalesce
+//! all application data from the system event log to learn a universal
+//! classifier for testing" (the paper trains application-wise classifiers
+//! only "for the convenience of evaluation").
+//!
+//! One classifier is trained over the pooled training data of several
+//! applications' datasets. CFG-guided weights stay *per application* —
+//! each mixed log is scored against its own application's benign CFG —
+//! and only the statistical model is shared.
+
+use crate::config::{PipelineConfig, WeightMode, WeightPolarity};
+use crate::dataset::Dataset;
+use crate::metrics::Metrics;
+use crate::pipeline::{Method, SvmClassifier};
+use leaps_cfg::infer::infer_cfg;
+use leaps_cfg::weight::assess_weights;
+use leaps_cluster::features::FeatureEncoder;
+use leaps_etw::rng::SimRng;
+use leaps_svm::cv::{GridSearch, Scoring};
+use leaps_svm::data::{Sample, TrainSet};
+use leaps_svm::kernel::Kernel;
+use leaps_svm::smo::{train as smo_train, SmoParams};
+use leaps_trace::partition::PartitionedEvent;
+
+/// A universal (cross-application) SVM-family classifier together with
+/// the per-dataset benign test splits used for evaluation.
+#[derive(Debug, Clone)]
+pub struct UniversalClassifier {
+    classifier: SvmClassifier,
+}
+
+impl UniversalClassifier {
+    /// Trains one classifier over the pooled training data of `datasets`.
+    ///
+    /// `method` must be [`Method::Svm`] or [`Method::Wsvm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datasets` is empty, `method` is not an SVM-family
+    /// method, or the pooled training set degenerates.
+    #[must_use]
+    pub fn train(
+        datasets: &[Dataset],
+        method: Method,
+        config: &PipelineConfig,
+        seed: u64,
+    ) -> UniversalClassifier {
+        assert!(!datasets.is_empty(), "need at least one dataset");
+        assert!(
+            matches!(method, Method::Svm | Method::Wsvm),
+            "universal training supports SVM-family methods"
+        );
+        config.validate();
+
+        // Per-dataset benign training halves.
+        let splits: Vec<(Vec<PartitionedEvent>, Vec<PartitionedEvent>)> = datasets
+            .iter()
+            .map(|d| d.split_benign(config.benign_train_fraction, seed))
+            .collect();
+
+        // One encoder over everything available at training time.
+        let mut fit_events: Vec<&PartitionedEvent> = Vec::new();
+        for (d, (train, _)) in datasets.iter().zip(&splits) {
+            fit_events.extend(train.iter());
+            fit_events.extend(d.mixed.iter());
+        }
+        let encoder = FeatureEncoder::fit(&fit_events, config.preprocess);
+
+        // Pool weighted samples, dataset by dataset (weights are computed
+        // against each application's own benign CFG).
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut rng = SimRng::new(seed ^ 0x0411);
+        for (d, (train, _)) in datasets.iter().zip(&splits) {
+            let maliciousness: Box<dyn Fn(u64) -> f64> = if method == Method::Wsvm {
+                let bcfg = infer_cfg(train);
+                let mcfg = infer_cfg(&d.mixed);
+                let weights = match config.weight_mode {
+                    WeightMode::AddressSpace => assess_weights(&bcfg.cfg, &mcfg, config.weight),
+                    WeightMode::Aligned => {
+                        leaps_cfg::align::assess_weights_aligned(&bcfg, &mcfg)
+                    }
+                };
+                match config.weight_polarity {
+                    WeightPolarity::Maliciousness => {
+                        Box::new(move |num| weights.maliciousness(num))
+                    }
+                    WeightPolarity::Benignity => {
+                        Box::new(move |num| weights.benignity_or_default(num))
+                    }
+                }
+            } else {
+                Box::new(|_| 1.0)
+            };
+
+            let train_refs: Vec<&PartitionedEvent> = train.iter().collect();
+            let mixed_refs: Vec<&PartitionedEvent> = d.mixed.iter().collect();
+            let (benign_points, _) = encoder.encode_sequence(&train_refs);
+            let (mixed_points, covers) = encoder.encode_sequence(&mixed_refs);
+            for p in &benign_points {
+                if rng.chance(config.sample_fraction) {
+                    samples.push(Sample::new(p.clone(), 1.0, 1.0));
+                }
+            }
+            let neg_fraction = config.sample_fraction * benign_points.len() as f64
+                / mixed_points.len().max(1) as f64;
+            for (p, cover) in mixed_points.iter().zip(&covers) {
+                if rng.chance(neg_fraction.min(1.0)) {
+                    let c = cover
+                        .iter()
+                        .map(|&i| maliciousness(d.mixed[i].num))
+                        .sum::<f64>()
+                        / cover.len() as f64;
+                    samples.push(Sample::new(p.clone(), -1.0, c.max(config.weight_floor)));
+                }
+            }
+        }
+        let train_set = TrainSet::new(samples).expect("pooled training set is degenerate");
+        let grid = GridSearch {
+            lambdas: config.tuning.lambdas.clone(),
+            sigma2s: config.tuning.sigma2s.clone(),
+            folds: config.tuning.folds,
+            seed,
+            scoring: Scoring::WeightedBalanced,
+        };
+        let best = grid.run(&train_set);
+        let model = smo_train(
+            &train_set,
+            Kernel::Gaussian { sigma2: best.sigma2 },
+            &SmoParams { lambda: best.lambda, ..Default::default() },
+        );
+        UniversalClassifier {
+            classifier: SvmClassifier { model, encoder, tuned: (best.lambda, best.sigma2) },
+        }
+    }
+
+    /// Evaluates the universal classifier on one dataset's held-out
+    /// benign half and pure-malicious log.
+    #[must_use]
+    pub fn evaluate(&self, dataset: &Dataset, config: &PipelineConfig, seed: u64) -> Metrics {
+        let (_, test) = dataset.split_benign(config.benign_train_fraction, seed);
+        crate::pipeline::Classifier::Svm(self.classifier.clone())
+            .evaluate(&test, &dataset.malicious)
+            .metrics()
+    }
+
+    /// The tuned (λ, σ²).
+    #[must_use]
+    pub fn tuned(&self) -> (f64, f64) {
+        self.classifier.tuned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaps_etw::scenario::{GenParams, Scenario};
+
+    fn datasets() -> Vec<Dataset> {
+        ["vim_reverse_tcp", "putty_reverse_https"]
+            .iter()
+            .map(|name| {
+                Dataset::materialize(Scenario::by_name(name).unwrap(), &GenParams::small(), 5)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn universal_wsvm_trains_and_detects_on_every_member_app() {
+        let ds = datasets();
+        let config = PipelineConfig::fast();
+        let universal = UniversalClassifier::train(&ds, Method::Wsvm, &config, 5);
+        for d in &ds {
+            let m = universal.evaluate(d, &config, 5);
+            assert!(m.acc > 0.55, "{}: {m}", d.scenario.name());
+        }
+        assert!(universal.tuned().0 > 0.0);
+    }
+
+    #[test]
+    fn universal_svm_also_trains() {
+        let ds = datasets();
+        let config = PipelineConfig::fast();
+        let universal = UniversalClassifier::train(&ds, Method::Svm, &config, 6);
+        let m = universal.evaluate(&ds[0], &config, 6);
+        assert!(m.acc > 0.4, "{m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "SVM-family")]
+    fn cgraph_is_rejected() {
+        let ds = datasets();
+        let _ = UniversalClassifier::train(&ds, Method::CGraph, &PipelineConfig::fast(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dataset")]
+    fn empty_dataset_list_rejected() {
+        let _ = UniversalClassifier::train(&[], Method::Wsvm, &PipelineConfig::fast(), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Virtual addresses and address ranges.
+
+use std::fmt;
+
+/// A virtual address in the simulated process address space.
+///
+/// Newtype over `u64` so that addresses cannot be confused with event
+/// numbers, cluster ids or other integer-typed quantities flowing through
+/// the pipeline.
+///
+/// ```
+/// use leaps_etw::Va;
+/// let a = Va(0x401000);
+/// assert_eq!(format!("{a}"), "0x0000000000401000");
+/// assert!(a < Va(0x402000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Va(pub u64);
+
+impl Va {
+    /// Returns the address advanced by `offset` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow (debug builds).
+    #[must_use]
+    pub fn offset(self, offset: u64) -> Va {
+        Va(self.0 + offset)
+    }
+
+    /// Absolute distance in bytes between two addresses.
+    #[must_use]
+    pub fn distance(self, other: Va) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for Va {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Va {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Va {
+    fn from(raw: u64) -> Self {
+        Va(raw)
+    }
+}
+
+impl From<Va> for u64 {
+    fn from(va: Va) -> Self {
+        va.0
+    }
+}
+
+/// A half-open `[start, end)` range of virtual addresses, e.g. the span of
+/// a loaded module image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressRange {
+    /// Inclusive lower bound.
+    pub start: Va,
+    /// Exclusive upper bound.
+    pub end: Va,
+}
+
+impl AddressRange {
+    /// Creates a range. `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: Va, end: Va) -> Self {
+        assert!(start <= end, "address range start {start} > end {end}");
+        AddressRange { start, end }
+    }
+
+    /// Whether `addr` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, addr: Va) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Size of the range in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this range overlaps `other` in at least one byte.
+    #[must_use]
+    pub fn overlaps(&self, other: &AddressRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for AddressRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(Va(0xdead).to_string(), "0x000000000000dead");
+    }
+
+    #[test]
+    fn offset_and_distance() {
+        let a = Va(0x1000);
+        assert_eq!(a.offset(0x20), Va(0x1020));
+        assert_eq!(a.distance(Va(0x1010)), 0x10);
+        assert_eq!(Va(0x1010).distance(a), 0x10);
+    }
+
+    #[test]
+    fn range_contains_is_half_open() {
+        let r = AddressRange::new(Va(0x100), Va(0x200));
+        assert!(r.contains(Va(0x100)));
+        assert!(r.contains(Va(0x1ff)));
+        assert!(!r.contains(Va(0x200)));
+        assert!(!r.contains(Va(0xff)));
+        assert_eq!(r.len(), 0x100);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = AddressRange::new(Va(0x100), Va(0x200));
+        let b = AddressRange::new(Va(0x1ff), Va(0x300));
+        let c = AddressRange::new(Va(0x200), Va(0x300));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "address range start")]
+    fn range_rejects_inverted_bounds() {
+        let _ = AddressRange::new(Va(2), Va(1));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v: Va = 0x42u64.into();
+        let raw: u64 = v.into();
+        assert_eq!(raw, 0x42);
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = AddressRange::new(Va(5), Va(5));
+        assert!(r.is_empty());
+        assert!(!r.contains(Va(5)));
+    }
+}

@@ -1,0 +1,273 @@
+//! The two camouflaging strategies of the paper: *offline infection*
+//! (payload embedded in the benign binary) and *online injection* (payload
+//! injected into a running benign process).
+//!
+//! The strategies differ in where the payload's code lives and how its
+//! stack walks look:
+//!
+//! * **Offline infection** appends the payload's functions after the
+//!   benign code inside the application image (typical trojaning: a new
+//!   section, entry-point detour). Payload stacks carry a short benign
+//!   prefix (`main → hijacked-fn → payload…`) because the payload was
+//!   reached by detouring a benign control flow.
+//! * **Online injection** allocates the payload in a distant anonymous
+//!   memory region and runs it on a separately created remote thread, so
+//!   payload stacks contain payload frames only, and the frames resolve to
+//!   no module (`<anon>`).
+
+use crate::addr::Va;
+use crate::program::{FuncId, ProgramModel, ProgramSpec};
+
+/// Attack method of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackMethod {
+    /// Malicious payload embedded in the benign binary (Table I).
+    OfflineInfection,
+    /// Malicious payload injected into a benign process at runtime
+    /// (Table I).
+    OnlineInjection,
+    /// Payload source woven into the application and recompiled — the
+    /// Section VI-A threat the paper leaves as future work. Every
+    /// function of the trojaned binary gets a fresh address, interleaved
+    /// with the payload's, so address-based CFG comparison breaks.
+    SourceRecompile,
+}
+
+impl AttackMethod {
+    /// Human-readable label for the method.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackMethod::OfflineInfection => "Offline Infection",
+            AttackMethod::OnlineInjection => "Online Injection",
+            AttackMethod::SourceRecompile => "Source-level Trojan",
+        }
+    }
+
+    /// Dataset-name suffix (`""` for offline, `"_online"` for online,
+    /// `"_source"` for source-level trojans).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AttackMethod::OfflineInfection => "",
+            AttackMethod::OnlineInjection => "_online",
+            AttackMethod::SourceRecompile => "_source",
+        }
+    }
+}
+
+/// Gap between the benign image end and an appended (trojaned) payload.
+const APPEND_GAP: u64 = 0x4000;
+/// Where online-injected payloads are allocated: a typical heap/VirtualAlloc
+/// region far away from the image.
+const INJECT_BASE: Va = Va(0x0000_7ff5_d000_0000);
+/// Base used when a payload is recompiled standalone ("pure malicious").
+pub const STANDALONE_BASE: Va = Va(0x0000_0001_5000_0000);
+
+/// A payload instantiated for a specific attack against a specific
+/// application instance.
+#[derive(Debug, Clone)]
+pub struct InfectedProcess {
+    /// The attack method used.
+    pub method: AttackMethod,
+    /// The payload program, laid out per the method.
+    pub payload: ProgramModel,
+    /// For offline infection and source-level trojans: the benign function
+    /// whose control flow was detoured to reach the payload (stack prefix
+    /// `main → hijack`).
+    pub hijack: Option<FuncId>,
+    /// Module name payload frames resolve to (`app` image name for offline
+    /// and source trojans, `"<anon>"` for online).
+    pub payload_module_name: String,
+    /// For source-level trojans: the recompiled application image (same
+    /// logical program as the clean one, every function at a fresh
+    /// address). The execution engine runs the benign stream from this
+    /// model instead of the original.
+    pub app_override: Option<ProgramModel>,
+}
+
+impl InfectedProcess {
+    /// Stages `payload_spec` into `app` using `method`.
+    ///
+    /// `seed` controls the payload's internal structure (the same seed
+    /// yields the same logical payload at any base, modeling the paper's
+    /// recompilation of the payload as standalone malware for ground
+    /// truth).
+    #[must_use]
+    pub fn stage(
+        app: &ProgramModel,
+        payload_spec: &ProgramSpec,
+        method: AttackMethod,
+        seed: u64,
+    ) -> InfectedProcess {
+        match method {
+            AttackMethod::OfflineInfection => {
+                let base = app.module.range.end.offset(APPEND_GAP);
+                let payload = payload_spec.instantiate(base, seed);
+                // Detour the first activity's entry: a deterministic,
+                // plausible choice (the trojan triggers on a hot path).
+                let hijack = Some(app.activity_entries[0]);
+                InfectedProcess {
+                    method,
+                    payload,
+                    hijack,
+                    payload_module_name: app.module.name.clone(),
+                    app_override: None,
+                }
+            }
+            AttackMethod::OnlineInjection => {
+                let payload = payload_spec.instantiate(INJECT_BASE, seed);
+                InfectedProcess {
+                    method,
+                    payload,
+                    hijack: None,
+                    payload_module_name: "<anon>".to_owned(),
+                    app_override: None,
+                }
+            }
+            AttackMethod::SourceRecompile => {
+                // Same logical payload as anywhere else...
+                let payload = payload_spec.instantiate(app.module.range.start, seed);
+                // ...then "recompile": relayout the combined program at
+                // the application's own base, interleaving app and payload
+                // functions in the address space.
+                let (recompiled_app, payload) =
+                    relayout_pair(app, &payload, app.module.range.start, seed ^ 0x5ec0);
+                let hijack = Some(recompiled_app.activity_entries[0]);
+                InfectedProcess {
+                    method,
+                    payload,
+                    hijack,
+                    payload_module_name: recompiled_app.module.name.clone(),
+                    app_override: Some(recompiled_app),
+                }
+            }
+        }
+    }
+}
+
+/// "Recompiles" an application together with a payload: both keep their
+/// logical structure (names, call edges, API call sites) but every
+/// function gets a fresh address from one shuffled combined layout at
+/// `base` — what a compiler does when the trojan source is woven into the
+/// code base.
+#[must_use]
+pub fn relayout_pair(
+    app: &ProgramModel,
+    payload: &ProgramModel,
+    base: Va,
+    layout_seed: u64,
+) -> (ProgramModel, ProgramModel) {
+    use crate::module::{FunctionSym, ModuleImage};
+    use crate::program::{CODE_START, FUNC_STRIDE};
+    use crate::rng::SimRng;
+
+    let mut app = app.clone();
+    let mut payload = payload.clone();
+    let total = app.functions.len() + payload.functions.len();
+    let mut rng = SimRng::new(layout_seed);
+
+    // slots[k] = (which model, function index).
+    let mut slots: Vec<(bool, FuncId)> = (0..app.functions.len())
+        .map(|i| (false, i))
+        .chain((0..payload.functions.len()).map(|i| (true, i)))
+        .collect();
+    rng.shuffle(&mut slots);
+    for (slot, &(is_payload, fid)) in slots.iter().enumerate() {
+        let jitter = rng.below(0x30) as u64;
+        let addr = base.offset(CODE_START + slot as u64 * FUNC_STRIDE + jitter);
+        if is_payload {
+            payload.functions[fid].addr = addr;
+        } else {
+            app.functions[fid].addr = addr;
+        }
+    }
+    let range = crate::addr::AddressRange::new(
+        base,
+        base.offset(CODE_START + total as u64 * FUNC_STRIDE + 0x1000),
+    );
+    let rebuild = |name: &str, functions: &[crate::program::FuncNode]| {
+        ModuleImage::new(
+            name,
+            range,
+            functions
+                .iter()
+                .map(|f| FunctionSym { name: f.name.clone(), addr: f.addr })
+                .collect(),
+            true,
+        )
+    };
+    // Both "modules" are views of the single trojaned image; the payload
+    // symbols resolve to the application module name.
+    app.module = rebuild(&app.module.name, &app.functions);
+    payload.module = rebuild(&app.module.name, &payload.functions);
+    (app, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{app_spec, AppId, APP_BASE};
+    use crate::payload::{payload_spec, PayloadId};
+
+    fn host() -> ProgramModel {
+        app_spec(AppId::Vim).instantiate(APP_BASE, 1)
+    }
+
+    #[test]
+    fn offline_payload_is_appended_after_image() {
+        let app = host();
+        let inf = InfectedProcess::stage(
+            &app,
+            &payload_spec(PayloadId::ReverseTcp),
+            AttackMethod::OfflineInfection,
+            9,
+        );
+        assert!(inf.payload.module.range.start >= app.module.range.end);
+        // Close by (same binary), not in a far region.
+        assert!(inf.payload.module.range.start.distance(app.module.range.end) < 0x10_0000);
+        assert!(inf.hijack.is_some());
+        assert_eq!(inf.payload_module_name, app.module.name);
+    }
+
+    #[test]
+    fn online_payload_is_far_from_image() {
+        let app = host();
+        let inf = InfectedProcess::stage(
+            &app,
+            &payload_spec(PayloadId::ReverseTcp),
+            AttackMethod::OnlineInjection,
+            9,
+        );
+        assert!(inf.payload.module.range.start.distance(app.module.range.end) > 0x1_0000_0000);
+        assert!(inf.hijack.is_none());
+        assert_eq!(inf.payload_module_name, "<anon>");
+    }
+
+    #[test]
+    fn same_seed_same_logical_payload_across_methods() {
+        let app = host();
+        let off = InfectedProcess::stage(
+            &app,
+            &payload_spec(PayloadId::Pwddlg),
+            AttackMethod::OfflineInfection,
+            4,
+        );
+        let on = InfectedProcess::stage(
+            &app,
+            &payload_spec(PayloadId::Pwddlg),
+            AttackMethod::OnlineInjection,
+            4,
+        );
+        assert_eq!(off.payload.functions.len(), on.payload.functions.len());
+        for (a, b) in off.payload.functions.iter().zip(&on.payload.functions) {
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(AttackMethod::OfflineInfection.label(), "Offline Infection");
+        assert_eq!(AttackMethod::OnlineInjection.suffix(), "_online");
+    }
+}

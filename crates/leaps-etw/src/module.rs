@@ -1,0 +1,133 @@
+//! Binary images (modules) laid out in the simulated address space.
+
+use crate::addr::{AddressRange, Va};
+
+/// A function symbol inside a module image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSym {
+    /// Symbol name (unique within the module).
+    pub name: String,
+    /// Entry address of the function.
+    pub addr: Va,
+}
+
+/// A loaded binary image: the application executable, a shared library or
+/// a kernel module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleImage {
+    /// Module name without extension, e.g. `"vim"`, `"ntdll"`.
+    pub name: String,
+    /// Address span occupied by the image.
+    pub range: AddressRange,
+    /// Function symbols, sorted by address.
+    pub functions: Vec<FunctionSym>,
+    /// Whether this image is the traced application's own executable.
+    pub is_app_image: bool,
+}
+
+impl ModuleImage {
+    /// Creates an image and verifies every symbol lies inside the range and
+    /// that symbols are sorted by address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol falls outside `range` or symbols are unsorted.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        range: AddressRange,
+        mut functions: Vec<FunctionSym>,
+        is_app_image: bool,
+    ) -> Self {
+        functions.sort_by_key(|f| f.addr);
+        for f in &functions {
+            assert!(
+                range.contains(f.addr),
+                "symbol {} at {} outside module range {range}",
+                f.name,
+                f.addr
+            );
+        }
+        ModuleImage {
+            name: name.into(),
+            range,
+            functions,
+            is_app_image,
+        }
+    }
+
+    /// Resolves the function containing/starting at `addr` (nearest symbol
+    /// at or below `addr`), as a symbolizer would.
+    #[must_use]
+    pub fn resolve(&self, addr: Va) -> Option<&FunctionSym> {
+        if !self.range.contains(addr) {
+            return None;
+        }
+        match self.functions.binary_search_by_key(&addr, |f| f.addr) {
+            Ok(i) => Some(&self.functions[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.functions[i - 1]),
+        }
+    }
+
+    /// Looks up a function's entry address by name.
+    #[must_use]
+    pub fn addr_of(&self, name: &str) -> Option<Va> {
+        self.functions.iter().find(|f| f.name == name).map(|f| f.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> ModuleImage {
+        ModuleImage::new(
+            "demo",
+            AddressRange::new(Va(0x1000), Va(0x2000)),
+            vec![
+                FunctionSym { name: "b".into(), addr: Va(0x1100) },
+                FunctionSym { name: "a".into(), addr: Va(0x1000) },
+                FunctionSym { name: "c".into(), addr: Va(0x1800) },
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn constructor_sorts_symbols() {
+        let m = image();
+        let names: Vec<_> = m.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn resolve_finds_containing_function() {
+        let m = image();
+        assert_eq!(m.resolve(Va(0x1000)).unwrap().name, "a");
+        assert_eq!(m.resolve(Va(0x10ff)).unwrap().name, "a");
+        assert_eq!(m.resolve(Va(0x1100)).unwrap().name, "b");
+        assert_eq!(m.resolve(Va(0x17ff)).unwrap().name, "b");
+        assert_eq!(m.resolve(Va(0x1fff)).unwrap().name, "c");
+        assert!(m.resolve(Va(0x2000)).is_none());
+        assert!(m.resolve(Va(0xfff)).is_none());
+    }
+
+    #[test]
+    fn addr_of_by_name() {
+        let m = image();
+        assert_eq!(m.addr_of("c"), Some(Va(0x1800)));
+        assert_eq!(m.addr_of("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside module range")]
+    fn rejects_out_of_range_symbol() {
+        let _ = ModuleImage::new(
+            "bad",
+            AddressRange::new(Va(0x1000), Va(0x1100)),
+            vec![FunctionSym { name: "x".into(), addr: Va(0x5000) }],
+            false,
+        );
+    }
+}

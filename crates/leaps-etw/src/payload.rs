@@ -1,0 +1,154 @@
+//! Models of the three malicious payloads from the paper's evaluation:
+//! Meterpreter-style Reverse TCP shell, Reverse HTTPS shell, and the
+//! Codeinject `pwddlg` password dialog.
+//!
+//! A payload is just a [`ProgramSpec`] like the host applications, but its
+//! behaviour profile reflects a backdoor: staging (memory allocation,
+//! library resolution), command-and-control (C2) networking, and the
+//! post-exploitation actions Meterpreter offers (shell spawning,
+//! keylogging, screenshots, credential collection). Some APIs deliberately
+//! overlap with benign applications (e.g. `send`/`recv` with Putty) — the
+//! *distribution* differs, which is exactly the signal the paper's
+//! statistical model keys on.
+
+use crate::program::{ActivityProfile, ProgramSpec};
+
+/// The three payloads of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadId {
+    /// Meterpreter with a reverse TCP transport.
+    ReverseTcp,
+    /// Meterpreter with a reverse HTTPS transport.
+    ReverseHttps,
+    /// Codeinject `pwddlg`: pops a password dialog, exits on failure.
+    Pwddlg,
+}
+
+impl PayloadId {
+    /// All payloads.
+    pub const ALL: [PayloadId; 3] = [
+        PayloadId::ReverseTcp,
+        PayloadId::ReverseHttps,
+        PayloadId::Pwddlg,
+    ];
+
+    /// Dataset-name component, e.g. `"reverse_tcp"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PayloadId::ReverseTcp => "reverse_tcp",
+            PayloadId::ReverseHttps => "reverse_https",
+            PayloadId::Pwddlg => "codeinject",
+        }
+    }
+
+    /// Parses a dataset-name component.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<PayloadId> {
+        PayloadId::ALL.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+/// Builds the program spec for a payload.
+#[must_use]
+pub fn payload_spec(payload: PayloadId) -> ProgramSpec {
+    let activities = match payload {
+        PayloadId::ReverseTcp => vec![
+            ActivityProfile::new("stage", 0.10, 8, &[
+                ("VirtualAlloc", 1.0), ("VirtualProtect", 0.8),
+                ("LoadLibraryW", 0.6), ("GetProcAddress", 1.0),
+            ]),
+            ActivityProfile::new("c2_tcp", 0.45, 14, &[
+                ("socket", 0.4), ("connect", 0.7), ("send", 1.2), ("recv", 1.4),
+                ("Sleep", 0.4), ("closesocket", 0.2),
+            ]),
+            ActivityProfile::new("post_exploit", 0.45, 16, &[
+                ("CreateProcessW", 0.5), ("GetAsyncKeyState", 1.0),
+                ("BitBlt", 0.4), ("ReadFile", 0.5), ("RegQueryValueExW", 0.5),
+                ("CreateThread", 0.3), ("WriteFile", 0.4),
+            ]),
+        ],
+        PayloadId::ReverseHttps => vec![
+            ActivityProfile::new("stage", 0.10, 8, &[
+                ("VirtualAlloc", 1.0), ("VirtualProtect", 0.8),
+                ("LoadLibraryW", 0.6), ("GetProcAddress", 1.0),
+            ]),
+            ActivityProfile::new("c2_https", 0.45, 16, &[
+                ("InternetOpenW", 0.2), ("InternetConnectW", 0.5),
+                ("HttpSendRequestW", 1.2), ("InternetReadFile", 1.4),
+                ("EncryptMessage", 0.6), ("DecryptMessage", 0.6), ("Sleep", 0.4),
+            ]),
+            ActivityProfile::new("post_exploit", 0.45, 16, &[
+                ("CreateProcessW", 0.5), ("GetAsyncKeyState", 1.0),
+                ("BitBlt", 0.4), ("ReadFile", 0.5), ("RegQueryValueExW", 0.5),
+                ("CreateThread", 0.3), ("CryptProtectData", 0.4),
+            ]),
+        ],
+        PayloadId::Pwddlg => vec![
+            ActivityProfile::new("dialog", 0.60, 10, &[
+                ("DialogBoxParamW", 1.2), ("CreateWindowExW", 0.6),
+                ("GetMessageW", 0.8), ("DispatchMessageW", 0.8),
+                ("TextOutW", 0.4),
+            ]),
+            ActivityProfile::new("check", 0.40, 8, &[
+                ("RegOpenKeyExW", 0.6), ("RegQueryValueExW", 1.0),
+                ("CryptProtectData", 0.5), ("ExitProcess", 0.3),
+                ("WaitForSingleObject", 0.4),
+            ]),
+        ],
+    };
+    ProgramSpec {
+        name: format!("payload_{}", payload.name()),
+        activities,
+        seed_salt: 0xbad_0000 + payload as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Va;
+    use crate::syslib::SysCatalog;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in PayloadId::ALL {
+            assert_eq!(PayloadId::from_name(p.name()), Some(p));
+        }
+        assert_eq!(PayloadId::from_name("rootkit"), None);
+    }
+
+    #[test]
+    fn payload_profiles_reference_known_apis() {
+        let catalog = SysCatalog::standard();
+        for p in PayloadId::ALL {
+            let spec = payload_spec(p);
+            for act in &spec.activities {
+                for &(api, _) in &act.apis {
+                    let _ = catalog.api_id(api);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payloads_instantiate_small() {
+        for p in PayloadId::ALL {
+            let model = payload_spec(p).instantiate(Va(0x7000_0000), 3);
+            // Payloads are much smaller than host applications.
+            assert!(model.functions.len() < 60, "{:?}", p);
+            assert!(model.functions.len() > 10, "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn tcp_and_https_payloads_differ_in_c2_library_mix() {
+        let tcp = payload_spec(PayloadId::ReverseTcp);
+        let https = payload_spec(PayloadId::ReverseHttps);
+        let tcp_apis: Vec<_> = tcp.activities[1].apis.iter().map(|&(n, _)| n).collect();
+        let https_apis: Vec<_> = https.activities[1].apis.iter().map(|&(n, _)| n).collect();
+        assert!(tcp_apis.contains(&"send"));
+        assert!(https_apis.contains(&"HttpSendRequestW"));
+        assert!(!https_apis.contains(&"send"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Synthetic program models: seeded call graphs whose leaves invoke
+//! system APIs.
+//!
+//! A [`ProgramSpec`] describes a program's *behaviour profile* as a set of
+//! [`ActivityProfile`]s (e.g. "file editing", "network session"). Each
+//! activity is realized as a subtree of synthetic functions hanging off the
+//! program root; leaf functions are call sites of the activity's APIs.
+//! Executing the program (see [`crate::exec`]) performs random walks from
+//! the root to a leaf, producing realistic application stack traces:
+//! adjacent events share stack prefixes (implicit CFG paths), stacks within
+//! one event show the invocation chain (explicit CFG paths).
+//!
+//! Instantiating the same spec at different base addresses models
+//! recompiled/rebased code (the paper's "pure malicious samples" are the
+//! payloads recompiled as standalone malware).
+
+use crate::addr::{AddressRange, Va};
+use crate::module::{FunctionSym, ModuleImage};
+use crate::rng::SimRng;
+use crate::syslib::{ApiId, SysCatalog};
+
+/// Index of a function within a [`ProgramModel`].
+pub type FuncId = usize;
+
+/// One behaviour of a program: a weighted API mix realized as a dedicated
+/// call-tree region.
+#[derive(Debug, Clone)]
+pub struct ActivityProfile {
+    /// Human-readable activity name, e.g. `"file_io"`.
+    pub name: &'static str,
+    /// Relative share of events this activity generates while enabled.
+    pub weight: f64,
+    /// APIs the activity invokes, with relative weights. Names must exist
+    /// in the [`SysCatalog`].
+    pub apis: Vec<(&'static str, f64)>,
+    /// Number of synthetic functions in this activity's subtree.
+    pub functions: usize,
+}
+
+impl ActivityProfile {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        weight: f64,
+        functions: usize,
+        apis: &[(&'static str, f64)],
+    ) -> Self {
+        ActivityProfile {
+            name,
+            weight,
+            apis: apis.to_vec(),
+            functions,
+        }
+    }
+}
+
+/// Static description of a program (application or payload).
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    /// Program/module name, e.g. `"vim"`.
+    pub name: String,
+    /// Behaviour profile.
+    pub activities: Vec<ActivityProfile>,
+    /// Seed salt so distinct programs built from the same master seed get
+    /// distinct structure.
+    pub seed_salt: u64,
+}
+
+/// A function node in the instantiated program.
+#[derive(Debug, Clone)]
+pub struct FuncNode {
+    /// Symbol name.
+    pub name: String,
+    /// Entry address.
+    pub addr: Va,
+    /// Callees within the program (tree + a few cross links).
+    pub callees: Vec<FuncId>,
+    /// APIs this function may invoke (leaf call sites), with weights.
+    pub apis: Vec<(ApiId, f64)>,
+    /// Activity index the function belongs to (`usize::MAX` for the root).
+    pub activity: usize,
+}
+
+/// An instantiated program laid out at a concrete base address.
+#[derive(Debug, Clone)]
+pub struct ProgramModel {
+    /// The module image (symbols sorted by address).
+    pub module: ModuleImage,
+    /// All function nodes; index = [`FuncId`].
+    pub functions: Vec<FuncNode>,
+    /// Root function (`main`).
+    pub root: FuncId,
+    /// Entry function of each activity, parallel to the spec's activities.
+    pub activity_entries: Vec<FuncId>,
+    /// Activity weights, parallel to `activity_entries`.
+    pub activity_weights: Vec<f64>,
+    /// Activity names, parallel to `activity_entries`.
+    pub activity_names: Vec<&'static str>,
+}
+
+/// Spacing between consecutive synthetic functions.
+pub(crate) const FUNC_STRIDE: u64 = 0x80;
+/// Offset of the first function from the module base (PE-header-ish gap).
+pub(crate) const CODE_START: u64 = 0x1000;
+
+impl ProgramSpec {
+    /// Instantiates the spec at `base`, deterministically from `seed`.
+    ///
+    /// The *structure* (call tree, API assignment) depends only on
+    /// `seed ^ seed_salt`; the base address only shifts the layout, so the
+    /// same program instantiated at two bases is the same logical code —
+    /// exactly how a rebased or appended copy of a payload behaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no activities, an activity has no APIs or
+    /// zero functions, or an API name is unknown.
+    #[must_use]
+    pub fn instantiate(&self, base: Va, seed: u64) -> ProgramModel {
+        assert!(!self.activities.is_empty(), "program needs >= 1 activity");
+        let catalog = SysCatalog::standard();
+        let mut rng = SimRng::new(seed ^ self.seed_salt);
+
+        let mut functions: Vec<FuncNode> = Vec::new();
+        // Root.
+        functions.push(FuncNode {
+            name: "main".to_owned(),
+            addr: Va(0), // assigned below
+            callees: Vec::new(),
+            apis: Vec::new(),
+            activity: usize::MAX,
+        });
+        let root: FuncId = 0;
+
+        let mut activity_entries = Vec::with_capacity(self.activities.len());
+        let mut activity_weights = Vec::with_capacity(self.activities.len());
+        let mut activity_names = Vec::with_capacity(self.activities.len());
+
+        for (act_idx, act) in self.activities.iter().enumerate() {
+            assert!(act.functions >= 1, "activity {} has zero functions", act.name);
+            assert!(!act.apis.is_empty(), "activity {} has no APIs", act.name);
+            let api_ids: Vec<(ApiId, f64)> = act
+                .apis
+                .iter()
+                .map(|&(name, w)| (catalog.api_id(name), w))
+                .collect();
+
+            // Build the activity subtree: node 0 of the subtree is the entry.
+            let first = functions.len();
+            for local in 0..act.functions {
+                functions.push(FuncNode {
+                    name: format!("{}_{}_{}", self.name, act.name, local),
+                    addr: Va(0),
+                    callees: Vec::new(),
+                    apis: Vec::new(),
+                    activity: act_idx,
+                });
+            }
+            // Random tree over the subtree: parent of node i (i>0) is a
+            // uniformly random earlier node, biasing toward shallow-ish
+            // trees with varied fanout.
+            for local in 1..act.functions {
+                let parent = first + rng.below(local);
+                let child = first + local;
+                functions[parent].callees.push(child);
+            }
+            // Leaf nodes (no callees) get 1–3 weighted API call sites;
+            // internal nodes occasionally get one too (call sites are not
+            // only in leaves in real programs).
+            for local in 0..act.functions {
+                let id = first + local;
+                let is_leaf = functions[id].callees.is_empty();
+                let n_apis = if is_leaf {
+                    rng.range(1, 3.min(api_ids.len()))
+                } else if rng.chance(0.2) {
+                    1
+                } else {
+                    0
+                };
+                for _ in 0..n_apis {
+                    let k = rng.weighted(
+                        &api_ids.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+                    );
+                    let (api, w) = api_ids[k];
+                    if !functions[id].apis.iter().any(|&(a, _)| a == api) {
+                        functions[id].apis.push((api, w));
+                    }
+                }
+            }
+            functions[root].callees.push(first);
+            activity_entries.push(first);
+            activity_weights.push(act.weight);
+            activity_names.push(act.name);
+        }
+
+        // Interleave addresses across activities: shuffle function order,
+        // then assign increasing addresses. This makes unseen-but-benign
+        // functions sit *between* seen benign functions in the address
+        // space, which is what Algorithm 2's density-array estimation
+        // relies on.
+        let mut order: Vec<FuncId> = (0..functions.len()).collect();
+        rng.shuffle(&mut order);
+        for (slot, &fid) in order.iter().enumerate() {
+            let jitter = rng.below(0x30) as u64;
+            functions[fid].addr = base.offset(CODE_START + slot as u64 * FUNC_STRIDE + jitter);
+        }
+
+        let code_end = base.offset(CODE_START + functions.len() as u64 * FUNC_STRIDE + 0x1000);
+        let module = ModuleImage::new(
+            self.name.clone(),
+            AddressRange::new(base, code_end),
+            functions
+                .iter()
+                .map(|f| FunctionSym { name: f.name.clone(), addr: f.addr })
+                .collect(),
+            true,
+        );
+
+        ProgramModel {
+            module,
+            functions,
+            root,
+            activity_entries,
+            activity_weights,
+            activity_names,
+        }
+    }
+}
+
+impl ProgramModel {
+    /// Samples a call path for one event of `activity`: a root-to-call-site
+    /// walk plus the API invoked there.
+    ///
+    /// Returns the function path (outermost first, starting at `main`) and
+    /// the chosen API.
+    pub fn sample_call(&self, activity: usize, rng: &mut SimRng) -> (Vec<FuncId>, ApiId) {
+        let mut path = vec![self.root];
+        let mut cur = self.activity_entries[activity];
+        path.push(cur);
+        loop {
+            let node = &self.functions[cur];
+            let can_stop = !node.apis.is_empty();
+            let must_stop = node.callees.is_empty();
+            if must_stop || (can_stop && rng.chance(0.35)) {
+                break;
+            }
+            cur = *rng.choose(&node.callees);
+            path.push(cur);
+        }
+        // Walk back up until we find a node with an API (internal nodes
+        // without call sites delegate to their subtree, so this terminates
+        // at a leaf which always has one — except when we stopped early).
+        while self.functions[*path.last().expect("non-empty path")].apis.is_empty() {
+            // Descend further instead: pick any callee chain to a leaf.
+            let node = &self.functions[*path.last().unwrap()];
+            let next = *rng.choose(&node.callees);
+            path.push(next);
+        }
+        let node = &self.functions[*path.last().unwrap()];
+        let weights: Vec<f64> = node.apis.iter().map(|&(_, w)| w).collect();
+        let api = node.apis[rng.weighted(&weights)].0;
+        (path, api)
+    }
+
+    /// Samples an activity index according to the model's weights,
+    /// restricted to `enabled` (indices into the activity list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty.
+    pub fn sample_activity(&self, enabled: &[usize], rng: &mut SimRng) -> usize {
+        assert!(!enabled.is_empty(), "no enabled activities");
+        let weights: Vec<f64> = enabled.iter().map(|&i| self.activity_weights[i]).collect();
+        enabled[rng.weighted(&weights)]
+    }
+
+    /// Address of a function.
+    #[must_use]
+    pub fn addr(&self, id: FuncId) -> Va {
+        self.functions[id].addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProgramSpec {
+        ProgramSpec {
+            name: "demo".into(),
+            seed_salt: 7,
+            activities: vec![
+                ActivityProfile::new(
+                    "file",
+                    0.6,
+                    20,
+                    &[("ReadFile", 1.0), ("WriteFile", 1.0), ("CloseHandle", 0.5)],
+                ),
+                ActivityProfile::new("net", 0.4, 15, &[("send", 1.0), ("recv", 1.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let a = spec().instantiate(Va(0x40_0000), 5);
+        let b = spec().instantiate(Va(0x40_0000), 5);
+        assert_eq!(a.module.functions, b.module.functions);
+    }
+
+    #[test]
+    fn different_seed_changes_structure() {
+        let a = spec().instantiate(Va(0x40_0000), 5);
+        let b = spec().instantiate(Va(0x40_0000), 6);
+        assert_ne!(a.module.functions, b.module.functions);
+    }
+
+    #[test]
+    fn rebasing_shifts_every_symbol_uniformly_in_structure() {
+        let a = spec().instantiate(Va(0x40_0000), 5);
+        let b = spec().instantiate(Va(0x90_0000), 5);
+        assert_eq!(a.functions.len(), b.functions.len());
+        for (fa, fb) in a.functions.iter().zip(&b.functions) {
+            assert_eq!(fa.name, fb.name);
+            assert_eq!(fa.addr.0 - 0x40_0000, fb.addr.0 - 0x90_0000);
+        }
+    }
+
+    #[test]
+    fn all_functions_inside_module_range() {
+        let m = spec().instantiate(Va(0x40_0000), 9);
+        for f in &m.functions {
+            assert!(m.module.range.contains(f.addr), "{} at {}", f.name, f.addr);
+        }
+    }
+
+    #[test]
+    fn sample_call_paths_start_at_main_and_end_at_call_site() {
+        let m = spec().instantiate(Va(0x40_0000), 9);
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let act = m.sample_activity(&[0, 1], &mut rng);
+            let (path, _api) = m.sample_call(act, &mut rng);
+            assert_eq!(path[0], m.root);
+            assert_eq!(path[1], m.activity_entries[act]);
+            assert!(!m.functions[*path.last().unwrap()].apis.is_empty());
+            // Path edges follow the call graph.
+            for w in path.windows(2) {
+                if w[0] == m.root {
+                    continue; // root->entry edges are explicit
+                }
+                assert!(m.functions[w[0]].callees.contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn activity_sampling_respects_weights() {
+        let m = spec().instantiate(Va(0x40_0000), 9);
+        let mut rng = SimRng::new(2);
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[m.sample_activity(&[0, 1], &mut rng)] += 1;
+        }
+        // 0.6 vs 0.4 weights.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > 1000);
+    }
+
+    #[test]
+    fn addresses_interleave_activities() {
+        // Sorted by address, the activity sequence should alternate rather
+        // than form two contiguous blocks.
+        let m = spec().instantiate(Va(0x40_0000), 11);
+        let mut by_addr: Vec<_> = m
+            .functions
+            .iter()
+            .filter(|f| f.activity != usize::MAX)
+            .collect();
+        by_addr.sort_by_key(|f| f.addr);
+        let switches = by_addr
+            .windows(2)
+            .filter(|w| w[0].activity != w[1].activity)
+            .count();
+        assert!(switches >= 5, "activities not interleaved: {switches} switches");
+    }
+}

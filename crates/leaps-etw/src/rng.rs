@@ -1,0 +1,228 @@
+//! Deterministic pseudo-random number generation for the simulation.
+//!
+//! The whole substrate must be reproducible bit-for-bit from a single `u64`
+//! seed (DESIGN.md §6), independent of any external crate's stream
+//! stability guarantees. We therefore ship a small, well-known generator:
+//! SplitMix64 for seeding/derivation and xoshiro256++ for the main stream.
+
+/// Deterministic RNG used throughout the simulation.
+///
+/// ```
+/// use leaps_etw::rng::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand seeds and derive sub-seeds.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives an independent child generator. `salt` distinguishes
+    /// siblings derived from the same parent seed.
+    #[must_use]
+    pub fn derive(&self, salt: u64) -> SimRng {
+        let mut s = self.state[0] ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        SimRng::new(splitmix64(&mut s))
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire-style multiply-shift; bias is negligible for our bounds.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "range lo > hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted() requires positive total weight");
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn derive_is_independent_of_parent_consumption() {
+        let parent = SimRng::new(9);
+        let mut c1 = parent.derive(5);
+        let mut parent2 = SimRng::new(9);
+        let _ = parent2.next_u64(); // derive() must not depend on stream position
+        let mut c2 = SimRng::new(9).derive(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::new(44);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut rng = SimRng::new(45);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(46);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_favors_heavy_entries() {
+        let mut rng = SimRng::new(47);
+        let weights = [0.05, 0.9, 0.05];
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[rng.weighted(&weights)] += 1;
+        }
+        assert!(counts[1] > counts[0] * 5);
+        assert!(counts[1] > counts[2] * 5);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(48);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(49);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,375 @@
+//! The 21 evaluation datasets of Table I.
+//!
+//! Each scenario is an (application, payload, attack-method) combination.
+//! Generating a scenario produces the three logs the paper's methodology
+//! requires:
+//!
+//! * **benign** — a clean run of the application (latent activity
+//!   disabled: the benign training log never covers all functionality);
+//! * **mixed** — an infected run with interleaved benign/malicious events
+//!   (and the latent benign activity enabled, making the training data
+//!   noisy in both directions);
+//! * **malicious** — the payload recompiled standalone (rebased), used
+//!   only as testing ground truth.
+
+use crate::apps::{app_spec, latent_activity_index, AppId, APP_BASE};
+use crate::attack::{AttackMethod, InfectedProcess, STANDALONE_BASE};
+use crate::event::SysEvent;
+use crate::exec::{run_benign, run_mixed, run_standalone_payload, MixedParams, RunParams};
+use crate::logfmt::write_log;
+use crate::payload::{payload_spec, PayloadId};
+use crate::rng::SimRng;
+
+/// One evaluation dataset: application × payload × attack method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Host application.
+    pub app: AppId,
+    /// Malicious payload.
+    pub payload: PayloadId,
+    /// Camouflaging strategy.
+    pub method: AttackMethod,
+}
+
+impl Scenario {
+    /// The 21 datasets in Table I order.
+    #[must_use]
+    pub fn table1() -> Vec<Scenario> {
+        use AppId::*;
+        use AttackMethod::*;
+        use PayloadId::*;
+        let mut v = Vec::with_capacity(21);
+        // Offline infection, reverse shells (10).
+        for app in [WinScp, Chrome, NotepadPlusPlus, Putty, Vim] {
+            for payload in [ReverseTcp, ReverseHttps] {
+                v.push(Scenario { app, payload, method: OfflineInfection });
+            }
+        }
+        // Reorder to match the table: winscp, chrome, notepad++, putty, vim
+        // is already the order used above except the paper lists
+        // winscp, chrome, notepad++, putty, vim — identical.
+        // Offline infection, codeinject (3).
+        for app in [Vim, NotepadPlusPlus, Putty] {
+            v.push(Scenario { app, payload: Pwddlg, method: OfflineInfection });
+        }
+        // Online injection (8).
+        for app in [Putty, NotepadPlusPlus, Vim, WinScp] {
+            for payload in [ReverseTcp, ReverseHttps] {
+                v.push(Scenario { app, payload, method: OnlineInjection });
+            }
+        }
+        v
+    }
+
+    /// The **extension** datasets for the Section VI-A source-level
+    /// trojan threat (not part of Table I): five app/payload combinations
+    /// where the payload is woven into the application source and the
+    /// binary recompiled, shuffling every function address.
+    #[must_use]
+    pub fn source_trojans() -> Vec<Scenario> {
+        use AppId::*;
+        use PayloadId::*;
+        [
+            (Vim, ReverseTcp),
+            (Putty, ReverseHttps),
+            (NotepadPlusPlus, Pwddlg),
+            (WinScp, ReverseTcp),
+            (Chrome, ReverseHttps),
+        ]
+        .into_iter()
+        .map(|(app, payload)| Scenario {
+            app,
+            payload,
+            method: AttackMethod::SourceRecompile,
+        })
+        .collect()
+    }
+
+    /// All datasets: Table I plus the source-trojan extension.
+    #[must_use]
+    pub fn all() -> Vec<Scenario> {
+        let mut v = Scenario::table1();
+        v.extend(Scenario::source_trojans());
+        v
+    }
+
+    /// The scenarios of the offline-infection group (Figure 6).
+    #[must_use]
+    pub fn offline() -> Vec<Scenario> {
+        Scenario::table1()
+            .into_iter()
+            .filter(|s| s.method == AttackMethod::OfflineInfection)
+            .collect()
+    }
+
+    /// The scenarios of the online-injection group (Figure 7).
+    #[must_use]
+    pub fn online() -> Vec<Scenario> {
+        Scenario::table1()
+            .into_iter()
+            .filter(|s| s.method == AttackMethod::OnlineInjection)
+            .collect()
+    }
+
+    /// Dataset name as used in Table I, e.g. `"putty_reverse_https_online"`
+    /// or `"vim_codeinject"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "{}_{}{}",
+            self.app.name(),
+            self.payload.name(),
+            self.method.suffix()
+        )
+    }
+
+    /// Looks a scenario up by its dataset name (Table I names plus the
+    /// `_source` extension names).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Generates the three raw logs for this scenario.
+    #[must_use]
+    pub fn generate(&self, params: &GenParams, seed: u64) -> RawLogs {
+        let events = self.generate_events(params, seed);
+        RawLogs {
+            benign: write_log(&events.benign),
+            mixed: write_log(&events.mixed),
+            malicious: write_log(&events.malicious),
+        }
+    }
+
+    /// Generates the three logs as in-memory event vectors (skips
+    /// serialization; useful for tests and benches of later stages).
+    #[must_use]
+    pub fn generate_events(&self, params: &GenParams, seed: u64) -> EventLogs {
+        // Mix the scenario identity into the seed so two scenarios never
+        // share a program layout by accident.
+        let mut salt = 0u64;
+        for b in self.name().bytes() {
+            salt = salt.wrapping_mul(131).wrapping_add(u64::from(b));
+        }
+        let root = SimRng::new(seed ^ salt);
+        let mut seeds = root.clone();
+        let app_seed = seeds.next_u64();
+        let payload_seed = seeds.next_u64();
+        let benign_seed = seeds.next_u64();
+        let mixed_seed = seeds.next_u64();
+        let malicious_seed = seeds.next_u64();
+
+        let spec = app_spec(self.app);
+        let latent = latent_activity_index(&spec);
+        let app = spec.instantiate(APP_BASE, app_seed);
+        let infection =
+            InfectedProcess::stage(&app, &payload_spec(self.payload), self.method, payload_seed);
+        let standalone = payload_spec(self.payload).instantiate(STANDALONE_BASE, payload_seed);
+
+        let benign = run_benign(
+            &app,
+            &[latent],
+            RunParams { events: params.benign_events, pid: 0x5c4 },
+            benign_seed,
+        );
+        let mixed = run_mixed(
+            &app,
+            &infection,
+            MixedParams {
+                run: RunParams { events: params.mixed_events, pid: 0x7a8 },
+                benign_ratio: params.benign_ratio,
+            },
+            mixed_seed,
+        );
+        let malicious = run_standalone_payload(
+            &standalone,
+            RunParams { events: params.malicious_events, pid: 0x9f0 },
+            malicious_seed,
+        );
+        EventLogs { benign, mixed, malicious }
+    }
+}
+
+/// Generates one **system-wide trace**: the mixed (infected) runs of
+/// several scenarios interleaved into a single log, each under its own
+/// process id — what a production ETW session actually records. The
+/// front end's per-process slicing (`leaps-trace::slicing`) recovers the
+/// per-application streams.
+///
+/// Events are merged by timestamp and renumbered globally; process ids
+/// are `0x1000, 0x1001, …` in `scenarios` order.
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty.
+#[must_use]
+pub fn generate_system_trace(
+    scenarios: &[Scenario],
+    params: &GenParams,
+    seed: u64,
+) -> Vec<SysEvent> {
+    assert!(!scenarios.is_empty(), "need at least one scenario");
+    let mut merged: Vec<SysEvent> = Vec::new();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let logs = scenario.generate_events(params, seed ^ (i as u64) << 32);
+        let pid = 0x1000 + i as u32;
+        merged.extend(logs.mixed.into_iter().map(|mut e| {
+            e.pid = pid;
+            e
+        }));
+    }
+    merged.sort_by_key(|e| e.timestamp);
+    for (i, e) in merged.iter_mut().enumerate() {
+        e.num = i as u64 + 1;
+    }
+    merged
+}
+
+/// Log-size and mixing parameters for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Events in the benign log.
+    pub benign_events: usize,
+    /// Events in the mixed log.
+    pub mixed_events: usize,
+    /// Events in the standalone-malicious log.
+    pub malicious_events: usize,
+    /// Fraction of mixed-log events from benign code.
+    pub benign_ratio: f64,
+}
+
+impl GenParams {
+    /// Paper-scale logs (used by the benchmark harness).
+    #[must_use]
+    pub fn paper() -> Self {
+        GenParams {
+            benign_events: 6000,
+            mixed_events: 6000,
+            malicious_events: 3000,
+            benign_ratio: 0.5,
+        }
+    }
+
+    /// Small logs for fast tests.
+    #[must_use]
+    pub fn small() -> Self {
+        GenParams {
+            benign_events: 600,
+            mixed_events: 600,
+            malicious_events: 300,
+            benign_ratio: 0.5,
+        }
+    }
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams::paper()
+    }
+}
+
+/// The three raw logs of a dataset, in the ETL-like text format.
+#[derive(Debug, Clone)]
+pub struct RawLogs {
+    /// Clean application run.
+    pub benign: String,
+    /// Infected run (interleaved benign + malicious).
+    pub mixed: String,
+    /// Standalone payload run (testing ground truth).
+    pub malicious: String,
+}
+
+/// The three logs of a dataset as parsed-equivalent event vectors.
+#[derive(Debug, Clone)]
+pub struct EventLogs {
+    /// Clean application run.
+    pub benign: Vec<SysEvent>,
+    /// Infected run.
+    pub mixed: Vec<SysEvent>,
+    /// Standalone payload run.
+    pub malicious: Vec<SysEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Provenance;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table1_has_21_unique_named_datasets() {
+        let scenarios = Scenario::table1();
+        assert_eq!(scenarios.len(), 21);
+        let names: HashSet<String> = scenarios.iter().map(Scenario::name).collect();
+        assert_eq!(names.len(), 21);
+        assert!(names.contains("winscp_reverse_tcp"));
+        assert!(names.contains("vim_codeinject"));
+        assert!(names.contains("putty_reverse_https_online"));
+        assert!(!names.contains("chrome_reverse_tcp_online"));
+    }
+
+    #[test]
+    fn offline_online_partition() {
+        assert_eq!(Scenario::offline().len(), 13);
+        assert_eq!(Scenario::online().len(), 8);
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for s in Scenario::table1() {
+            assert_eq!(Scenario::by_name(&s.name()), Some(s));
+        }
+        assert!(Scenario::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let s = Scenario::by_name("vim_reverse_tcp").unwrap();
+        let a = s.generate(&GenParams::small(), 5);
+        let b = s.generate(&GenParams::small(), 5);
+        assert_eq!(a.benign, b.benign);
+        assert_eq!(a.mixed, b.mixed);
+        let c = s.generate(&GenParams::small(), 6);
+        assert_ne!(a.mixed, c.mixed);
+    }
+
+    #[test]
+    fn event_logs_have_correct_provenance_structure() {
+        let s = Scenario::by_name("putty_reverse_tcp_online").unwrap();
+        let logs = s.generate_events(&GenParams::small(), 5);
+        assert!(logs.benign.iter().all(|e| e.truth == Provenance::Benign));
+        assert!(logs.malicious.iter().all(|e| e.truth == Provenance::Malicious));
+        let mal_in_mixed = logs
+            .mixed
+            .iter()
+            .filter(|e| e.truth == Provenance::Malicious)
+            .count();
+        assert!(mal_in_mixed > 0);
+        assert!(mal_in_mixed < logs.mixed.len());
+    }
+
+    #[test]
+    fn sizes_follow_params() {
+        let s = Scenario::by_name("chrome_reverse_https").unwrap();
+        let p = GenParams {
+            benign_events: 100,
+            mixed_events: 150,
+            malicious_events: 50,
+            benign_ratio: 0.5,
+        };
+        let logs = s.generate_events(&p, 1);
+        assert_eq!(logs.benign.len(), 100);
+        assert_eq!(logs.mixed.len(), 150);
+        assert_eq!(logs.malicious.len(), 50);
+    }
+
+    #[test]
+    fn different_scenarios_produce_different_logs() {
+        let a = Scenario::by_name("vim_reverse_tcp").unwrap();
+        let b = Scenario::by_name("putty_reverse_tcp").unwrap();
+        assert_ne!(
+            a.generate(&GenParams::small(), 5).benign,
+            b.generate(&GenParams::small(), 5).benign
+        );
+    }
+}

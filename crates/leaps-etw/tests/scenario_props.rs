@@ -1,0 +1,116 @@
+//! Property tests for the simulation substrate: dataset generation must
+//! uphold its invariants for arbitrary parameters and seeds.
+
+use leaps_etw::event::Provenance;
+use leaps_etw::scenario::{GenParams, Scenario};
+use proptest::prelude::*;
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    prop::sample::select(Scenario::all())
+}
+
+fn small_params() -> impl Strategy<Value = GenParams> {
+    (50usize..200, 50usize..200, 20usize..100, 0.2f64..0.8).prop_map(
+        |(b, m, p, ratio)| GenParams {
+            benign_events: b,
+            mixed_events: m,
+            malicious_events: p,
+            benign_ratio: ratio,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scenario × parameter × seed combination generates logs with
+    /// exact sizes, 1-based dense numbering, strictly increasing
+    /// timestamps and non-empty stacks.
+    #[test]
+    fn generation_invariants(
+        scenario in any_scenario(),
+        params in small_params(),
+        seed in 0u64..1000,
+    ) {
+        let logs = scenario.generate_events(&params, seed);
+        prop_assert_eq!(logs.benign.len(), params.benign_events);
+        prop_assert_eq!(logs.mixed.len(), params.mixed_events);
+        prop_assert_eq!(logs.malicious.len(), params.malicious_events);
+        for log in [&logs.benign, &logs.mixed, &logs.malicious] {
+            let mut last_ts = 0u64;
+            for (i, e) in log.iter().enumerate() {
+                prop_assert_eq!(e.num, i as u64 + 1);
+                prop_assert!(e.timestamp > last_ts);
+                last_ts = e.timestamp;
+                prop_assert!(!e.frames.is_empty());
+                prop_assert!(e.frames.iter().any(|f| f.in_app_image));
+                prop_assert!(e.frames.iter().any(|f| !f.in_app_image));
+            }
+        }
+    }
+
+    /// Provenance structure: benign logs are pure benign, malicious logs
+    /// pure malicious, and the mixed log's benign share tracks the
+    /// configured ratio within a burst-noise tolerance.
+    #[test]
+    fn provenance_structure(
+        scenario in any_scenario(),
+        seed in 0u64..200,
+    ) {
+        let params = GenParams {
+            benign_events: 600,
+            mixed_events: 600,
+            malicious_events: 100,
+            benign_ratio: 0.5,
+        };
+        let logs = scenario.generate_events(&params, seed);
+        prop_assert!(logs.benign.iter().all(|e| e.truth == Provenance::Benign));
+        prop_assert!(logs.malicious.iter().all(|e| e.truth == Provenance::Malicious));
+        let benign_share = logs
+            .mixed
+            .iter()
+            .filter(|e| e.truth == Provenance::Benign)
+            .count() as f64
+            / logs.mixed.len() as f64;
+        // Bursty interleaving has high variance; just require both
+        // classes to be well represented.
+        prop_assert!((0.15..=0.85).contains(&benign_share), "share {benign_share}");
+    }
+
+    /// Generation is a pure function of (scenario, params, seed).
+    #[test]
+    fn generation_deterministic(
+        scenario in any_scenario(),
+        params in small_params(),
+        seed in 0u64..1000,
+    ) {
+        let a = scenario.generate_events(&params, seed);
+        let b = scenario.generate_events(&params, seed);
+        prop_assert_eq!(a.benign, b.benign);
+        prop_assert_eq!(a.mixed, b.mixed);
+        prop_assert_eq!(a.malicious, b.malicious);
+    }
+
+    /// Raw-log serialization always parses back (writer/parser contract),
+    /// for any scenario and seed.
+    #[test]
+    fn raw_logs_always_parse(
+        scenario in any_scenario(),
+        seed in 0u64..200,
+    ) {
+        let params = GenParams {
+            benign_events: 60,
+            mixed_events: 60,
+            malicious_events: 30,
+            benign_ratio: 0.5,
+        };
+        let raw = scenario.generate(&params, seed);
+        for log in [&raw.benign, &raw.mixed, &raw.malicious] {
+            prop_assert!(log.starts_with("# LEAPS-ETL v1"));
+            // Each EVENT line is matched by exactly one END.
+            let events = log.lines().filter(|l| l.starts_with("EVENT ")).count();
+            let ends = log.lines().filter(|l| *l == "END").count();
+            prop_assert_eq!(events, ends);
+        }
+    }
+}

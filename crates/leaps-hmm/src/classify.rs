@@ -1,0 +1,203 @@
+//! Benign-vs-mixed classification with a pair of HMMs.
+
+use crate::hmm::{Hmm, HmmParams};
+use std::collections::HashMap;
+
+/// A two-model HMM classifier over discrete event symbols.
+///
+/// Mirrors the paper's discriminative setup: the positive model is
+/// trained on benign sequences, the negative model on mixed sequences
+/// (noisy, as in the paper); a test sequence is benign iff the benign
+/// model's per-symbol log-likelihood exceeds the mixed model's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmClassifier {
+    benign: Hmm,
+    mixed: Hmm,
+}
+
+impl HmmClassifier {
+    /// Trains the two models.
+    ///
+    /// Training sequences are symbol chunks of length `chunk`; symbols
+    /// must already be discretized into `0..symbols` (use a
+    /// `FeatureEncoder` tuple→symbol mapping — see `leaps-core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either stream produces no non-empty chunk, or symbols
+    /// exceed the alphabet.
+    #[must_use]
+    pub fn fit(
+        benign_symbols: &[usize],
+        mixed_symbols: &[usize],
+        symbols: usize,
+        chunk: usize,
+        params: &HmmParams,
+    ) -> HmmClassifier {
+        assert!(chunk >= 2, "chunks must hold at least two symbols");
+        let chunks = |stream: &[usize]| -> Vec<Vec<usize>> {
+            stream.chunks(chunk).map(<[usize]>::to_vec).collect()
+        };
+        let benign = Hmm::train(&chunks(benign_symbols), symbols, params);
+        let mixed = Hmm::train(
+            &chunks(mixed_symbols),
+            symbols,
+            &HmmParams { seed: params.seed ^ 0xbad, ..*params },
+        );
+        HmmClassifier { benign, mixed }
+    }
+
+    /// Per-symbol log-likelihood ratio `(benign − mixed) / len`; positive
+    /// means benign-like.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty or contains out-of-alphabet symbols.
+    #[must_use]
+    pub fn score(&self, seq: &[usize]) -> f64 {
+        let len = seq.len() as f64;
+        (self.benign.log_likelihood(seq) - self.mixed.log_likelihood(seq)) / len
+    }
+
+    /// Classifies a sequence: `true` = benign.
+    #[must_use]
+    pub fn is_benign(&self, seq: &[usize]) -> bool {
+        self.score(seq) >= 0.0
+    }
+
+    /// The positive (benign) model.
+    #[must_use]
+    pub fn benign_model(&self) -> &Hmm {
+        &self.benign
+    }
+
+    /// The negative (mixed) model.
+    #[must_use]
+    pub fn mixed_model(&self) -> &Hmm {
+        &self.mixed
+    }
+
+    /// Reassembles a classifier from persisted models.
+    #[must_use]
+    pub fn from_parts(benign: Hmm, mixed: Hmm) -> HmmClassifier {
+        HmmClassifier { benign, mixed }
+    }
+}
+
+/// A growable mapping from arbitrary hashable observations to dense
+/// symbol ids, with a reserved "unknown" symbol for observations first
+/// seen at test time.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable<T: std::hash::Hash + Eq> {
+    ids: HashMap<T, usize>,
+}
+
+impl<T: std::hash::Hash + Eq> SymbolTable<T> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolTable { ids: HashMap::new() }
+    }
+
+    /// Interns an observation during training, returning its id.
+    pub fn intern(&mut self, obs: T) -> usize {
+        let next = self.ids.len();
+        *self.ids.entry(obs).or_insert(next)
+    }
+
+    /// Looks an observation up at test time; unknown observations map to
+    /// the reserved id [`Self::alphabet_size`]` - 1`.
+    #[must_use]
+    pub fn lookup(&self, obs: &T) -> usize {
+        self.ids.get(obs).copied().unwrap_or(self.ids.len())
+    }
+
+    /// Alphabet size including the reserved unknown symbol.
+    #[must_use]
+    pub fn alphabet_size(&self) -> usize {
+        self.ids.len() + 1
+    }
+
+    /// Iterates `(observation, id)` pairs in arbitrary order (for
+    /// persistence).
+    pub fn entries(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.ids.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Reassembles a table from persisted entries. Ids must be dense
+    /// `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not dense.
+    #[must_use]
+    pub fn from_entries(entries: impl IntoIterator<Item = (T, usize)>) -> SymbolTable<T> {
+        let ids: HashMap<T, usize> = entries.into_iter().collect();
+        let n = ids.len();
+        let mut seen = vec![false; n];
+        for &v in ids.values() {
+            assert!(v < n, "symbol id {v} out of range");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "symbol ids are not dense");
+        SymbolTable { ids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repeat_pattern(pattern: &[usize], len: usize) -> Vec<usize> {
+        (0..len).map(|i| pattern[i % pattern.len()]).collect()
+    }
+
+    #[test]
+    fn classifier_separates_distinct_symbol_languages() {
+        // Benign language cycles 0,1,2; "mixed" (malicious-ish) uses 3,4.
+        let benign = repeat_pattern(&[0, 1, 2], 200);
+        let mixed = repeat_pattern(&[3, 4], 200);
+        let clf = HmmClassifier::fit(&benign, &mixed, 5, 40, &HmmParams::default());
+        assert!(clf.is_benign(&repeat_pattern(&[0, 1, 2], 12)));
+        assert!(!clf.is_benign(&repeat_pattern(&[3, 4], 12)));
+        assert!(clf.score(&repeat_pattern(&[0, 1, 2], 12)) > 0.0);
+    }
+
+    #[test]
+    fn noisy_mixed_stream_still_flags_pure_malicious() {
+        // The mixed stream interleaves benign and malicious symbols (the
+        // paper's noisy-negative situation).
+        let benign = repeat_pattern(&[0, 1], 300);
+        let mixed: Vec<usize> = (0..300)
+            .map(|i| if (i / 25) % 2 == 0 { i % 2 } else { 2 + i % 2 })
+            .collect();
+        let clf = HmmClassifier::fit(&benign, &mixed, 4, 50, &HmmParams::default());
+        assert!(!clf.is_benign(&repeat_pattern(&[2, 3], 12)));
+    }
+
+    #[test]
+    fn models_are_accessible() {
+        let clf = HmmClassifier::fit(
+            &repeat_pattern(&[0], 40),
+            &repeat_pattern(&[1], 40),
+            2,
+            20,
+            &HmmParams::default(),
+        );
+        assert_eq!(clf.benign_model().symbol_count(), 2);
+        assert_eq!(clf.mixed_model().state_count(), HmmParams::default().states);
+    }
+
+    #[test]
+    fn symbol_table_interns_and_handles_unknowns() {
+        let mut table: SymbolTable<(u32, u32)> = SymbolTable::new();
+        let a = table.intern((1, 2));
+        let b = table.intern((3, 4));
+        assert_ne!(a, b);
+        assert_eq!(table.intern((1, 2)), a);
+        assert_eq!(table.lookup(&(1, 2)), a);
+        // Unknown at test time → reserved last id.
+        assert_eq!(table.lookup(&(9, 9)), table.alphabet_size() - 1);
+        assert_eq!(table.alphabet_size(), 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! Discrete HMM with Baum–Welch training and scaled forward scoring.
+
+use leaps_etw::rng::SimRng;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmmParams {
+    /// Number of hidden states.
+    pub states: usize,
+    /// Baum–Welch iterations.
+    pub iterations: usize,
+    /// Probability floor applied after every re-estimation so no
+    /// transition/emission collapses to exactly zero (unseen test symbols
+    /// would otherwise yield −∞ likelihood).
+    pub floor: f64,
+    /// Seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for HmmParams {
+    fn default() -> Self {
+        HmmParams { states: 6, iterations: 15, floor: 1e-6, seed: 1 }
+    }
+}
+
+/// A discrete hidden Markov model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hmm {
+    /// Number of hidden states `N`.
+    states: usize,
+    /// Number of observation symbols `M`.
+    symbols: usize,
+    /// Initial state distribution, length `N`.
+    pi: Vec<f64>,
+    /// Transition probabilities, `N × N`, row-stochastic.
+    a: Vec<f64>,
+    /// Emission probabilities, `N × M`, row-stochastic.
+    b: Vec<f64>,
+}
+
+impl Hmm {
+    /// Trains an HMM on `sequences` of observation symbols drawn from
+    /// `0..symbols`, with Baum–Welch (multiple-sequence re-estimation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbols == 0`, `params.states == 0`, there are no
+    /// non-empty sequences, or a sequence contains an out-of-range symbol.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // Baum-Welch index arithmetic reads best indexed
+    pub fn train(sequences: &[Vec<usize>], symbols: usize, params: &HmmParams) -> Hmm {
+        assert!(symbols > 0, "need at least one observation symbol");
+        assert!(params.states > 0, "need at least one hidden state");
+        let sequences: Vec<&Vec<usize>> =
+            sequences.iter().filter(|s| !s.is_empty()).collect();
+        assert!(!sequences.is_empty(), "need at least one non-empty sequence");
+        for seq in &sequences {
+            for &o in seq.iter() {
+                assert!(o < symbols, "symbol {o} out of range (< {symbols})");
+            }
+        }
+
+        let n = params.states;
+        let mut rng = SimRng::new(params.seed);
+        let mut model = Hmm {
+            states: n,
+            symbols,
+            pi: random_stochastic(&mut rng, 1, n).remove(0),
+            a: random_stochastic(&mut rng, n, n).concat(),
+            b: random_stochastic(&mut rng, n, symbols).concat(),
+        };
+
+        for _ in 0..params.iterations {
+            let mut pi_acc = vec![0.0; n];
+            let mut a_num = vec![0.0; n * n];
+            let mut a_den = vec![0.0; n];
+            let mut b_num = vec![0.0; n * symbols];
+            let mut b_den = vec![0.0; n];
+
+            for seq in &sequences {
+                let t_len = seq.len();
+                let (alpha, scales) = model.forward_scaled(seq);
+                let beta = model.backward_scaled(seq, &scales);
+
+                // gamma_t(i) ∝ alpha_t(i) * beta_t(i) (already normalized
+                // per t thanks to the common scaling).
+                for t in 0..t_len {
+                    let mut norm = 0.0;
+                    for i in 0..n {
+                        norm += alpha[t * n + i] * beta[t * n + i];
+                    }
+                    if norm <= 0.0 {
+                        continue;
+                    }
+                    for i in 0..n {
+                        let g = alpha[t * n + i] * beta[t * n + i] / norm;
+                        if t == 0 {
+                            pi_acc[i] += g;
+                        }
+                        b_num[i * symbols + seq[t]] += g;
+                        b_den[i] += g;
+                        if t + 1 < t_len {
+                            a_den[i] += g;
+                        }
+                    }
+                }
+                // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+                for t in 0..t_len.saturating_sub(1) {
+                    let mut norm = 0.0;
+                    let mut xi = vec![0.0; n * n];
+                    for i in 0..n {
+                        for j in 0..n {
+                            let v = alpha[t * n + i]
+                                * model.a[i * n + j]
+                                * model.b[j * symbols + seq[t + 1]]
+                                * beta[(t + 1) * n + j];
+                            xi[i * n + j] = v;
+                            norm += v;
+                        }
+                    }
+                    if norm <= 0.0 {
+                        continue;
+                    }
+                    for i in 0..n {
+                        for j in 0..n {
+                            a_num[i * n + j] += xi[i * n + j] / norm;
+                        }
+                    }
+                }
+            }
+
+            // Re-estimate with flooring + renormalization.
+            let total_pi: f64 = pi_acc.iter().sum();
+            if total_pi > 0.0 {
+                for i in 0..n {
+                    model.pi[i] = pi_acc[i] / total_pi;
+                }
+            }
+            for i in 0..n {
+                if a_den[i] > 0.0 {
+                    for j in 0..n {
+                        model.a[i * n + j] = a_num[i * n + j] / a_den[i];
+                    }
+                }
+                if b_den[i] > 0.0 {
+                    for m in 0..symbols {
+                        model.b[i * symbols + m] = b_num[i * symbols + m] / b_den[i];
+                    }
+                }
+            }
+            model.apply_floor(params.floor);
+        }
+        model
+    }
+
+    fn apply_floor(&mut self, floor: f64) {
+        floor_renormalize(&mut self.pi, floor);
+        for i in 0..self.states {
+            floor_renormalize(&mut self.a[i * self.states..(i + 1) * self.states], floor);
+            floor_renormalize(&mut self.b[i * self.symbols..(i + 1) * self.symbols], floor);
+        }
+    }
+
+    /// Scaled forward pass; returns (alpha, per-step scale factors).
+    #[allow(clippy::needless_range_loop)] // flat-matrix index arithmetic
+    fn forward_scaled(&self, seq: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.states;
+        let mut alpha = vec![0.0; seq.len() * n];
+        let mut scales = vec![0.0; seq.len()];
+        for i in 0..n {
+            alpha[i] = self.pi[i] * self.b[i * self.symbols + seq[0]];
+        }
+        scales[0] = normalize_slice(&mut alpha[0..n]);
+        for t in 1..seq.len() {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for i in 0..n {
+                    sum += alpha[(t - 1) * n + i] * self.a[i * n + j];
+                }
+                alpha[t * n + j] = sum * self.b[j * self.symbols + seq[t]];
+            }
+            scales[t] = normalize_slice(&mut alpha[t * n..(t + 1) * n]);
+        }
+        (alpha, scales)
+    }
+
+    /// Scaled backward pass using the forward scales.
+    fn backward_scaled(&self, seq: &[usize], scales: &[f64]) -> Vec<f64> {
+        let n = self.states;
+        let t_len = seq.len();
+        let mut beta = vec![0.0; t_len * n];
+        for i in 0..n {
+            beta[(t_len - 1) * n + i] = 1.0;
+        }
+        for t in (0..t_len - 1).rev() {
+            for i in 0..n {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += self.a[i * n + j]
+                        * self.b[j * self.symbols + seq[t + 1]]
+                        * beta[(t + 1) * n + j];
+                }
+                beta[t * n + i] = if scales[t + 1] > 0.0 { sum / scales[t + 1] } else { 0.0 };
+            }
+        }
+        beta
+    }
+
+    /// Log-likelihood `ln P(seq | model)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is empty or contains an out-of-range symbol.
+    #[must_use]
+    pub fn log_likelihood(&self, seq: &[usize]) -> f64 {
+        assert!(!seq.is_empty(), "cannot score an empty sequence");
+        for &o in seq {
+            assert!(o < self.symbols, "symbol {o} out of range");
+        }
+        let (_, scales) = self.forward_scaled(seq);
+        scales.iter().map(|&s| if s > 0.0 { s.ln() } else { f64::NEG_INFINITY }).sum()
+    }
+
+    /// Reassembles a model from persisted parts (row-stochastic π, A, B).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    #[must_use]
+    pub fn from_parts(states: usize, symbols: usize, pi: Vec<f64>, a: Vec<f64>, b: Vec<f64>) -> Hmm {
+        assert_eq!(pi.len(), states, "pi length mismatch");
+        assert_eq!(a.len(), states * states, "A length mismatch");
+        assert_eq!(b.len(), states * symbols, "B length mismatch");
+        Hmm { states, symbols, pi, a, b }
+    }
+
+    /// The persisted parts: `(pi, A, B)` flat row-major matrices.
+    #[must_use]
+    pub fn parts(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.pi, &self.a, &self.b)
+    }
+
+    /// Number of hidden states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Number of observation symbols.
+    #[must_use]
+    pub fn symbol_count(&self) -> usize {
+        self.symbols
+    }
+}
+
+/// Normalizes a slice to sum 1, returning the original sum (the scale).
+fn normalize_slice(xs: &mut [f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+    sum
+}
+
+fn floor_renormalize(xs: &mut [f64], floor: f64) {
+    for x in xs.iter_mut() {
+        if !x.is_finite() || *x < floor {
+            *x = floor;
+        }
+    }
+    let sum: f64 = xs.iter().sum();
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+fn random_stochastic(rng: &mut SimRng, rows: usize, cols: usize) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..cols).map(|_| 0.1 + rng.f64()).collect();
+            let sum: f64 = row.iter().sum();
+            for x in &mut row {
+                *x /= sum;
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alternating(len: usize) -> Vec<usize> {
+        (0..len).map(|i| i % 2).collect()
+    }
+
+    fn constant(len: usize, sym: usize) -> Vec<usize> {
+        vec![sym; len]
+    }
+
+    #[test]
+    fn rows_remain_stochastic_after_training() {
+        let seqs = vec![alternating(30), alternating(25)];
+        let model = Hmm::train(&seqs, 3, &HmmParams::default());
+        let n = model.state_count();
+        assert!((model.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 0..n {
+            let a_row: f64 = model.a[i * n..(i + 1) * n].iter().sum();
+            assert!((a_row - 1.0).abs() < 1e-9, "A row {i} sums to {a_row}");
+            let b_row: f64 = model.b[i * 3..(i + 1) * 3].iter().sum();
+            assert!((b_row - 1.0).abs() < 1e-9, "B row {i} sums to {b_row}");
+        }
+    }
+
+    #[test]
+    fn model_prefers_its_training_distribution() {
+        let model = Hmm::train(&[alternating(60)], 2, &HmmParams::default());
+        let in_dist = model.log_likelihood(&alternating(20));
+        let out_dist = model.log_likelihood(&constant(20, 0));
+        assert!(in_dist > out_dist, "{in_dist} vs {out_dist}");
+    }
+
+    #[test]
+    fn two_models_separate_two_languages() {
+        let params = HmmParams::default();
+        let a = Hmm::train(&[alternating(80)], 3, &params);
+        let b = Hmm::train(&[constant(80, 2)], 3, &params);
+        let probe_alt = alternating(15);
+        let probe_const = constant(15, 2);
+        assert!(a.log_likelihood(&probe_alt) > b.log_likelihood(&probe_alt));
+        assert!(b.log_likelihood(&probe_const) > a.log_likelihood(&probe_const));
+    }
+
+    #[test]
+    fn likelihood_is_a_log_probability() {
+        let model = Hmm::train(&[alternating(40)], 2, &HmmParams::default());
+        // ln P ≤ 0 for any sequence.
+        assert!(model.log_likelihood(&alternating(10)) <= 0.0);
+        assert!(model.log_likelihood(&constant(10, 1)) <= 0.0);
+    }
+
+    #[test]
+    fn unseen_symbols_are_floored_not_impossible() {
+        // Train on symbols {0,1} of a 3-symbol alphabet; symbol 2 unseen.
+        let model = Hmm::train(&[alternating(40)], 3, &HmmParams::default());
+        let ll = model.log_likelihood(&constant(5, 2));
+        assert!(ll.is_finite(), "unseen symbol must not be -inf");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let seqs = vec![alternating(30)];
+        let a = Hmm::train(&seqs, 2, &HmmParams::default());
+        let b = Hmm::train(&seqs, 2, &HmmParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn longer_consistent_sequences_score_proportionally() {
+        let model = Hmm::train(&[alternating(60)], 2, &HmmParams::default());
+        let ll10 = model.log_likelihood(&alternating(10));
+        let ll20 = model.log_likelihood(&alternating(20));
+        // Roughly additive per symbol.
+        assert!(ll20 < ll10);
+        assert!((ll20 / 2.0 - ll10).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_symbol_rejected() {
+        let model = Hmm::train(&[alternating(10)], 2, &HmmParams::default());
+        let _ = model.log_likelihood(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sequence")]
+    fn empty_training_rejected() {
+        let _ = Hmm::train(&[vec![]], 2, &HmmParams::default());
+    }
+}

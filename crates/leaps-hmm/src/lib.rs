@@ -1,0 +1,20 @@
+//! Discrete hidden Markov models for event-sequence classification — the
+//! sequence-learning extension the LEAPS paper proposes in Section VI-B
+//! ("we plan to explore more machine learning techniques, such as
+//! conditional random field model and hidden Markov model, to reveal such
+//! hidden relationships between events").
+//!
+//! A [`hmm::Hmm`] is a classic discrete HMM (initial distribution π,
+//! transition matrix A, emission matrix B) trained with Baum–Welch over
+//! multiple observation sequences and scored with the scaled forward
+//! algorithm. [`classify::HmmClassifier`] trains one model on benign
+//! event-symbol sequences and one on mixed sequences, and labels a test
+//! sequence by per-symbol log-likelihood ratio — the HMM analogue of the
+//! paper's benign-vs-mixed discriminative setup (and it inherits the same
+//! noisy-negative weakness, which is the point of comparing it).
+
+pub mod classify;
+pub mod hmm;
+
+pub use classify::HmmClassifier;
+pub use hmm::{Hmm, HmmParams};

@@ -1,0 +1,212 @@
+//! Training data types for the (weighted) SVM.
+
+use std::error::Error;
+use std::fmt;
+
+/// One training point: feature vector, binary label and confidence weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature vector.
+    pub x: Vec<f64>,
+    /// Label, `+1.0` (benign/positive) or `-1.0` (malicious/negative).
+    pub y: f64,
+    /// Confidence weight `cᵢ ∈ [0, 1]` (Eq. 2). `1.0` for unweighted SVM.
+    pub c: f64,
+}
+
+impl Sample {
+    /// Creates a sample.
+    #[must_use]
+    pub fn new(x: Vec<f64>, y: f64, c: f64) -> Self {
+        Sample { x, y, c }
+    }
+}
+
+/// Errors constructing a [`TrainSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// No samples were provided.
+    Empty,
+    /// Sample `index` has a different dimensionality than sample 0.
+    DimensionMismatch {
+        /// Offending sample index.
+        index: usize,
+        /// Expected dimensionality.
+        expected: usize,
+        /// Found dimensionality.
+        found: usize,
+    },
+    /// Sample `index` has a label other than ±1.
+    BadLabel {
+        /// Offending sample index.
+        index: usize,
+    },
+    /// Sample `index` has a weight outside `[0, 1]` or a non-finite
+    /// feature value.
+    BadValue {
+        /// Offending sample index.
+        index: usize,
+    },
+    /// All samples share one label; a binary classifier cannot be trained.
+    SingleClass,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "no training samples"),
+            DataError::DimensionMismatch { index, expected, found } => write!(
+                f,
+                "sample {index} has dimension {found}, expected {expected}"
+            ),
+            DataError::BadLabel { index } => {
+                write!(f, "sample {index} has a label other than +1/-1")
+            }
+            DataError::BadValue { index } => write!(
+                f,
+                "sample {index} has a weight outside [0,1] or non-finite feature"
+            ),
+            DataError::SingleClass => write!(f, "all samples share one label"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+/// A validated training set: non-empty, consistent dimensionality, labels
+/// in {−1, +1}, weights in `[0, 1]`, both classes present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSet {
+    samples: Vec<Sample>,
+    dim: usize,
+}
+
+impl TrainSet {
+    /// Validates and wraps the samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DataError`] describing the first violated invariant.
+    pub fn new(samples: Vec<Sample>) -> Result<TrainSet, DataError> {
+        let Some(first) = samples.first() else {
+            return Err(DataError::Empty);
+        };
+        let dim = first.x.len();
+        let mut pos = false;
+        let mut neg = false;
+        for (index, s) in samples.iter().enumerate() {
+            if s.x.len() != dim {
+                return Err(DataError::DimensionMismatch {
+                    index,
+                    expected: dim,
+                    found: s.x.len(),
+                });
+            }
+            if s.y == 1.0 {
+                pos = true;
+            } else if s.y == -1.0 {
+                neg = true;
+            } else {
+                return Err(DataError::BadLabel { index });
+            }
+            if !(0.0..=1.0).contains(&s.c) || s.x.iter().any(|v| !v.is_finite()) {
+                return Err(DataError::BadValue { index });
+            }
+        }
+        if !(pos && neg) {
+            return Err(DataError::SingleClass);
+        }
+        Ok(TrainSet { samples, dim })
+    }
+
+    /// The validated samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always false (a `TrainSet` is non-empty by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_samples() -> Vec<Sample> {
+        vec![
+            Sample::new(vec![0.0, 1.0], 1.0, 1.0),
+            Sample::new(vec![2.0, 3.0], -1.0, 0.5),
+        ]
+    }
+
+    #[test]
+    fn valid_set_constructs() {
+        let set = TrainSet::new(ok_samples()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dim(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(TrainSet::new(vec![]), Err(DataError::Empty));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut s = ok_samples();
+        s.push(Sample::new(vec![1.0], 1.0, 1.0));
+        assert_eq!(
+            TrainSet::new(s),
+            Err(DataError::DimensionMismatch { index: 2, expected: 2, found: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let mut s = ok_samples();
+        s[0].y = 0.5;
+        assert_eq!(TrainSet::new(s), Err(DataError::BadLabel { index: 0 }));
+    }
+
+    #[test]
+    fn bad_weight_and_nan_rejected() {
+        let mut s = ok_samples();
+        s[1].c = 1.5;
+        assert_eq!(TrainSet::new(s), Err(DataError::BadValue { index: 1 }));
+        let mut s = ok_samples();
+        s[0].x[0] = f64::NAN;
+        assert_eq!(TrainSet::new(s), Err(DataError::BadValue { index: 0 }));
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let s = vec![
+            Sample::new(vec![0.0], 1.0, 1.0),
+            Sample::new(vec![1.0], 1.0, 1.0),
+        ];
+        assert_eq!(TrainSet::new(s), Err(DataError::SingleClass));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DataError::SingleClass.to_string().contains("one label"));
+        assert!(DataError::Empty.to_string().contains("no training samples"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Kernel functions for the SVM.
+
+/// A kernel `k(a, b)` on the feature space.
+///
+/// The paper uses the Gaussian (RBF) kernel
+/// `k(xᵢ, xⱼ) = exp(−‖xᵢ − xⱼ‖² / σ²)`; linear and polynomial kernels are
+/// provided for baselines and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `k(a, b) = a · b`.
+    Linear,
+    /// `k(a, b) = exp(−‖a − b‖² / σ²)` with radius parameter `σ²`.
+    Gaussian {
+        /// The radius parameter `σ²` (must be positive).
+        sigma2: f64,
+    },
+    /// `k(a, b) = (a · b + coef0)^degree`.
+    Polynomial {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the vectors differ in length, or if a Gaussian
+    /// kernel was constructed with `sigma2 <= 0`.
+    #[must_use]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "kernel arguments differ in dimension");
+        match *self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Gaussian { sigma2 } => {
+                assert!(sigma2 > 0.0, "Gaussian kernel requires sigma2 > 0");
+                let mut d2 = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                (-d2 / sigma2).exp()
+            }
+            Kernel::Polynomial { degree, coef0 } => (dot(a, b) + coef0).powi(degree as i32),
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn gaussian_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::Gaussian { sigma2: 2.0 };
+        assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+        // exp(-1/2) at distance² = 1.
+        assert!((far - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_is_symmetric() {
+        let k = Kernel::Gaussian { sigma2: 0.7 };
+        let a = [0.2, 0.9, 0.4];
+        let b = [0.8, 0.1, 0.5];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+    }
+
+    #[test]
+    fn polynomial_kernel() {
+        let k = Kernel::Polynomial { degree: 2, coef0: 1.0 };
+        // (1*1 + 1)² = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma2 > 0")]
+    fn gaussian_rejects_nonpositive_radius() {
+        let _ = Kernel::Gaussian { sigma2: 0.0 }.eval(&[0.0], &[0.0]);
+    }
+}

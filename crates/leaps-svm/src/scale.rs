@@ -1,0 +1,94 @@
+//! Min–max feature scaling.
+//!
+//! The LEAPS pipeline's discretized features are already normalized to
+//! `[0, 1]`; this scaler exists for users feeding raw feature vectors to
+//! the SVM (e.g. the Figure 5 illustration uses raw 2-D coordinates) so
+//! the Gaussian kernel's radius stays comparable across dimensions.
+
+/// A fitted min–max scaler mapping each dimension to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on rows of equal dimensionality.
+    ///
+    /// Constant dimensions map to `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows differ in dimensionality.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f64>]) -> MinMaxScaler {
+        let first = rows.first().expect("cannot fit scaler on empty data");
+        let dim = first.len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "row dimensionality mismatch");
+            for (d, &v) in row.iter().enumerate() {
+                mins[d] = mins[d].min(v);
+                maxs[d] = maxs[d].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Scales one row (values outside the fitted range are clamped).
+    #[must_use]
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mins.iter().zip(&self.ranges))
+            .map(|(&v, (&lo, &range))| ((v - lo) / range).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Fits on `rows` and scales them all.
+    #[must_use]
+    pub fn fit_transform(rows: &[Vec<f64>]) -> (MinMaxScaler, Vec<Vec<f64>>) {
+        let scaler = MinMaxScaler::fit(rows);
+        let scaled = rows.iter().map(|r| scaler.transform(r)).collect();
+        (scaler, scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_to_unit_interval() {
+        let rows = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]];
+        let (scaler, scaled) = MinMaxScaler::fit_transform(&rows);
+        assert_eq!(scaled[0], vec![0.0, 0.0]);
+        assert_eq!(scaled[2], vec![1.0, 1.0]);
+        assert_eq!(scaled[1], vec![0.5, 0.5]);
+        assert_eq!(scaler.transform(&[2.5, 15.0]), vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let scaler = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]);
+        assert_eq!(scaler.transform(&[-5.0]), vec![0.0]);
+        assert_eq!(scaler.transform(&[9.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let scaler = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]);
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+}

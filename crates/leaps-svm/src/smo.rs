@@ -1,0 +1,365 @@
+//! Sequential minimal optimization for the weighted C-SVC dual (Eq. 4).
+//!
+//! We solve the LIBSVM-form dual
+//!
+//! ```text
+//! min  ½ αᵀQα − eᵀα      Q_ij = yᵢ yⱼ k(xᵢ, xⱼ)
+//! s.t. yᵀα = 0,   0 ≤ αᵢ ≤ Cᵢ        (Cᵢ = λ·cᵢ — per-sample box)
+//! ```
+//!
+//! with maximal-violating-pair working-set selection (LIBSVM's WSS1) and
+//! the standard two-variable analytic update. The per-sample upper bounds
+//! `Cᵢ` are exactly how a weighted SVM differs from the ordinary C-SVC:
+//! a training point with small `cᵢ` can contribute at most a small `αᵢ`,
+//! so mislabeled mixed-log points (high benignity → low maliciousness
+//! weight) cannot drag the decision boundary.
+
+use crate::data::TrainSet;
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+
+/// Numerical floor for the pair curvature.
+const TAU: f64 = 1e-12;
+
+/// Solver hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoParams {
+    /// Trade-off parameter λ of Eq. 2 (global scale of the per-sample box).
+    pub lambda: f64,
+    /// KKT-violation stopping tolerance.
+    pub eps: f64,
+    /// Hard iteration cap (the solver also stops on convergence).
+    pub max_iter: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        SmoParams { lambda: 10.0, eps: 1e-3, max_iter: 100_000 }
+    }
+}
+
+/// Trains a (weighted) SVM on `set` with the given kernel.
+///
+/// Samples with `cᵢ = 0` have an empty feasible box and are effectively
+/// excluded. If one class is entirely zero-weighted the solver returns a
+/// degenerate constant model rather than looping.
+///
+/// # Panics
+///
+/// Panics if `params.lambda <= 0` or `params.eps <= 0`.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // SMO index arithmetic reads best indexed
+pub fn train(set: &TrainSet, kernel: Kernel, params: &SmoParams) -> SvmModel {
+    assert!(params.lambda > 0.0, "lambda must be positive");
+    assert!(params.eps > 0.0, "eps must be positive");
+    let samples = set.samples();
+    let n = samples.len();
+    let y: Vec<f64> = samples.iter().map(|s| s.y).collect();
+    let cap: Vec<f64> = samples.iter().map(|s| params.lambda * s.c).collect();
+
+    // Dense kernel matrix (training sets here are small enough; the
+    // caller controls size via sampling).
+    let mut k = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&samples[i].x, &samples[j].x);
+            k[i * n + j] = v;
+            k[j * n + i] = v;
+        }
+    }
+    let q = |i: usize, j: usize| y[i] * y[j] * k[i * n + j];
+
+    let mut alpha = vec![0.0f64; n];
+    // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1 = −1 at α = 0.
+    let mut grad = vec![-1.0f64; n];
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        if iterations > params.max_iter {
+            break;
+        }
+        // WSS1: maximal violating pair.
+        let mut m_val = f64::NEG_INFINITY;
+        let mut m_idx = usize::MAX;
+        let mut big_m_val = f64::INFINITY;
+        let mut big_m_idx = usize::MAX;
+        for t in 0..n {
+            let in_up = (y[t] > 0.0 && alpha[t] < cap[t]) || (y[t] < 0.0 && alpha[t] > 0.0);
+            let in_low = (y[t] < 0.0 && alpha[t] < cap[t]) || (y[t] > 0.0 && alpha[t] > 0.0);
+            let v = -y[t] * grad[t];
+            if in_up && v > m_val {
+                m_val = v;
+                m_idx = t;
+            }
+            if in_low && v < big_m_val {
+                big_m_val = v;
+                big_m_idx = t;
+            }
+        }
+        if m_idx == usize::MAX || big_m_idx == usize::MAX || m_val - big_m_val < params.eps {
+            break;
+        }
+        let (i, j) = (m_idx, big_m_idx);
+
+        // Two-variable analytic update (LIBSVM).
+        let old_ai = alpha[i];
+        let old_aj = alpha[j];
+        if y[i] != y[j] {
+            let mut quad = q(i, i) + q(j, j) + 2.0 * q(i, j);
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (-grad[i] - grad[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > cap[i] - cap[j] {
+                if alpha[i] > cap[i] {
+                    alpha[i] = cap[i];
+                    alpha[j] = cap[i] - diff;
+                }
+            } else if alpha[j] > cap[j] {
+                alpha[j] = cap[j];
+                alpha[i] = cap[j] + diff;
+            }
+        } else {
+            let mut quad = q(i, i) + q(j, j) - 2.0 * q(i, j);
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (grad[i] - grad[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > cap[i] {
+                if alpha[i] > cap[i] {
+                    alpha[i] = cap[i];
+                    alpha[j] = sum - cap[i];
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > cap[j] {
+                if alpha[j] > cap[j] {
+                    alpha[j] = cap[j];
+                    alpha[i] = sum - cap[j];
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        // Gradient update.
+        let di = alpha[i] - old_ai;
+        let dj = alpha[j] - old_aj;
+        if di != 0.0 || dj != 0.0 {
+            for t in 0..n {
+                grad[t] += q(t, i) * di + q(t, j) * dj;
+            }
+        }
+    }
+
+    let rho = compute_rho(&alpha, &grad, &y, &cap, params.eps);
+    SvmModel::from_training(samples, &alpha, -rho, kernel, iterations)
+}
+
+/// LIBSVM `calculate_rho`: average `y_i·G_i` over free support vectors,
+/// falling back to the midpoint of the feasible interval.
+fn compute_rho(alpha: &[f64], grad: &[f64], y: &[f64], cap: &[f64], _eps: f64) -> f64 {
+    let mut n_free = 0usize;
+    let mut sum_free = 0.0f64;
+    let mut ub = f64::INFINITY;
+    let mut lb = f64::NEG_INFINITY;
+    for t in 0..alpha.len() {
+        let yg = y[t] * grad[t];
+        if alpha[t] <= 0.0 {
+            if y[t] > 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else if alpha[t] >= cap[t] {
+            if y[t] < 0.0 {
+                ub = ub.min(yg);
+            } else {
+                lb = lb.max(yg);
+            }
+        } else {
+            n_free += 1;
+            sum_free += yg;
+        }
+    }
+    if n_free > 0 {
+        sum_free / n_free as f64
+    } else {
+        (ub + lb) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Sample;
+
+    fn set(samples: Vec<Sample>) -> TrainSet {
+        TrainSet::new(samples).unwrap()
+    }
+
+    #[test]
+    fn separable_linear_problem_is_solved() {
+        let s = set(vec![
+            Sample::new(vec![0.0, 0.0], 1.0, 1.0),
+            Sample::new(vec![0.5, 0.0], 1.0, 1.0),
+            Sample::new(vec![0.0, 0.5], 1.0, 1.0),
+            Sample::new(vec![3.0, 3.0], -1.0, 1.0),
+            Sample::new(vec![3.5, 3.0], -1.0, 1.0),
+            Sample::new(vec![3.0, 3.5], -1.0, 1.0),
+        ]);
+        let model = train(&s, Kernel::Linear, &SmoParams::default());
+        for sample in s.samples() {
+            assert_eq!(model.predict(&sample.x), sample.y, "{:?}", sample.x);
+        }
+        // Margin property: decision magnitude ≥ ~1 on the support side.
+        assert!(model.decision(&[0.0, 0.0]) >= 0.9);
+        assert!(model.decision(&[3.5, 3.5]) <= -0.9);
+    }
+
+    #[test]
+    fn xor_needs_gaussian_kernel() {
+        let xor = set(vec![
+            Sample::new(vec![0.0, 0.0], 1.0, 1.0),
+            Sample::new(vec![1.0, 1.0], 1.0, 1.0),
+            Sample::new(vec![0.0, 1.0], -1.0, 1.0),
+            Sample::new(vec![1.0, 0.0], -1.0, 1.0),
+        ]);
+        let model = train(
+            &xor,
+            Kernel::Gaussian { sigma2: 0.5 },
+            &SmoParams { lambda: 100.0, ..Default::default() },
+        );
+        for sample in xor.samples() {
+            assert_eq!(model.predict(&sample.x), sample.y, "{:?}", sample.x);
+        }
+    }
+
+    #[test]
+    fn dual_feasibility_holds() {
+        let s = set(vec![
+            Sample::new(vec![0.1], 1.0, 1.0),
+            Sample::new(vec![0.2], 1.0, 0.3),
+            Sample::new(vec![0.9], -1.0, 1.0),
+            Sample::new(vec![0.8], -1.0, 0.7),
+        ]);
+        let params = SmoParams { lambda: 5.0, ..Default::default() };
+        let model = train(&s, Kernel::Gaussian { sigma2: 1.0 }, &params);
+        // Σ αᵢ yᵢ = 0 and 0 ≤ αᵢ ≤ λ·cᵢ.
+        let mut balance = 0.0;
+        for (alpha_y, sample) in model.dual_coefficients() {
+            balance += alpha_y;
+            let alpha = alpha_y.abs();
+            let c = s
+                .samples()
+                .iter()
+                .find(|t| t.x == *sample)
+                .map(|t| t.c)
+                .unwrap();
+            assert!(alpha <= params.lambda * c + 1e-9, "box violated: {alpha} > λ·{c}");
+        }
+        assert!(balance.abs() < 1e-9, "equality constraint violated: {balance}");
+    }
+
+    #[test]
+    fn zero_weight_samples_are_excluded_from_the_solution() {
+        // The mislabeled point (benign feature labeled −1) has weight 0:
+        // the boundary must ignore it.
+        let s = set(vec![
+            Sample::new(vec![0.0], 1.0, 1.0),
+            Sample::new(vec![0.1], 1.0, 1.0),
+            Sample::new(vec![0.05], -1.0, 0.0), // mislabeled, zero weight
+            Sample::new(vec![1.0], -1.0, 1.0),
+            Sample::new(vec![0.9], -1.0, 1.0),
+        ]);
+        let model = train(
+            &s,
+            Kernel::Gaussian { sigma2: 0.5 },
+            &SmoParams::default(),
+        );
+        assert_eq!(model.predict(&[0.05]), 1.0);
+        // No support vector at the zero-weight point.
+        assert!(model
+            .dual_coefficients()
+            .all(|(a, x)| x[0] != 0.05 || a.abs() < 1e-12));
+    }
+
+    #[test]
+    fn weighted_beats_unweighted_under_label_noise() {
+        // Negative class contaminated with points that are actually from
+        // the positive cluster. Downweighting them (as CFG guidance would)
+        // must recover the clean boundary.
+        let mut noisy = Vec::new();
+        let mut weighted = Vec::new();
+        for i in 0..10 {
+            let x = 0.05 * f64::from(i);
+            noisy.push(Sample::new(vec![x], 1.0, 1.0));
+            weighted.push(Sample::new(vec![x], 1.0, 1.0));
+        }
+        for i in 0..10 {
+            let x = 2.0 + 0.05 * f64::from(i);
+            noisy.push(Sample::new(vec![x], -1.0, 1.0));
+            weighted.push(Sample::new(vec![x], -1.0, 1.0));
+        }
+        // Contamination: positive-cluster points labeled negative,
+        // outnumbering the true positives (a heavily noisy mixed log).
+        for i in 0..16 {
+            let x = 0.012 + 0.028 * f64::from(i);
+            noisy.push(Sample::new(vec![x], -1.0, 1.0));
+            weighted.push(Sample::new(vec![x], -1.0, 0.02));
+        }
+        let params = SmoParams { lambda: 10.0, ..Default::default() };
+        let kernel = Kernel::Gaussian { sigma2: 0.5 };
+        let plain = train(&set(noisy), kernel, &params);
+        let guided = train(&set(weighted), kernel, &params);
+
+        let probe: Vec<f64> = (0..10).map(|i| 0.025 + 0.05 * f64::from(i)).collect();
+        let plain_correct = probe.iter().filter(|&&x| plain.predict(&[x]) == 1.0).count();
+        let guided_correct = probe.iter().filter(|&&x| guided.predict(&[x]) == 1.0).count();
+        assert!(
+            guided_correct > plain_correct,
+            "guided {guided_correct} vs plain {plain_correct}"
+        );
+        assert_eq!(guided_correct, probe.len());
+    }
+
+    #[test]
+    fn solver_reports_iterations_and_terminates() {
+        let s = set(vec![
+            Sample::new(vec![0.0], 1.0, 1.0),
+            Sample::new(vec![1.0], -1.0, 1.0),
+        ]);
+        let model = train(&s, Kernel::Linear, &SmoParams::default());
+        assert!(model.iterations() >= 1);
+        assert!(model.iterations() < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_nonpositive_lambda() {
+        let s = set(vec![
+            Sample::new(vec![0.0], 1.0, 1.0),
+            Sample::new(vec![1.0], -1.0, 1.0),
+        ]);
+        let _ = train(&s, Kernel::Linear, &SmoParams { lambda: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,386 @@
+//! Parser for the raw ETL-like log format.
+//!
+//! The raw format (see `leaps_etw::logfmt`) records one `EVENT` header
+//! line with `key=value` fields, followed by `STACK` lines innermost-frame
+//! first, terminated by `END`. Parsing restores **caller order** (outermost
+//! first), which is the order every downstream algorithm in the paper
+//! consumes.
+
+use leaps_etw::addr::Va;
+use leaps_etw::event::{EventType, Provenance, StackFrame};
+use leaps_etw::logfmt::HEADER;
+use std::error::Error;
+use std::fmt;
+
+/// A stack-event correlated record: one system event with its stack walk
+/// in caller order.
+///
+/// Unlike `leaps_etw::SysEvent`, provenance is optional (production logs
+/// carry no ground truth) and the `in_app_image` flags on frames are
+/// assigned later by the partition module, not trusted from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelatedEvent {
+    /// Event sequence number from the log.
+    pub num: u64,
+    /// Event class.
+    pub etype: EventType,
+    /// Process id.
+    pub pid: u32,
+    /// Thread id.
+    pub tid: u32,
+    /// Timestamp in trace ticks.
+    pub timestamp: u64,
+    /// Stack frames, outermost (application entry) first.
+    pub frames: Vec<StackFrame>,
+    /// Ground-truth provenance if the log was generated in a controlled
+    /// environment (`src=` field). **Never read by the detection
+    /// pipeline** — only by evaluation code.
+    pub truth: Option<Provenance>,
+}
+
+/// A parsed raw log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorrelatedLog {
+    /// Events in log order.
+    pub events: Vec<CorrelatedEvent>,
+}
+
+/// Errors produced while parsing a raw log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The log does not start with the `# LEAPS-ETL v1` header.
+    MissingHeader,
+    /// A line could not be interpreted in the current state.
+    UnexpectedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+    /// An `EVENT` header is missing a required field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// A field value failed to parse.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+        /// The value that failed to parse.
+        value: String,
+    },
+    /// The log ended inside an event (no `END`).
+    UnterminatedEvent {
+        /// Sequence number of the unterminated event.
+        num: u64,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing `{HEADER}` header line"),
+            ParseError::UnexpectedLine { line, content } => {
+                write!(f, "unexpected content at line {line}: {content:?}")
+            }
+            ParseError::MissingField { line, field } => {
+                write!(f, "EVENT at line {line} is missing field `{field}`")
+            }
+            ParseError::InvalidValue { line, field, value } => {
+                write!(f, "invalid value {value:?} for field `{field}` at line {line}")
+            }
+            ParseError::UnterminatedEvent { num } => {
+                write!(f, "log ended inside event {num} (missing END)")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a raw log into a [`CorrelatedLog`].
+///
+/// Frames are reversed from the on-disk innermost-first order back into
+/// caller order.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed construct, with
+/// its line number.
+pub fn parse_log(raw: &str) -> Result<CorrelatedLog, ParseError> {
+    let mut lines = raw.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        _ => return Err(ParseError::MissingHeader),
+    }
+
+    let mut events = Vec::new();
+    let mut current: Option<(CorrelatedEvent, usize)> = None;
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("EVENT ") {
+            if let Some((ev, _)) = current.take() {
+                return Err(ParseError::UnterminatedEvent { num: ev.num });
+            }
+            current = Some((parse_event_header(rest, line_no)?, line_no));
+        } else if let Some(rest) = trimmed.strip_prefix("STACK ") {
+            let Some((event, _)) = current.as_mut() else {
+                return Err(ParseError::UnexpectedLine {
+                    line: line_no,
+                    content: truncate(trimmed),
+                });
+            };
+            event.frames.push(parse_stack_line(rest, line_no)?);
+        } else if trimmed == "END" {
+            let Some((mut event, _)) = current.take() else {
+                return Err(ParseError::UnexpectedLine {
+                    line: line_no,
+                    content: truncate(trimmed),
+                });
+            };
+            // On-disk order is innermost first; restore caller order.
+            event.frames.reverse();
+            events.push(event);
+        } else {
+            return Err(ParseError::UnexpectedLine {
+                line: line_no,
+                content: truncate(trimmed),
+            });
+        }
+    }
+    if let Some((ev, _)) = current {
+        return Err(ParseError::UnterminatedEvent { num: ev.num });
+    }
+    Ok(CorrelatedLog { events })
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(60).collect()
+}
+
+fn parse_event_header(rest: &str, line: usize) -> Result<CorrelatedEvent, ParseError> {
+    let mut num = None;
+    let mut etype = None;
+    let mut pid = None;
+    let mut tid = None;
+    let mut ts = None;
+    let mut truth = None;
+    for token in rest.split_whitespace() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(ParseError::UnexpectedLine { line, content: truncate(token) });
+        };
+        match key {
+            "num" => num = Some(parse_u64(value, "num", line)?),
+            "type" => {
+                etype = Some(EventType::from_name(value).ok_or(ParseError::InvalidValue {
+                    line,
+                    field: "type",
+                    value: value.to_owned(),
+                })?);
+            }
+            "pid" => pid = Some(parse_u32(value, "pid", line)?),
+            "tid" => tid = Some(parse_u32(value, "tid", line)?),
+            "ts" => ts = Some(parse_u64(value, "ts", line)?),
+            "src" => {
+                truth = Some(match value {
+                    "benign" => Provenance::Benign,
+                    "malicious" => Provenance::Malicious,
+                    other => {
+                        return Err(ParseError::InvalidValue {
+                            line,
+                            field: "src",
+                            value: other.to_owned(),
+                        })
+                    }
+                });
+            }
+            // Forward compatibility: ignore unknown fields.
+            _ => {}
+        }
+    }
+    Ok(CorrelatedEvent {
+        num: num.ok_or(ParseError::MissingField { line, field: "num" })?,
+        etype: etype.ok_or(ParseError::MissingField { line, field: "type" })?,
+        pid: pid.ok_or(ParseError::MissingField { line, field: "pid" })?,
+        tid: tid.ok_or(ParseError::MissingField { line, field: "tid" })?,
+        timestamp: ts.ok_or(ParseError::MissingField { line, field: "ts" })?,
+        frames: Vec::new(),
+        truth,
+    })
+}
+
+fn parse_u64(value: &str, field: &'static str, line: usize) -> Result<u64, ParseError> {
+    value.parse().map_err(|_| ParseError::InvalidValue {
+        line,
+        field,
+        value: value.to_owned(),
+    })
+}
+
+fn parse_u32(value: &str, field: &'static str, line: usize) -> Result<u32, ParseError> {
+    value.parse().map_err(|_| ParseError::InvalidValue {
+        line,
+        field,
+        value: value.to_owned(),
+    })
+}
+
+fn parse_stack_line(rest: &str, line: usize) -> Result<StackFrame, ParseError> {
+    let mut parts = rest.split_whitespace();
+    let addr_str = parts.next().ok_or(ParseError::MissingField { line, field: "addr" })?;
+    let sym = parts.next().ok_or(ParseError::MissingField { line, field: "symbol" })?;
+    let addr_hex = addr_str.strip_prefix("0x").ok_or_else(|| ParseError::InvalidValue {
+        line,
+        field: "addr",
+        value: addr_str.to_owned(),
+    })?;
+    let addr = u64::from_str_radix(addr_hex, 16).map_err(|_| ParseError::InvalidValue {
+        line,
+        field: "addr",
+        value: addr_str.to_owned(),
+    })?;
+    let (module, function) = sym.split_once('!').ok_or_else(|| ParseError::InvalidValue {
+        line,
+        field: "symbol",
+        value: sym.to_owned(),
+    })?;
+    // `in_app_image` is assigned by the partition module; default false.
+    Ok(StackFrame::new(module, function, Va(addr), false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaps_etw::logfmt::write_log;
+    use leaps_etw::scenario::{GenParams, Scenario};
+
+    fn sample_log() -> String {
+        let logs = Scenario::by_name("vim_reverse_tcp")
+            .unwrap()
+            .generate_events(&GenParams::small(), 3);
+        write_log(&logs.mixed)
+    }
+
+    #[test]
+    fn roundtrip_preserves_count_order_and_fields() {
+        let logs = Scenario::by_name("vim_reverse_tcp")
+            .unwrap()
+            .generate_events(&GenParams::small(), 3);
+        let parsed = parse_log(&write_log(&logs.mixed)).unwrap();
+        assert_eq!(parsed.events.len(), logs.mixed.len());
+        for (orig, parsed) in logs.mixed.iter().zip(&parsed.events) {
+            assert_eq!(parsed.num, orig.num);
+            assert_eq!(parsed.etype, orig.etype);
+            assert_eq!(parsed.pid, orig.pid);
+            assert_eq!(parsed.tid, orig.tid);
+            assert_eq!(parsed.timestamp, orig.timestamp);
+            assert_eq!(parsed.truth, Some(orig.truth));
+            // Caller order restored; symbols and addresses intact.
+            assert_eq!(parsed.frames.len(), orig.frames.len());
+            for (pf, of) in parsed.frames.iter().zip(&orig.frames) {
+                assert_eq!(pf.module, of.module);
+                assert_eq!(pf.function, of.function);
+                assert_eq!(pf.addr, of.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert_eq!(parse_log("EVENT num=1\n"), Err(ParseError::MissingHeader));
+        assert_eq!(parse_log(""), Err(ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn header_only_log_is_empty() {
+        let parsed = parse_log("# LEAPS-ETL v1\n").unwrap();
+        assert!(parsed.events.is_empty());
+    }
+
+    #[test]
+    fn unterminated_event_is_diagnosed() {
+        let raw = "# LEAPS-ETL v1\nEVENT num=7 type=FileRead pid=1 tid=2 ts=3\n";
+        assert_eq!(parse_log(raw), Err(ParseError::UnterminatedEvent { num: 7 }));
+    }
+
+    #[test]
+    fn stack_line_outside_event_is_rejected() {
+        let raw = "# LEAPS-ETL v1\n  STACK 0x10 a!b\n";
+        assert!(matches!(
+            parse_log(raw),
+            Err(ParseError::UnexpectedLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_are_diagnosed() {
+        let raw = "# LEAPS-ETL v1\nEVENT num=1 pid=1 tid=2 ts=3\nEND\n";
+        assert_eq!(
+            parse_log(raw),
+            Err(ParseError::MissingField { line: 2, field: "type" })
+        );
+    }
+
+    #[test]
+    fn invalid_event_type_is_diagnosed() {
+        let raw = "# LEAPS-ETL v1\nEVENT num=1 type=Bogus pid=1 tid=2 ts=3\nEND\n";
+        assert!(matches!(
+            parse_log(raw),
+            Err(ParseError::InvalidValue { field: "type", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_address_is_diagnosed() {
+        let raw =
+            "# LEAPS-ETL v1\nEVENT num=1 type=FileRead pid=1 tid=2 ts=3\n  STACK 12 a!b\nEND\n";
+        assert!(matches!(
+            parse_log(raw),
+            Err(ParseError::InvalidValue { field: "addr", .. })
+        ));
+    }
+
+    #[test]
+    fn symbol_without_bang_is_diagnosed() {
+        let raw =
+            "# LEAPS-ETL v1\nEVENT num=1 type=FileRead pid=1 tid=2 ts=3\n  STACK 0x10 ab\nEND\n";
+        assert!(matches!(
+            parse_log(raw),
+            Err(ParseError::InvalidValue { field: "symbol", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_and_comments_are_ignored() {
+        let raw = "# LEAPS-ETL v1\n# a comment\nEVENT num=1 type=FileRead pid=1 tid=2 ts=3 cpu=4\n\nEND\n";
+        let parsed = parse_log(raw).unwrap();
+        assert_eq!(parsed.events.len(), 1);
+        assert!(parsed.events[0].truth.is_none());
+    }
+
+    #[test]
+    fn errors_display_with_context() {
+        let err = ParseError::InvalidValue {
+            line: 12,
+            field: "addr",
+            value: "zz".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("12") && msg.contains("addr") && msg.contains("zz"));
+    }
+
+    #[test]
+    fn large_log_parses() {
+        let parsed = parse_log(&sample_log()).unwrap();
+        assert!(parsed.events.len() >= 600);
+    }
+}

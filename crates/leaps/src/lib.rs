@@ -1,0 +1,51 @@
+//! # LEAPS
+//!
+//! A Rust reproduction of **"LEAPS: Detecting Camouflaged Attacks with
+//! Statistical Learning Guided by Program Analysis"** (DSN 2015).
+//!
+//! LEAPS detects *camouflaged attacks* — malicious payloads running under
+//! the cover of benign applications (trojaned binaries, process
+//! injection) — by training a classifier over system-level stack-trace
+//! features, while using a control-flow graph inferred from application
+//! stack traces to down-weight the benign noise that contaminates the
+//! "malicious" training log.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | paper section |
+//! |---|---|---|
+//! | [`etw`] | `leaps-etw` | simulated ETW substrate (Section IV) |
+//! | [`trace`] | `leaps-trace` | raw log parser + stack partition (II-B) |
+//! | [`cluster`] | `leaps-cluster` | data preprocessing (III-A) |
+//! | [`cfg`] | `leaps-cfg` | CFG inference + weight assessment (III-B/C) |
+//! | [`svm`] | `leaps-svm` | weighted SVM via SMO (III-D-2) |
+//! | [`hmm`] | `leaps-hmm` | HMM sequence classifier (VI-B extension) |
+//! | [`cgraph`] | `leaps-cgraph` | call-graph baseline (III-D-1) |
+//! | [`core`] | `leaps-core` | pipeline, datasets, metrics (II, V) |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use leaps::core::experiment::Experiment;
+//! use leaps::core::pipeline::Method;
+//! use leaps::etw::scenario::Scenario;
+//!
+//! // Detect a reverse-TCP shell trojaned into Vim.
+//! let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+//! let metrics = Experiment::fast().run(scenario, Method::Wsvm)?;
+//! println!("WSVM on {}: {metrics}", scenario.name());
+//! # Ok::<(), leaps::trace::parser::ParseError>(())
+//! ```
+
+pub use leaps_cfg as cfg;
+pub use leaps_cgraph as cgraph;
+pub use leaps_cluster as cluster;
+pub use leaps_core as core;
+pub use leaps_etw as etw;
+pub use leaps_hmm as hmm;
+pub use leaps_svm as svm;
+pub use leaps_trace as trace;
+
+// Convenience re-exports of the most-used types.
+pub use leaps_core::{Classifier, Experiment, Method, Metrics, PipelineConfig};
+pub use leaps_etw::scenario::{GenParams, Scenario};

@@ -1,0 +1,48 @@
+//! Quickstart: detect a camouflaged attack end to end.
+//!
+//! Generates the `vim_reverse_tcp` dataset (a Vim binary trojaned with a
+//! reverse-TCP shell), trains the CFG-guided Weighted SVM, and evaluates
+//! it on held-out benign data and the standalone payload.
+//!
+//! ```text
+//! cargo run --release -p leaps --example quickstart
+//! ```
+
+use leaps::core::experiment::Experiment;
+use leaps::core::pipeline::Method;
+use leaps::etw::scenario::{GenParams, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::by_name("vim_reverse_tcp").expect("known dataset");
+    println!(
+        "Scenario: {} ({} / {} / {})",
+        scenario.name(),
+        scenario.method.label(),
+        scenario.app.name(),
+        scenario.payload.name()
+    );
+
+    // A moderate-size experiment: 3 randomized runs over 2000-event logs.
+    let experiment = Experiment {
+        gen: GenParams {
+            benign_events: 2000,
+            mixed_events: 2000,
+            malicious_events: 1000,
+            benign_ratio: 0.5,
+        },
+        runs: 3,
+        ..Experiment::default()
+    };
+
+    println!("\nTraining and evaluating the three detection methods...");
+    for method in Method::ALL {
+        let metrics = experiment.run(scenario, method)?;
+        println!("  {:<8} {metrics}", method.label());
+    }
+    println!(
+        "\nLEAPS's CFG-guided Weighted SVM should rank highest on every \
+         measure — the CFG inferred from application stack traces lets it \
+         discount the benign noise that contaminates the mixed training log."
+    );
+    Ok(())
+}

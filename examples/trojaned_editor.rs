@@ -1,0 +1,104 @@
+//! Walk through the full LEAPS pipeline on a trojaned editor, stage by
+//! stage — the offline-infection story of the paper's Case Study II
+//! (Codeinject `pwddlg` embedded in a text editor).
+//!
+//! Unlike `quickstart`, this example drives each module explicitly: raw
+//! log generation → parsing → stack partition → CFG inference → weight
+//! assessment → feature clustering → weighted SVM, printing what every
+//! stage produced.
+//!
+//! ```text
+//! cargo run --release -p leaps --example trojaned_editor
+//! ```
+
+use leaps::cfg::infer::infer_cfg;
+use leaps::cfg::weight::{assess_weights, WeightConfig};
+use leaps::cluster::features::{FeatureEncoder, PreprocessConfig};
+use leaps::core::config::PipelineConfig;
+use leaps::core::dataset::Dataset;
+use leaps::core::pipeline::{train_classifier, Classifier, Method};
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::trace::partition::PartitionedEvent;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::by_name("notepad++_codeinject").expect("known dataset");
+    let params = GenParams {
+        benign_events: 2000,
+        mixed_events: 2000,
+        malicious_events: 1000,
+        benign_ratio: 0.5,
+    };
+
+    // Stage 1: controlled tracing runs → raw logs → parsed, partitioned.
+    let dataset = Dataset::materialize(scenario, &params, 42)?;
+    println!("[1] raw logs parsed and stack-partitioned:");
+    println!(
+        "    benign {} events, mixed {} events, standalone payload {} events",
+        dataset.benign.len(),
+        dataset.mixed.len(),
+        dataset.malicious.len()
+    );
+
+    // Stage 2: 50/50 benign split (train half is the CFG oracle).
+    let (train, test) = dataset.split_benign(0.5, 42);
+    println!("[2] benign split: {} train / {} test events", train.len(), test.len());
+
+    // Stage 3: CFG inference on application stack traces (Algorithm 1).
+    let bcfg = infer_cfg(&train);
+    let mcfg = infer_cfg(&dataset.mixed);
+    println!(
+        "[3] inferred CFGs: benign {} nodes / {} edges, mixed {} nodes / {} edges",
+        bcfg.cfg.node_count(),
+        bcfg.cfg.edge_count(),
+        mcfg.cfg.node_count(),
+        mcfg.cfg.edge_count()
+    );
+
+    // Stage 4: CFG-guided weight assessment (Algorithm 2).
+    let weights = assess_weights(&bcfg.cfg, &mcfg, WeightConfig::default());
+    let (mut benign_sum, mut benign_n) = (0.0, 0);
+    let (mut mal_sum, mut mal_n) = (0.0, 0);
+    for event in &dataset.mixed {
+        match event.truth {
+            Some(leaps::etw::event::Provenance::Benign) => {
+                benign_sum += weights.maliciousness(event.num);
+                benign_n += 1;
+            }
+            Some(leaps::etw::event::Provenance::Malicious) => {
+                mal_sum += weights.maliciousness(event.num);
+                mal_n += 1;
+            }
+            None => {}
+        }
+    }
+    println!(
+        "[4] mean maliciousness weight: benign-noise events {:.3}, payload events {:.3}",
+        benign_sum / f64::from(benign_n),
+        mal_sum / f64::from(mal_n)
+    );
+
+    // Stage 5: feature discretization (hierarchical clustering, Eq. 1).
+    let refs: Vec<&PartitionedEvent> = train.iter().chain(dataset.mixed.iter()).collect();
+    let encoder = FeatureEncoder::fit(&refs, PreprocessConfig::default());
+    println!(
+        "[5] feature encoder: {} lib clusters, {} func clusters, window {}",
+        encoder.lib_cluster_count(),
+        encoder.func_cluster_count(),
+        encoder.config().window
+    );
+
+    // Stage 6: train and evaluate the weighted SVM (Eq. 2-5).
+    let classifier =
+        train_classifier(Method::Wsvm, &train, &dataset.mixed, &PipelineConfig::default(), 42);
+    if let Classifier::Svm(svm) = &classifier {
+        println!(
+            "[6] WSVM trained: {} support vectors, tuned lambda={} sigma2={}",
+            svm.model.support_vector_count(),
+            svm.tuned.0,
+            svm.tuned.1
+        );
+    }
+    let metrics = classifier.evaluate(&test, &dataset.malicious).metrics();
+    println!("[7] held-out evaluation: {metrics}");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! The paper's headline claim, as a test: on camouflaged-attack datasets,
+//! the CFG-guided Weighted SVM outperforms both the plain SVM and the
+//! call-graph baseline.
+//!
+//! Run at a reduced scale (1200-event logs, 2 runs) to keep CI time
+//! reasonable; the full-scale comparison is the `fig6`/`fig7` harness.
+
+use leaps::core::experiment::Experiment;
+use leaps::core::pipeline::Method;
+use leaps::etw::scenario::{GenParams, Scenario};
+
+fn experiment() -> Experiment {
+    Experiment {
+        gen: GenParams {
+            benign_events: 1200,
+            mixed_events: 1200,
+            malicious_events: 600,
+            benign_ratio: 0.5,
+        },
+        runs: 2,
+        ..Experiment::default()
+    }
+}
+
+/// WSVM must beat plain SVM on accuracy on these representative datasets
+/// (one per app/attack-method group).
+#[test]
+fn wsvm_beats_svm_on_representative_datasets() {
+    let experiment = experiment();
+    for name in [
+        "winscp_reverse_tcp",
+        "vim_codeinject",
+        "putty_reverse_https_online",
+    ] {
+        let scenario = Scenario::by_name(name).unwrap();
+        let svm = experiment.run(scenario, Method::Svm).unwrap();
+        let wsvm = experiment.run(scenario, Method::Wsvm).unwrap();
+        assert!(
+            wsvm.acc > svm.acc,
+            "{name}: WSVM {} should beat SVM {}",
+            wsvm.acc,
+            svm.acc
+        );
+    }
+}
+
+/// WSVM must beat the call-graph model on accuracy.
+#[test]
+fn wsvm_beats_cgraph_on_representative_datasets() {
+    let experiment = experiment();
+    for name in ["winscp_reverse_tcp", "putty_reverse_https_online"] {
+        let scenario = Scenario::by_name(name).unwrap();
+        let cgraph = experiment.run(scenario, Method::CGraph).unwrap();
+        let wsvm = experiment.run(scenario, Method::Wsvm).unwrap();
+        assert!(
+            wsvm.acc > cgraph.acc,
+            "{name}: WSVM {} should beat CGraph {}",
+            wsvm.acc,
+            cgraph.acc
+        );
+    }
+}
+
+/// The CFG guidance specifically repairs benign recall (TPR), which is
+/// what the noisy negatives destroy — the paper's Figure 5 story.
+#[test]
+fn cfg_guidance_improves_benign_recall() {
+    let experiment = experiment();
+    let scenario = Scenario::by_name("winscp_reverse_tcp").unwrap();
+    let svm = experiment.run(scenario, Method::Svm).unwrap();
+    let wsvm = experiment.run(scenario, Method::Wsvm).unwrap();
+    assert!(
+        wsvm.tpr > svm.tpr,
+        "WSVM TPR {} should exceed SVM TPR {}",
+        wsvm.tpr,
+        svm.tpr
+    );
+}
+
+/// All methods detect *something*: even the weakest baseline is far from
+/// degenerate on a dataset with a distinctive payload.
+#[test]
+fn every_method_is_better_than_chance_on_an_easy_dataset() {
+    let experiment = experiment();
+    let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+    for method in Method::ALL {
+        let m = experiment.run(scenario, method).unwrap();
+        assert!(m.acc > 0.5, "{method:?}: {m}");
+    }
+}
