@@ -1,0 +1,409 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships
+//! a small, dependency-free property-test harness exposing the subset of
+//! the `proptest` API its test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * range, tuple, `Vec<S>` and string-pattern strategies;
+//! * `prop::sample::select`, `prop::collection::{vec, btree_set}`,
+//!   `prop::bool::ANY`, `prop::num::u8::ANY`;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros
+//!   and [`test_runner::ProptestConfig`].
+//!
+//! Each property runs `cases` times over a deterministic per-test input
+//! stream (xoshiro256++ seeded from the test name and case index), so
+//! failures are reproducible run-to-run. There is no shrinking: a failed
+//! case reports its case index and message and panics immediately.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for an arbitrary `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod u8 {
+        //! `u8` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for an arbitrary `u8`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniformly random bytes.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u8;
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                (rng.next_u64() >> 56) as u8
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among `options`.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from a non-empty list of options.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select() requires options");
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A size specification: an exact length or a half-open/inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` with a target size drawn from `size`. If the element
+    /// strategy cannot produce enough distinct values the set is smaller
+    /// than the target (mirroring `proptest`'s collision behaviour).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * target + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` path prelude alias (`prop::collection::vec`, …).
+
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The common imports: `use proptest::prelude::*;`.
+
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one property over `cases` deterministic inputs.
+///
+/// This is the engine behind [`proptest!`]; `name` seeds the input
+/// stream so distinct tests explore distinct sequences.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting its index and message.
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let name_seed = test_runner::hash_name(name);
+    for i in 0..config.cases {
+        let mut rng =
+            test_runner::TestRng::new(name_seed ^ u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{name}' failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in -2.5f64..2.5, c in 1usize..=4) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..10, 0u32..10).prop_map(|(x, y)| (x, x + y)),
+        ) {
+            prop_assert!(pair.1 >= pair.0);
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(
+            v in (1usize..6).prop_flat_map(|n| prop::collection::vec(0u8..=255, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[a-f]{1,3}") {
+            prop_assert!((1..=3).contains(&s.len()), "{s}");
+            prop_assert!(s.chars().all(|c| ('a'..='f').contains(&c)), "{s}");
+        }
+
+        #[test]
+        fn btree_sets_bounded(set in prop::collection::btree_set(0u8..=255, 0..8)) {
+            let set: BTreeSet<u8> = set;
+            prop_assert!(set.len() < 8);
+        }
+
+        #[test]
+        fn select_draws_members(x in prop::sample::select(vec![2, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&x));
+        }
+
+        #[test]
+        fn early_return_is_allowed(flag in prop::bool::ANY) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{hash_name, TestRng};
+        let strat = prop::collection::vec(0u64..1000, 0..10);
+        let a: Vec<_> =
+            (0..20).map(|i| strat.generate(&mut TestRng::new(hash_name("t") ^ i))).collect();
+        let b: Vec<_> =
+            (0..20).map(|i| strat.generate(&mut TestRng::new(hash_name("t") ^ i))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("nope".to_owned()))
+        });
+    }
+}

@@ -1,0 +1,336 @@
+//! The [`Strategy`] trait and the built-in strategy implementations.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream `proptest`, strategies here generate directly (no
+/// value trees, no shrinking); combinators compose by function
+/// application.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Strategies generate through shared references too (lets helpers hold
+/// strategies by reference).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) * width) >> 64;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let width = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) * width) >> 64;
+                self.start().wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        // 2^53 grid over the closed interval; both endpoints reachable.
+        let steps = (1u64 << 53) as f64;
+        let t = (rng.next_u64() >> 11) as f64 / (steps - 1.0);
+        self.start() + t * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A `Vec` of strategies generates element-wise (used by tests that
+/// assemble one strategy per index).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// String literals act as generation patterns: a sequence of literal
+/// characters and `[...]` classes, each optionally quantified by `{n}`
+/// or `{lo,hi}` — the subset of regex syntax the test suites use
+/// (e.g. `"[a-f]{1,3}"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min_count + rng.below(atom.max_count - atom.min_count + 1);
+            for _ in 0..count {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min_count: usize,
+    max_count: usize,
+}
+
+/// Parses the supported pattern subset.
+///
+/// # Panics
+///
+/// Panics on malformed or unsupported patterns — a loud failure beats
+/// silently generating the wrong distribution.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    let item =
+                        chars.next().unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if item == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi =
+                            chars.next().unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                        assert!(item <= hi, "inverted range in {pattern:?}");
+                        set.extend(item..=hi);
+                    } else {
+                        set.push(item);
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                let escaped =
+                    chars.next().unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![escaped]
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported pattern syntax {c:?} in {pattern:?}")
+            }
+            literal => vec![literal],
+        };
+        let (min_count, max_count) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let d = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min_count <= max_count, "inverted quantifier in {pattern:?}");
+        atoms.push(PatternAtom { chars: set, min_count, max_count });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = TestRng::new(5);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..500 {
+            let v = (2u32..=4).generate(&mut rng);
+            assert!((2..=4).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 4;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..500 {
+            let v = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&v));
+            let w = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn pattern_with_literals_and_counts() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            let s = "x[0-9]{2}y".generate(&mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.starts_with('x') && s.ends_with('y'));
+            assert!(s[1..3].chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern syntax")]
+    fn unsupported_pattern_syntax_is_loud() {
+        let _ = "a+".generate(&mut TestRng::new(0));
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let strategies: Vec<_> = (0..5).map(|i| (i as u64)..(i as u64 + 1)).collect();
+        let v = strategies.generate(&mut TestRng::new(8));
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn boxed_strategy_erases_type() {
+        let s = (0u8..10).prop_map(|v| v * 2).boxed();
+        let v = s.generate(&mut TestRng::new(9));
+        assert!(v < 20 && v % 2 == 0);
+    }
+}

@@ -27,13 +27,7 @@ fn bench_training(c: &mut Criterion) {
     for method in Method::ALL {
         group.bench_function(method.label(), |b| {
             b.iter(|| {
-                train_classifier(
-                    method,
-                    black_box(&train),
-                    black_box(&dataset.mixed),
-                    &config,
-                    1,
-                )
+                train_classifier(method, black_box(&train), black_box(&dataset.mixed), &config, 1)
             })
         });
     }

@@ -12,12 +12,7 @@ use leaps::trace::partition::{partition_events, PartitionedEvent};
 use std::hint::black_box;
 
 fn gen_params() -> GenParams {
-    GenParams {
-        benign_events: 1500,
-        mixed_events: 1500,
-        malicious_events: 750,
-        benign_ratio: 0.5,
-    }
+    GenParams { benign_events: 1500, mixed_events: 1500, malicious_events: 750, benign_ratio: 0.5 }
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -36,9 +31,7 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| partition_events(black_box(&parsed_mixed.events)))
     });
 
-    c.bench_function("cfg_inference_1500_events", |b| {
-        b.iter(|| infer_cfg(black_box(&mixed)))
-    });
+    c.bench_function("cfg_inference_1500_events", |b| b.iter(|| infer_cfg(black_box(&mixed))));
 
     let bcfg = infer_cfg(&benign);
     let mcfg = infer_cfg(&mixed);

@@ -30,21 +30,13 @@ fn bench_smo(c: &mut Criterion) {
         let set = synthetic_set(n, false, 7);
         group.bench_with_input(BenchmarkId::new("unweighted", 2 * n), &set, |b, set| {
             b.iter(|| {
-                train(
-                    black_box(set),
-                    Kernel::Gaussian { sigma2: 2.0 },
-                    &SmoParams::default(),
-                )
+                train(black_box(set), Kernel::Gaussian { sigma2: 2.0 }, &SmoParams::default())
             })
         });
         let wset = synthetic_set(n, true, 7);
         group.bench_with_input(BenchmarkId::new("weighted", 2 * n), &wset, |b, set| {
             b.iter(|| {
-                train(
-                    black_box(set),
-                    Kernel::Gaussian { sigma2: 2.0 },
-                    &SmoParams::default(),
-                )
+                train(black_box(set), Kernel::Gaussian { sigma2: 2.0 }, &SmoParams::default())
             })
         });
     }

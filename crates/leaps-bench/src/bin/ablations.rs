@@ -38,12 +38,7 @@ fn main() {
 
     let run = |label: &str, exp: &Experiment| {
         let m = exp.run(scenario, Method::Wsvm).expect("experiment");
-        println!(
-            "  {label:<34} ACC={} TPR={} TNR={}",
-            fmt3(m.acc),
-            fmt3(m.tpr),
-            fmt3(m.tnr)
-        );
+        println!("  {label:<34} ACC={} TPR={} TNR={}", fmt3(m.acc), fmt3(m.tpr), fmt3(m.tnr));
     };
 
     println!("Coalescing window (paper: 10):");

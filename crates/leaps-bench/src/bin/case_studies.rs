@@ -31,9 +31,8 @@ fn main() {
             "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
             "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
         );
-        for (method, m) in experiment
-            .run_all_methods(scenario)
-            .expect("dataset generation/parsing failed")
+        for (method, m) in
+            experiment.run_all_methods(scenario).expect("dataset generation/parsing failed")
         {
             println!(
                 "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",

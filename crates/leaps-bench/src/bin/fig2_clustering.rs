@@ -19,8 +19,7 @@ use leaps_bench::env_u64;
 fn main() {
     let seed = env_u64("LEAPS_SEED", 0x1ea5);
     let scenario = Scenario::by_name("winscp_reverse_tcp").expect("known dataset");
-    let dataset =
-        Dataset::materialize(scenario, &GenParams::small(), seed).expect("generation");
+    let dataset = Dataset::materialize(scenario, &GenParams::small(), seed).expect("generation");
 
     let refs: Vec<&PartitionedEvent> = dataset.benign.iter().collect();
     let encoder = FeatureEncoder::fit(&refs, PreprocessConfig::default());
@@ -46,7 +45,5 @@ fn main() {
         encoder.func_cluster_count()
     );
     println!("  => 3-tuple {{Event_Type={etype}, Lib={lib}, Func={func}}}");
-    println!(
-        "     (paper Fig. 2 shows e.g. Event_Num @107 -> Event_Type 7, Lib 2, Func 40)"
-    );
+    println!("     (paper Fig. 2 shows e.g. Event_Num @107 -> Event_Type 7, Lib 2, Func 40)");
 }

@@ -33,24 +33,13 @@ fn main() {
 
     std::fs::write("fig4_vim_benign.dot", to_dot(&benign, "vim_benign_cfg", None))
         .expect("write benign dot");
-    std::fs::write(
-        "fig4_vim_mixed.dot",
-        to_dot(&mixed, "vim_mixed_cfg", Some(&benign)),
-    )
-    .expect("write mixed dot");
+    std::fs::write("fig4_vim_mixed.dot", to_dot(&mixed, "vim_mixed_cfg", Some(&benign)))
+        .expect("write mixed dot");
 
     let stats = overlap(&benign, &mixed);
     println!("FIGURE 4: Vim benign CFG vs trojaned-Vim mixed CFG");
-    println!(
-        "  benign CFG: {} nodes, {} edges",
-        benign.node_count(),
-        benign.edge_count()
-    );
-    println!(
-        "  mixed CFG:  {} nodes, {} edges",
-        mixed.node_count(),
-        mixed.edge_count()
-    );
+    println!("  benign CFG: {} nodes, {} edges", benign.node_count(), benign.edge_count());
+    println!("  mixed CFG:  {} nodes, {} edges", mixed.node_count(), mixed.edge_count());
     println!(
         "  shared nodes: {}   mixed-only nodes (payload subgraph): {}",
         stats.shared_nodes, stats.mixed_only_nodes

@@ -22,13 +22,9 @@ fn main() {
         "Dataset", "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
     for scenario in Scenario::offline() {
-        let results = experiment
-            .run_all_methods(scenario)
-            .expect("dataset generation/parsing failed");
-        acc_groups.push((
-            scenario.name(),
-            results.iter().map(|(_, m)| m.acc).collect(),
-        ));
+        let results =
+            experiment.run_all_methods(scenario).expect("dataset generation/parsing failed");
+        acc_groups.push((scenario.name(), results.iter().map(|(_, m)| m.acc).collect()));
         for (method, metrics) in results {
             println!(
                 "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",

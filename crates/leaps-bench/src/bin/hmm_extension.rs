@@ -15,12 +15,8 @@ use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
 use leaps_bench::{fmt3, harness_experiment};
 
-const DATASETS: [&str; 4] = [
-    "winscp_reverse_tcp",
-    "vim_codeinject",
-    "putty_reverse_https_online",
-    "chrome_reverse_tcp",
-];
+const DATASETS: [&str; 4] =
+    ["winscp_reverse_tcp", "vim_codeinject", "putty_reverse_https_online", "chrome_reverse_tcp"];
 
 fn main() {
     let experiment = harness_experiment();

@@ -1,0 +1,152 @@
+//! Serial-vs-parallel wall-time benchmark for the thread fan-out layer
+//! (`leaps_par`): kernel-matrix construction inside SMO training, the
+//! (λ, σ², fold) cross-validation grid, and pairwise Jaccard distances.
+//!
+//! Writes `results/BENCH_parallel.json` (override the path with
+//! `LEAPS_BENCH_OUT`) and prints the same numbers to stdout.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin parallel
+//! ```
+
+use leaps::cluster::dissim::{jaccard_dissimilarity, DistanceMatrix};
+use leaps::core::par;
+use leaps::svm::cv::GridSearch;
+use leaps::svm::data::{Sample, TrainSet};
+use leaps::svm::kernel::Kernel;
+use leaps::svm::smo::{train, SmoParams};
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+/// Best-of-`REPS` wall time of `f`, in seconds.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `f` at one thread and at the full pool.
+fn stage(name: &str, threads: usize, mut f: impl FnMut()) -> StageResult {
+    par::set_thread_override(Some(1));
+    let serial = best_secs(&mut f);
+    par::set_thread_override(Some(threads));
+    let parallel = best_secs(&mut f);
+    par::set_thread_override(None);
+    let r = StageResult { name: name.to_owned(), serial_s: serial, parallel_s: parallel };
+    println!(
+        "{:<24} serial {:>8.3}s   parallel {:>8.3}s   speedup {:>5.2}x",
+        r.name,
+        r.serial_s,
+        r.parallel_s,
+        r.speedup()
+    );
+    r
+}
+
+struct StageResult {
+    name: String,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s.max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \
+             \"speedup\": {:.3}}}",
+            self.name,
+            self.serial_s,
+            self.parallel_s,
+            self.speedup()
+        )
+    }
+}
+
+/// Deterministic lattice of 30-dimensional samples (the pipeline's
+/// coalesced-window dimensionality) in two loosely separated classes.
+fn synthetic_set(n_per_class: usize) -> TrainSet {
+    let mut samples = Vec::new();
+    for i in 0..n_per_class {
+        for (base, label) in [(0.1, 1.0), (0.55, -1.0)] {
+            let x: Vec<f64> =
+                (0..30).map(|d| base + ((i * 31 + d * 7) % 97) as f64 / 300.0).collect();
+            samples.push(Sample::new(x, label, 1.0));
+        }
+    }
+    TrainSet::new(samples).unwrap()
+}
+
+/// Deterministic vocabulary-like string sets for the Jaccard stage.
+fn synthetic_vocab(n: usize) -> Vec<Vec<String>> {
+    (0..n)
+        .map(|i| {
+            let mut set: Vec<String> =
+                (0..(3 + i % 9)).map(|k| format!("f{}", (i * 13 + k * 5) % 257)).collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
+
+fn main() {
+    let threads = par::thread_count();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "parallel benchmark: {threads} worker threads on {cores} cores vs serial \
+         (best of {REPS})"
+    );
+    if cores < 2 {
+        println!("note: single-core runner — expect speedup ~1.0x regardless of threads");
+    }
+
+    let kernel_set = synthetic_set(400);
+    let kernel = stage("kernel_matrix_train", threads, || {
+        // Low iteration cap: the O(n²·d) kernel-matrix build is the
+        // parallel stage under test, not the (serial) SMO loop.
+        let model = train(
+            &kernel_set,
+            Kernel::Gaussian { sigma2: 8.0 },
+            &SmoParams { lambda: 10.0, max_iter: 50, ..Default::default() },
+        );
+        let _ = model.support_vector_count();
+    });
+
+    let grid_set = synthetic_set(160);
+    let gs = GridSearch { folds: 5, ..Default::default() };
+    let grid = stage("cv_grid_search", threads, || {
+        let best = gs.run(&grid_set);
+        assert!(best.accuracy >= 0.0);
+    });
+
+    let vocab = synthetic_vocab(2000);
+    let pairwise = stage("pairwise_jaccard", threads, || {
+        let dm = DistanceMatrix::from_sets_parallel(&vocab, |a, b| {
+            jaccard_dissimilarity(a.as_slice(), b.as_slice())
+        });
+        assert_eq!(dm.len(), vocab.len());
+    });
+
+    let out = std::env::var("LEAPS_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_parallel.json".to_owned());
+    let stages = [kernel, grid, pairwise];
+    let body: Vec<String> = stages.iter().map(StageResult::json).collect();
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"cores\": {},\n  \"reps\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        threads,
+        cores,
+        REPS,
+        body.join(",\n")
+    );
+    std::fs::write(&out, json).expect("writing benchmark output");
+    println!("wrote {out}");
+}

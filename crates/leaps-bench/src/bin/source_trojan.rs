@@ -27,10 +27,7 @@ fn main() {
         "SOURCE-LEVEL TROJANS (Section VI-A extension, {} runs, {} events/log)",
         base.runs, base.gen.benign_events
     );
-    println!(
-        "{:<30} {:<22} {:>6} {:>6} {:>6}",
-        "Dataset", "Method", "ACC", "TPR", "TNR"
-    );
+    println!("{:<30} {:<22} {:>6} {:>6} {:>6}", "Dataset", "Method", "ACC", "TPR", "TNR");
     for scenario in Scenario::source_trojans() {
         let svm = base.run(scenario, Method::Svm).expect("experiment");
         let mut address = base.clone();

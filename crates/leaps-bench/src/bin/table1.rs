@@ -23,9 +23,8 @@ fn main() {
         "Name", "Attack Method", "Application", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
     for scenario in Scenario::table1() {
-        let metrics = experiment
-            .run(scenario, Method::Wsvm)
-            .expect("dataset generation/parsing failed");
+        let metrics =
+            experiment.run(scenario, Method::Wsvm).expect("dataset generation/parsing failed");
         println!(
             "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
             scenario.name(),

@@ -42,29 +42,15 @@ fn main() {
         .collect();
 
     println!("training one WSVM over {} pooled datasets...", datasets.len());
-    let universal =
-        UniversalClassifier::train(&datasets, Method::Wsvm, &experiment.pipeline, seed);
-    println!(
-        "tuned lambda={} sigma2={}\n",
-        universal.tuned().0,
-        universal.tuned().1
-    );
-    println!(
-        "{:<26} {:>18} {:>18}",
-        "Dataset", "universal WSVM ACC", "per-app WSVM ACC"
-    );
+    let universal = UniversalClassifier::train(&datasets, Method::Wsvm, &experiment.pipeline, seed);
+    println!("tuned lambda={} sigma2={}\n", universal.tuned().0, universal.tuned().1);
+    println!("{:<26} {:>18} {:>18}", "Dataset", "universal WSVM ACC", "per-app WSVM ACC");
     for d in &datasets {
         let u = universal.evaluate(d, &experiment.pipeline, seed);
         let (train, test) = d.split_benign(experiment.pipeline.benign_train_fraction, seed);
-        let per_app =
-            train_classifier(Method::Wsvm, &train, &d.mixed, &experiment.pipeline, seed)
-                .evaluate(&test, &d.malicious)
-                .metrics();
-        println!(
-            "{:<26} {:>18} {:>18}",
-            d.scenario.name(),
-            fmt3(u.acc),
-            fmt3(per_app.acc)
-        );
+        let per_app = train_classifier(Method::Wsvm, &train, &d.mixed, &experiment.pipeline, seed)
+            .evaluate(&test, &d.malicious)
+            .metrics();
+        println!("{:<26} {:>18} {:>18}", d.scenario.name(), fmt3(u.acc), fmt3(per_app.acc));
     }
 }

@@ -14,11 +14,7 @@
 /// assert!(chart.contains("0.950"));
 /// ```
 #[must_use]
-pub fn grouped_bars(
-    metric: &str,
-    groups: &[(String, Vec<f64>)],
-    series: &[&str],
-) -> String {
+pub fn grouped_bars(metric: &str, groups: &[(String, Vec<f64>)], series: &[&str]) -> String {
     const WIDTH: usize = 40;
     let mut out = String::new();
     out.push_str(&format!("{metric} (0 .. 1, bar width {WIDTH} cols)\n"));
@@ -36,9 +32,7 @@ pub fn grouped_bars(
             if full < WIDTH && remainder > 0 {
                 bar.push(partial);
             }
-            out.push_str(&format!(
-                "  {name:<name_width$} |{bar:<WIDTH$}| {clamped:.3}\n"
-            ));
+            out.push_str(&format!("  {name:<name_width$} |{bar:<WIDTH$}| {clamped:.3}\n"));
         }
     }
     out
@@ -52,10 +46,7 @@ mod tests {
     fn renders_all_groups_and_series() {
         let chart = grouped_bars(
             "ACC",
-            &[
-                ("a".into(), vec![0.5, 1.0]),
-                ("b".into(), vec![0.0, 0.25]),
-            ],
+            &[("a".into(), vec![0.5, 1.0]), ("b".into(), vec![0.0, 0.25])],
             &["SVM", "WSVM"],
         );
         assert!(chart.contains("a\n"));

@@ -88,19 +88,11 @@ fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
     for _ in 0..rounds {
         let mut next = HashMap::with_capacity(labels.len());
         for &n in &nodes {
-            let mut out_labels: Vec<u64> = succs
-                .get(&n)
-                .unwrap_or(&empty)
-                .iter()
-                .map(|m| labels[m])
-                .collect();
+            let mut out_labels: Vec<u64> =
+                succs.get(&n).unwrap_or(&empty).iter().map(|m| labels[m]).collect();
             out_labels.sort_unstable();
-            let mut in_labels: Vec<u64> = preds
-                .get(&n)
-                .unwrap_or(&empty)
-                .iter()
-                .map(|m| labels[m])
-                .collect();
+            let mut in_labels: Vec<u64> =
+                preds.get(&n).unwrap_or(&empty).iter().map(|m| labels[m]).collect();
             in_labels.sort_unstable();
             let mut items = vec![labels[&n], 0xfeed];
             items.extend(out_labels);
@@ -114,7 +106,10 @@ fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
 }
 
 /// Collects signatures that occur exactly once, as `sig → node`.
-fn unique_signatures(labels: &HashMap<Va, u64>, restrict: Option<&HashSet<Va>>) -> HashMap<u64, Va> {
+fn unique_signatures(
+    labels: &HashMap<Va, u64>,
+    restrict: Option<&HashSet<Va>>,
+) -> HashMap<u64, Va> {
     let mut counts: HashMap<u64, usize> = HashMap::new();
     for (n, &sig) in labels {
         if restrict.is_none_or(|r| r.contains(n)) {
@@ -173,14 +168,10 @@ pub fn align(benign: &Cfg, mixed: &Cfg) -> CfgAlignment {
         &mut queue,
     );
     while let Some((b_node, m_node)) = queue.pop() {
-        let b_children: Vec<Va> = benign
-            .successors(b_node)
-            .filter(|c| unmatched_benign.contains(c))
-            .collect();
-        let m_children: Vec<Va> = mixed
-            .successors(m_node)
-            .filter(|c| unmatched_mixed.contains(c))
-            .collect();
+        let b_children: Vec<Va> =
+            benign.successors(b_node).filter(|c| unmatched_benign.contains(c)).collect();
+        let m_children: Vec<Va> =
+            mixed.successors(m_node).filter(|c| unmatched_mixed.contains(c)).collect();
         greedy_pair(
             &b_children,
             &m_children,
@@ -299,9 +290,7 @@ fn greedy_pair(
     }
     // Deterministic order: best score first, ties by address.
     scored.sort_by(|x, y| {
-        y.0.total_cmp(&x.0)
-            .then_with(|| x.1.cmp(&y.1))
-            .then_with(|| x.2.cmp(&y.2))
+        y.0.total_cmp(&x.0).then_with(|| x.1.cmp(&y.1)).then_with(|| x.2.cmp(&y.2))
     });
     for (_, b, m) in scored {
         if unmatched_benign.contains(&b) && unmatched_mixed.contains(&m) {
@@ -314,16 +303,10 @@ fn greedy_pair(
     // Relaxation: when exactly one candidate remains on each side, the
     // pairing is unambiguous even if the shapes diverged — this is
     // exactly the hijacked function, whose subtree grew by the payload.
-    let b_rest: Vec<Va> = b_candidates
-        .iter()
-        .copied()
-        .filter(|b| unmatched_benign.contains(b))
-        .collect();
-    let m_rest: Vec<Va> = m_candidates
-        .iter()
-        .copied()
-        .filter(|m| unmatched_mixed.contains(m))
-        .collect();
+    let b_rest: Vec<Va> =
+        b_candidates.iter().copied().filter(|b| unmatched_benign.contains(b)).collect();
+    let m_rest: Vec<Va> =
+        m_candidates.iter().copied().filter(|m| unmatched_mixed.contains(m)).collect();
     if let ([b], [m]) = (b_rest.as_slice(), m_rest.as_slice()) {
         node_map.insert(*m, *b);
         unmatched_benign.remove(b);
@@ -409,8 +392,7 @@ pub fn assess_weights_aligned(benign: &CfgWithEvents, mixed: &CfgWithEvents) -> 
         }
     }
     WeightAssessment::from_means(
-        sums.into_iter()
-            .map(|(num, (sum, count))| (num, sum / count as f64)),
+        sums.into_iter().map(|(num, (sum, count))| (num, sum / count as f64)),
     )
 }
 

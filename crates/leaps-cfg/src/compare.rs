@@ -84,9 +84,8 @@ mod tests {
         use leaps_trace::parser::parse_log;
         use leaps_trace::partition::partition_events;
 
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 5);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 5);
         let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
         let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
         let bcfg = infer_cfg(&benign).cfg;

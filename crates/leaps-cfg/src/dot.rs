@@ -13,9 +13,8 @@ use std::fmt::Write as _;
 /// comparison of the Vim benign CFG and the trojaned Vim mixed CFG.
 #[must_use]
 pub fn to_dot(cfg: &Cfg, name: &str, reference: Option<&Cfg>) -> String {
-    let reference_nodes: BTreeSet<Va> = reference
-        .map(|r| r.nodes().into_iter().collect())
-        .unwrap_or_default();
+    let reference_nodes: BTreeSet<Va> =
+        reference.map(|r| r.nodes().into_iter().collect()).unwrap_or_default();
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
     out.push_str("  node [shape=box, fontsize=9];\n");
@@ -38,9 +37,7 @@ pub fn to_dot(cfg: &Cfg, name: &str, reference: Option<&Cfg>) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
-        .collect()
+    name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect()
 }
 
 #[cfg(test)]

@@ -36,9 +36,7 @@ impl Cfg {
 
     /// Iterates all edges in deterministic (address) order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (Va, Va)> + '_ {
-        self.edges
-            .iter()
-            .flat_map(|(&start, ends)| ends.iter().map(move |&end| (start, end)))
+        self.edges.iter().flat_map(|(&start, ends)| ends.iter().map(move |&end| (start, end)))
     }
 
     /// All vertices (sources and targets), ascending, deduplicated.
@@ -201,11 +199,7 @@ mod tests {
         let mut cache = ReachabilityCache::new(&cfg);
         for s in 1..=4 {
             for e in 1..=4 {
-                assert_eq!(
-                    cache.reachable(Va(s), Va(e)),
-                    cfg.reachable(Va(s), Va(e)),
-                    "({s},{e})"
-                );
+                assert_eq!(cache.reachable(Va(s), Va(e)), cfg.reachable(Va(s), Va(e)), "({s},{e})");
             }
         }
     }
@@ -214,14 +208,6 @@ mod tests {
     fn iter_edges_is_deterministic_and_complete() {
         let cfg = diamond();
         let edges: Vec<_> = cfg.iter_edges().collect();
-        assert_eq!(
-            edges,
-            vec![
-                (Va(1), Va(2)),
-                (Va(1), Va(3)),
-                (Va(2), Va(4)),
-                (Va(3), Va(4)),
-            ]
-        );
+        assert_eq!(edges, vec![(Va(1), Va(2)), (Va(1), Va(3)), (Va(2), Va(4)), (Va(3), Va(4)),]);
     }
 }

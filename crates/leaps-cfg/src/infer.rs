@@ -190,9 +190,8 @@ mod tests {
         use leaps_trace::parser::parse_log;
         use leaps_trace::partition::partition_events;
 
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 3);
         let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
         let out = infer_cfg(&benign);
         assert!(out.cfg.node_count() > 30);

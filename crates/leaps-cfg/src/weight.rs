@@ -251,23 +251,14 @@ mod tests {
         let mut reach = ReachabilityCache::new(&benign);
         let cfg = WeightConfig::default();
         // Reachable (transitively) → 1.
-        assert_eq!(
-            edge_benignity(&benign, &mut reach, &density, Va(100), Va(400), cfg),
-            1.0
-        );
+        assert_eq!(edge_benignity(&benign, &mut reach, &density, Va(100), Va(400), cfg), 1.0);
         // In-range unseen → interpolated from start address.
         let w = edge_benignity(&benign, &mut reach, &density, Va(250), Va(150), cfg);
         assert!((w - 0.5).abs() < 1e-12);
         // Out of range → 0 (e.g. injected payload at high addresses).
-        assert_eq!(
-            edge_benignity(&benign, &mut reach, &density, Va(9000), Va(9100), cfg),
-            0.0
-        );
+        assert_eq!(edge_benignity(&benign, &mut reach, &density, Va(9000), Va(9100), cfg), 0.0);
         // Start in range but end outside (hijack into appended code) → 0.
-        assert_eq!(
-            edge_benignity(&benign, &mut reach, &density, Va(200), Va(9000), cfg),
-            0.0
-        );
+        assert_eq!(edge_benignity(&benign, &mut reach, &density, Va(200), Va(9000), cfg), 0.0);
     }
 
     #[test]
@@ -276,10 +267,7 @@ mod tests {
         let density = DensityArray::from_cfg(&benign);
         let mut reach = ReachabilityCache::new(&benign);
         let cfg = WeightConfig { density_estimation: false };
-        assert_eq!(
-            edge_benignity(&benign, &mut reach, &density, Va(250), Va(150), cfg),
-            0.0
-        );
+        assert_eq!(edge_benignity(&benign, &mut reach, &density, Va(250), Va(150), cfg), 0.0);
     }
 
     #[test]
@@ -339,9 +327,8 @@ mod tests {
         use leaps_trace::parser::parse_log;
         use leaps_trace::partition::partition_events;
 
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 5);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 5);
         let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
         let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
         let bcfg = infer_cfg(&benign);

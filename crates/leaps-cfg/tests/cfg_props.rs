@@ -1,6 +1,7 @@
 //! Property tests for the CFG machinery: reachability against a
 //! brute-force transitive closure, density-array estimation bounds, and
 //! alignment sanity on random trees.
+#![allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
 
 use leaps_cfg::align::align;
 use leaps_cfg::graph::{Cfg, ReachabilityCache};
@@ -12,8 +13,7 @@ use std::collections::HashSet;
 /// Strategy: a random directed graph over nodes 0..n as an edge list.
 fn random_graph() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
     (2u64..10).prop_flat_map(|n| {
-        prop::collection::vec((0..n, 0..n), 0..30)
-            .prop_map(move |edges| (n as usize, edges))
+        prop::collection::vec((0..n, 0..n), 0..30).prop_map(move |edges| (n as usize, edges))
     })
 }
 

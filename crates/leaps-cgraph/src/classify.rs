@@ -130,10 +130,7 @@ mod tests {
         let benign_only = event(&[("kernel32", "ReadFile"), ("ntdll", "NtReadFile")]);
         let shared = event(&[("user32", "GetMessageW"), ("win32k", "NtUserGetMessage")]);
         let malicious = event(&[("ws2_32", "send"), ("afd", "AfdSend")]);
-        CallGraphClassifier::fit(
-            [&benign_only, &shared],
-            [&shared, &malicious],
-        )
+        CallGraphClassifier::fit([&benign_only, &shared], [&shared, &malicious])
     }
 
     #[test]
@@ -194,9 +191,8 @@ mod tests {
         use leaps_trace::parser::parse_log;
         use leaps_trace::partition::partition_events;
 
-        let logs = Scenario::by_name("putty_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 5);
+        let logs =
+            Scenario::by_name("putty_reverse_tcp").unwrap().generate_events(&GenParams::small(), 5);
         let benign = partition_events(&parse_log(&write_log(&logs.benign)).unwrap().events);
         let mixed = partition_events(&parse_log(&write_log(&logs.mixed)).unwrap().events);
         let malicious = partition_events(&parse_log(&write_log(&logs.malicious)).unwrap().events);
@@ -205,22 +201,13 @@ mod tests {
         let c = CallGraphClassifier::fit(benign[..half].iter(), mixed.iter());
 
         let benign_test = &benign[half..];
-        let benign_hits = benign_test
-            .iter()
-            .filter(|e| c.classify(e) == Decision::Benign)
-            .count();
-        let benign_misses = benign_test
-            .iter()
-            .filter(|e| c.classify(e) != Decision::Benign)
-            .count();
-        let malicious_hits = malicious
-            .iter()
-            .filter(|e| c.classify(e) == Decision::Malicious)
-            .count();
-        let malicious_misses = malicious
-            .iter()
-            .filter(|e| c.classify(e) != Decision::Malicious)
-            .count();
+        let benign_hits = benign_test.iter().filter(|e| c.classify(e) == Decision::Benign).count();
+        let benign_misses =
+            benign_test.iter().filter(|e| c.classify(e) != Decision::Benign).count();
+        let malicious_hits =
+            malicious.iter().filter(|e| c.classify(e) == Decision::Malicious).count();
+        let malicious_misses =
+            malicious.iter().filter(|e| c.classify(e) != Decision::Malicious).count();
         // Both failure modes of Section III-D-1 are visible: some benign
         // events are misclassified (unseen relations that occurred in the
         // mixed log), and some malicious events are missed (relations

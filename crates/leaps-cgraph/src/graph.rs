@@ -84,18 +84,13 @@ impl CallGraph {
         edges: impl IntoIterator<Item = (String, String)>,
         chains: impl IntoIterator<Item = Vec<String>>,
     ) -> CallGraph {
-        CallGraph {
-            edges: edges.into_iter().collect(),
-            chains: chains.into_iter().collect(),
-        }
+        CallGraph { edges: edges.into_iter().collect(), chains: chains.into_iter().collect() }
     }
 
     /// Whether every edge of `chain` appears in the graph.
     #[must_use]
     pub fn contains_all_edges(&self, chain: &[String]) -> bool {
-        chain
-            .windows(2)
-            .all(|w| self.edges.contains(&(w[0].clone(), w[1].clone())))
+        chain.windows(2).all(|w| self.edges.contains(&(w[0].clone(), w[1].clone())))
     }
 }
 

@@ -60,9 +60,7 @@ impl Args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedToken(tok.clone()));
             };
-            let value = iter
-                .next()
-                .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
+            let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
             options.insert(key.to_owned(), value.clone());
         }
         Ok(Args { command, options })
@@ -74,10 +72,7 @@ impl Args {
     ///
     /// [`ArgError::MissingOption`] if absent.
     pub fn required(&self, name: &'static str) -> Result<&str, ArgError> {
-        self.options
-            .get(name)
-            .map(String::as_str)
-            .ok_or(ArgError::MissingOption(name))
+        self.options.get(name).map(String::as_str).ok_or(ArgError::MissingOption(name))
     }
 
     /// An optional string option.
@@ -98,10 +93,24 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::InvalidOption {
-                name,
-                value: v.clone(),
-            }),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidOption { name, value: v.clone() }),
+        }
+    }
+
+    /// An optional parsed option without a default (`None` when absent).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::InvalidOption`] if present but unparsable.
+    pub fn parse_opt<T: std::str::FromStr>(
+        &self,
+        name: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| ArgError::InvalidOption { name, value: v.clone() })
+            }
         }
     }
 }
@@ -116,8 +125,8 @@ mod tests {
 
     #[test]
     fn parses_command_and_options() {
-        let a = Args::parse(&toks(&["eval", "--scenario", "vim_reverse_tcp", "--runs", "3"]))
-            .unwrap();
+        let a =
+            Args::parse(&toks(&["eval", "--scenario", "vim_reverse_tcp", "--runs", "3"])).unwrap();
         assert_eq!(a.command, "eval");
         assert_eq!(a.required("scenario").unwrap(), "vim_reverse_tcp");
         assert_eq!(a.parse_or("runs", 1usize).unwrap(), 3);
@@ -136,6 +145,18 @@ mod tests {
             Args::parse(&toks(&["gen", "stray"])),
             Err(ArgError::UnexpectedToken("stray".into()))
         );
+    }
+
+    #[test]
+    fn parse_opt_distinguishes_absent_from_invalid() {
+        let a = Args::parse(&toks(&["eval", "--threads", "4"])).unwrap();
+        assert_eq!(a.parse_opt::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(a.parse_opt::<usize>("runs").unwrap(), None);
+        let bad = Args::parse(&toks(&["eval", "--threads", "many"])).unwrap();
+        assert!(matches!(
+            bad.parse_opt::<usize>("threads"),
+            Err(ArgError::InvalidOption { name: "threads", .. })
+        ));
     }
 
     #[test]

@@ -45,6 +45,13 @@ USAGE:
   leaps cfg --log FILE --dot FILE [--reference FILE]
       Infer the CFG of a raw log and write Graphviz; with --reference,
       highlight nodes absent from the reference log's CFG.
+
+GLOBAL OPTIONS:
+  --threads N
+      Worker threads for training (kernel matrix, CV grid, clustering).
+      Overrides the LEAPS_THREADS environment variable; default is the
+      number of available cores. Results are identical at any setting;
+      N=1 forces the serial path.
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +69,12 @@ fn main() -> ExitCode {
 
 fn run(tokens: &[String]) -> Result<(), String> {
     let args = Args::parse(tokens).map_err(|e| e.to_string())?;
+    if let Some(threads) = args.parse_opt::<usize>("threads").map_err(|e| e.to_string())? {
+        if threads == 0 {
+            return Err("--threads must be >= 1".to_owned());
+        }
+        leaps::core::par::set_thread_override(Some(threads));
+    }
     match args.command.as_str() {
         "list" => cmd_list(),
         "gen" => cmd_gen(&args),
@@ -103,8 +116,7 @@ fn gen_params(args: &Args) -> Result<GenParams, String> {
 
 fn scenario_of(args: &Args) -> Result<Scenario, String> {
     let name = args.required("scenario").map_err(|e| e.to_string())?;
-    Scenario::by_name(name)
-        .ok_or_else(|| format!("unknown scenario {name:?}; run `leaps list`"))
+    Scenario::by_name(name).ok_or_else(|| format!("unknown scenario {name:?}; run `leaps list`"))
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -154,9 +166,8 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         experiment.runs,
         experiment.gen.benign_events
     );
-    let metrics = experiment
-        .run(scenario, method)
-        .map_err(|e| format!("evaluation failed: {e}"))?;
+    let metrics =
+        experiment.run(scenario, method).map_err(|e| format!("evaluation failed: {e}"))?;
     println!("{metrics}");
     Ok(())
 }
@@ -203,8 +214,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
                     ));
                 }
             }
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let classifier = load_classifier(&text).map_err(|e| e.to_string())?;
             println!("loaded model from {path}");
             classifier

@@ -110,10 +110,10 @@ mod tests {
     fn assigner() -> ClusterAssigner<&'static str> {
         ClusterAssigner::new(
             vec![
-                vec!["kernel32", "ntdll"],         // cluster 0
+                vec!["kernel32", "ntdll"],               // cluster 0
                 vec!["kernel32", "kernelbase", "ntdll"], // cluster 0
-                vec!["tcpip", "ws2_32"],           // cluster 1
-                vec!["afd", "tcpip", "ws2_32"],    // cluster 1
+                vec!["tcpip", "ws2_32"],                 // cluster 1
+                vec!["afd", "tcpip", "ws2_32"],          // cluster 1
             ],
             vec![0, 0, 1, 1],
         )

@@ -66,18 +66,52 @@ impl DistanceMatrix {
         DistanceMatrix { n, data }
     }
 
+    /// Parallel [`DistanceMatrix::from_sets`]: upper-triangle rows fan
+    /// out across threads (see `leaps_par`) and are concatenated in row
+    /// order, so the result is bit-identical to the serial builder at
+    /// any thread count. Requires `Fn` (not `FnMut`) because the metric
+    /// is evaluated concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist` returns a negative or non-finite value.
+    #[must_use]
+    pub fn from_sets_parallel<T: Sync>(items: &[T], dist: impl Fn(&T, &T) -> f64 + Sync) -> Self {
+        let n = items.len();
+        let row_tails = leaps_par::par_map_indexed(n.saturating_sub(1), |i| {
+            ((i + 1)..n)
+                .map(|j| {
+                    let d = dist(&items[i], &items[j]);
+                    assert!(d.is_finite() && d >= 0.0, "invalid distance {d} for pair ({i},{j})");
+                    d
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for tail in row_tails {
+            data.extend(tail);
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Tolerance for the diagonal and symmetry checks of
+    /// [`DistanceMatrix::from_full`]: upstream arithmetic legitimately
+    /// produces `-0.0` or O(1e-17) rounding residue on the diagonal.
+    const FULL_MATRIX_EPS: f64 = 1e-12;
+
     /// Builds a matrix from an explicit full square matrix.
     ///
     /// # Panics
     ///
-    /// Panics if `full` is not square/symmetric with a zero diagonal.
+    /// Panics if `full` is not square/symmetric with a zero diagonal
+    /// (both checked to within [`Self::FULL_MATRIX_EPS`]).
     #[must_use]
     #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
     pub fn from_full(full: &[Vec<f64>]) -> Self {
         let n = full.len();
         for (i, row) in full.iter().enumerate() {
             assert_eq!(row.len(), n, "matrix not square");
-            assert_eq!(row[i], 0.0, "nonzero diagonal at {i}");
+            assert!(row[i].abs() < Self::FULL_MATRIX_EPS, "nonzero diagonal {} at {i}", row[i]);
         }
         let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 0..n {
@@ -168,11 +202,7 @@ mod tests {
 
     #[test]
     fn from_full_roundtrip() {
-        let full = vec![
-            vec![0.0, 0.3, 0.7],
-            vec![0.3, 0.0, 0.9],
-            vec![0.7, 0.9, 0.0],
-        ];
+        let full = vec![vec![0.0, 0.3, 0.7], vec![0.3, 0.0, 0.9], vec![0.7, 0.9, 0.0]];
         let dm = DistanceMatrix::from_full(&full);
         for (i, row) in full.iter().enumerate() {
             for (j, &expect) in row.iter().enumerate() {
@@ -185,6 +215,43 @@ mod tests {
     #[should_panic(expected = "not symmetric")]
     fn from_full_rejects_asymmetry() {
         let _ = DistanceMatrix::from_full(&[vec![0.0, 0.1], vec![0.2, 0.0]]);
+    }
+
+    #[test]
+    fn from_full_tolerates_rounding_residue_on_diagonal() {
+        // Regression: `-0.0` and O(1e-17) residue from upstream float
+        // arithmetic used to trip an exact `== 0.0` diagonal check.
+        let full = vec![vec![-0.0, 0.4], vec![0.4, 1e-17]];
+        let dm = DistanceMatrix::from_full(&full);
+        assert_eq!(dm.get(0, 0), 0.0);
+        assert_eq!(dm.get(1, 1), 0.0);
+        assert!((dm.get(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero diagonal")]
+    fn from_full_still_rejects_real_nonzero_diagonal() {
+        let _ = DistanceMatrix::from_full(&[vec![0.5, 0.1], vec![0.1, 0.0]]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<Vec<i32>> =
+            (0..17).map(|i| (0..=(i % 6)).map(|v| v * (i + 1)).collect()).collect();
+        let serial = DistanceMatrix::from_sets(&items, |a, b| jaccard_dissimilarity(a, b));
+        let parallel =
+            DistanceMatrix::from_sets_parallel(&items, |a, b| jaccard_dissimilarity(a, b));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_empty_and_singleton() {
+        let none: Vec<Vec<i32>> = vec![];
+        assert!(DistanceMatrix::from_sets_parallel(&none, |_, _| 0.0).is_empty());
+        let one = vec![vec![1]];
+        let dm = DistanceMatrix::from_sets_parallel(&one, |_, _| unreachable!());
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.get(0, 0), 0.0);
     }
 
     #[test]

@@ -81,9 +81,7 @@ impl FeatureEncoder {
 
         assert!(config.max_vocab >= 2, "max_vocab must be >= 2");
         let lib_vocab = frequent_sets(
-            events.iter().map(|e| {
-                e.lib_set().into_iter().map(str::to_owned).collect::<Vec<_>>()
-            }),
+            events.iter().map(|e| e.lib_set().into_iter().map(str::to_owned).collect::<Vec<_>>()),
             config.max_vocab,
         );
         let func_vocab = frequent_sets(events.iter().map(|e| e.func_set()), config.max_vocab);
@@ -102,7 +100,9 @@ impl FeatureEncoder {
     /// Decomposes the encoder into its fitted parts (for persistence):
     /// `(lib assigner, func assigner, config)`.
     #[must_use]
-    pub fn into_parts(self) -> (ClusterAssigner<String>, ClusterAssigner<String>, PreprocessConfig) {
+    pub fn into_parts(
+        self,
+    ) -> (ClusterAssigner<String>, ClusterAssigner<String>, PreprocessConfig) {
         (self.lib_assigner, self.func_assigner, self.config)
     }
 
@@ -140,11 +140,7 @@ impl FeatureEncoder {
     pub fn tuple(&self, event: &PartitionedEvent) -> (u32, u32, u32) {
         let libs: Vec<String> = event.lib_set().into_iter().map(str::to_owned).collect();
         let funcs = event.func_set();
-        (
-            event.etype.as_u32(),
-            self.lib_assigner.assign(&libs),
-            self.func_assigner.assign(&funcs),
-        )
+        (event.etype.as_u32(), self.lib_assigner.assign(&libs), self.func_assigner.assign(&funcs))
     }
 
     /// The normalized feature triple for one event, each component scaled
@@ -184,15 +180,11 @@ impl FeatureEncoder {
         let per_event: Vec<[f64; 3]> = events
             .iter()
             .map(|e| {
-                let libs: Vec<String> =
-                    e.lib_set().into_iter().map(str::to_owned).collect();
+                let libs: Vec<String> = e.lib_set().into_iter().map(str::to_owned).collect();
                 let funcs = e.func_set();
-                let l = *lib_cache
-                    .entry(libs)
-                    .or_insert_with_key(|k| self.lib_assigner.assign(k));
-                let f = *func_cache
-                    .entry(funcs)
-                    .or_insert_with_key(|k| self.func_assigner.assign(k));
+                let l = *lib_cache.entry(libs).or_insert_with_key(|k| self.lib_assigner.assign(k));
+                let f =
+                    *func_cache.entry(funcs).or_insert_with_key(|k| self.func_assigner.assign(k));
                 self.normalize(e.etype.as_u32(), l, f)
             })
             .collect();
@@ -234,7 +226,10 @@ fn frequent_sets(iter: impl Iterator<Item = Vec<String>>, cap: usize) -> Vec<Vec
 }
 
 fn cluster_vocab(vocab: Vec<Vec<String>>, config: PreprocessConfig) -> ClusterAssigner<String> {
-    let dm = DistanceMatrix::from_sets(&vocab, |a, b| {
+    // O(n²) Jaccard pass over the vocabulary — the dominant fit cost for
+    // large `max_vocab`, so rows fan out across threads (bit-identical to
+    // the serial builder).
+    let dm = DistanceMatrix::from_sets_parallel(&vocab, |a, b| {
         jaccard_dissimilarity(a.as_slice(), b.as_slice())
     });
     let dendro = Dendrogram::build(&dm, config.linkage);
@@ -254,9 +249,8 @@ mod tests {
     use leaps_trace::partition::partition_events;
 
     fn events() -> Vec<PartitionedEvent> {
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 3);
         let parsed = parse_log(&write_log(&logs.benign)).unwrap();
         partition_events(&parsed.events)
     }
@@ -327,10 +321,7 @@ mod tests {
     #[test]
     fn count_cut_rule_bounds_cluster_count() {
         let evs = events();
-        let config = PreprocessConfig {
-            cut: CutRule::Count(4),
-            ..Default::default()
-        };
+        let config = PreprocessConfig { cut: CutRule::Count(4), ..Default::default() };
         let enc = fit(&evs, config);
         assert!(enc.lib_cluster_count() <= 4);
         assert!(enc.func_cluster_count() <= 4);

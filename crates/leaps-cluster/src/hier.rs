@@ -134,11 +134,7 @@ impl Dendrogram {
     /// (labels are `0..k` in order of first appearance).
     #[must_use]
     pub fn cut_at_distance(&self, threshold: f64) -> Vec<u32> {
-        let applied = self
-            .merges
-            .iter()
-            .map(|m| m.distance <= threshold)
-            .collect::<Vec<_>>();
+        let applied = self.merges.iter().map(|m| m.distance <= threshold).collect::<Vec<_>>();
         self.labels_from_applied(&applied)
     }
 

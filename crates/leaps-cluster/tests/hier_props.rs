@@ -1,5 +1,6 @@
 //! Property tests for the hierarchical clustering: invariants that must
 //! hold for any distance matrix.
+#![allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
 
 use leaps_cluster::dissim::DistanceMatrix;
 use leaps_cluster::hier::{Dendrogram, Linkage};
@@ -8,21 +9,20 @@ use proptest::prelude::*;
 /// Strategy: a random symmetric distance matrix with zero diagonal over
 /// 2..=12 items.
 fn distance_matrix() -> impl Strategy<Value = DistanceMatrix> {
-    (2usize..=12)
-        .prop_flat_map(|n| {
-            prop::collection::vec(0.0f64..1.0, n * (n - 1) / 2).prop_map(move |upper| {
-                let mut full = vec![vec![0.0; n]; n];
-                let mut it = upper.into_iter();
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        let d = it.next().expect("sized above");
-                        full[i][j] = d;
-                        full[j][i] = d;
-                    }
+    (2usize..=12).prop_flat_map(|n| {
+        prop::collection::vec(0.0f64..1.0, n * (n - 1) / 2).prop_map(move |upper| {
+            let mut full = vec![vec![0.0; n]; n];
+            let mut it = upper.into_iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = it.next().expect("sized above");
+                    full[i][j] = d;
+                    full[j][i] = d;
                 }
-                DistanceMatrix::from_full(&full)
-            })
+            }
+            DistanceMatrix::from_full(&full)
         })
+    })
 }
 
 fn linkages() -> impl Strategy<Value = Linkage> {

@@ -16,11 +16,7 @@ pub struct TuningConfig {
 
 impl Default for TuningConfig {
     fn default() -> Self {
-        TuningConfig {
-            lambdas: vec![1.0, 10.0, 100.0],
-            sigma2s: vec![2.0, 8.0, 32.0],
-            folds: 10,
-        }
+        TuningConfig { lambdas: vec![1.0, 10.0, 100.0], sigma2s: vec![2.0, 8.0, 32.0], folds: 10 }
     }
 }
 
@@ -28,11 +24,7 @@ impl TuningConfig {
     /// A reduced grid/fold count for fast tests and smoke runs.
     #[must_use]
     pub fn fast() -> Self {
-        TuningConfig {
-            lambdas: vec![10.0],
-            sigma2s: vec![2.0],
-            folds: 3,
-        }
+        TuningConfig { lambdas: vec![10.0], sigma2s: vec![2.0], folds: 3 }
     }
 }
 
@@ -109,11 +101,7 @@ impl PipelineConfig {
     /// (small logs), otherwise paper-faithful.
     #[must_use]
     pub fn fast() -> Self {
-        PipelineConfig {
-            tuning: TuningConfig::fast(),
-            sample_fraction: 0.5,
-            ..Default::default()
-        }
+        PipelineConfig { tuning: TuningConfig::fast(), sample_fraction: 0.5, ..Default::default() }
     }
 
     /// Validates invariants.
@@ -131,10 +119,7 @@ impl PipelineConfig {
             self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
             "sample_fraction must be in (0,1]"
         );
-        assert!(
-            (0.0..1.0).contains(&self.weight_floor),
-            "weight_floor must be in [0,1)"
-        );
+        assert!((0.0..1.0).contains(&self.weight_floor), "weight_floor must be in [0,1)");
     }
 }
 

@@ -82,12 +82,8 @@ mod tests {
     use super::*;
 
     fn dataset() -> Dataset {
-        Dataset::materialize(
-            Scenario::by_name("vim_reverse_tcp").unwrap(),
-            &GenParams::small(),
-            11,
-        )
-        .unwrap()
+        Dataset::materialize(Scenario::by_name("vim_reverse_tcp").unwrap(), &GenParams::small(), 11)
+            .unwrap()
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl Experiment {
     /// # Errors
     ///
     /// Propagates [`ParseError`] from dataset materialization.
-    pub fn run_all_methods(&self, scenario: Scenario) -> Result<[(Method, Metrics); 3], ParseError> {
+    pub fn run_all_methods(
+        &self,
+        scenario: Scenario,
+    ) -> Result<[(Method, Metrics); 3], ParseError> {
         Ok([
             (Method::CGraph, self.run(scenario, Method::CGraph)?),
             (Method::Svm, self.run(scenario, Method::Svm)?),

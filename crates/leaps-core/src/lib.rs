@@ -28,6 +28,11 @@
 //! # Ok::<(), leaps_trace::parser::ParseError>(())
 //! ```
 
+/// Thread-fan-out helpers (`par_map`, `par_chunks`, `LEAPS_THREADS`
+/// handling), re-exported from the bottom-level `leaps-par` crate so
+/// pipeline users configure parallelism through one facade.
+pub use leaps_par as par;
+
 pub mod config;
 pub mod dataset;
 pub mod experiment;

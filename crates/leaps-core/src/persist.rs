@@ -104,10 +104,8 @@ pub fn load_classifier(text: &str) -> Result<Classifier, ModelError> {
 // ---------------------------------------------------------------- writing
 
 fn write_call_graph(out: &mut String, tag: &str, graph: &CallGraph) {
-    let mut edges: Vec<(String, String)> = graph
-        .edges()
-        .map(|(a, b)| (a.to_owned(), b.to_owned()))
-        .collect();
+    let mut edges: Vec<(String, String)> =
+        graph.edges().map(|(a, b)| (a.to_owned(), b.to_owned())).collect();
     edges.sort();
     let mut chains: Vec<Vec<String>> = graph.chains().map(<[String]>::to_vec).collect();
     chains.sort();
@@ -178,11 +176,7 @@ fn write_svm(out: &mut String, svm: &SvmClassifier) {
 }
 
 fn write_hmm_model(out: &mut String, tag: &str, model: &Hmm) {
-    out.push_str(&format!(
-        "{tag} {} {}\n",
-        model.state_count(),
-        model.symbol_count()
-    ));
+    out.push_str(&format!("{tag} {} {}\n", model.state_count(), model.symbol_count()));
     let (pi, a, b) = model.parts();
     for (name, values) in [("pi", pi), ("a", a), ("b", b)] {
         out.push_str(name);
@@ -237,9 +231,7 @@ impl<'a> Lines<'a> {
     }
 
     fn parse<T: std::str::FromStr>(&self, token: &str, what: &str) -> Result<T, ModelError> {
-        token
-            .parse()
-            .map_err(|_| self.bad(format!("invalid {what}: {token:?}")))
+        token.parse().map_err(|_| self.bad(format!("invalid {what}: {token:?}")))
     }
 }
 
@@ -351,14 +343,10 @@ fn read_assigner(lines: &mut Lines<'_>, tag: &str) -> Result<ClusterAssigner<Str
 fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
     let rest = lines.expect_prefixed("tuned")?;
     let mut parts = rest.split_whitespace();
-    let lambda: f64 = lines.parse(
-        parts.next().ok_or_else(|| lines.bad("tuned needs lambda".into()))?,
-        "lambda",
-    )?;
-    let sigma2: f64 = lines.parse(
-        parts.next().ok_or_else(|| lines.bad("tuned needs sigma2".into()))?,
-        "sigma2",
-    )?;
+    let lambda: f64 = lines
+        .parse(parts.next().ok_or_else(|| lines.bad("tuned needs lambda".into()))?, "lambda")?;
+    let sigma2: f64 = lines
+        .parse(parts.next().ok_or_else(|| lines.bad("tuned needs sigma2".into()))?, "sigma2")?;
     let kernel = read_kernel(lines)?;
     let bias: f64 = {
         let rest = lines.expect_prefixed("bias")?;
@@ -373,10 +361,8 @@ fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
     for _ in 0..n {
         let rest = lines.expect_prefixed("sv")?;
         let mut values = rest.split_whitespace();
-        let ay: f64 = lines.parse(
-            values.next().ok_or_else(|| lines.bad("sv needs alpha_y".into()))?,
-            "alpha_y",
-        )?;
+        let ay: f64 = lines
+            .parse(values.next().ok_or_else(|| lines.bad("sv needs alpha_y".into()))?, "alpha_y")?;
         let x: Result<Vec<f64>, ModelError> =
             values.map(|v| lines.parse(v, "feature value")).collect();
         alpha_y.push(ay);
@@ -399,27 +385,20 @@ fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
 fn read_hmm_model(lines: &mut Lines<'_>, tag: &str) -> Result<Hmm, ModelError> {
     let rest = lines.expect_prefixed(tag)?;
     let mut parts = rest.split_whitespace();
-    let states: usize = lines.parse(
-        parts.next().ok_or_else(|| lines.bad("hmm needs states".into()))?,
-        "states",
-    )?;
-    let symbols: usize = lines.parse(
-        parts.next().ok_or_else(|| lines.bad("hmm needs symbols".into()))?,
-        "symbols",
-    )?;
+    let states: usize =
+        lines.parse(parts.next().ok_or_else(|| lines.bad("hmm needs states".into()))?, "states")?;
+    let symbols: usize = lines
+        .parse(parts.next().ok_or_else(|| lines.bad("hmm needs symbols".into()))?, "symbols")?;
     let mut matrices = Vec::with_capacity(3);
     for (name, expected) in [("pi", states), ("a", states * states), ("b", states * symbols)] {
         let rest = lines.expect_prefixed(name)?;
-        let values: Result<Vec<f64>, ModelError> = rest
-            .split_whitespace()
-            .map(|v| lines.parse(v, "probability"))
-            .collect();
+        let values: Result<Vec<f64>, ModelError> =
+            rest.split_whitespace().map(|v| lines.parse(v, "probability")).collect();
         let values = values?;
         if values.len() != expected {
-            return Err(lines.bad(format!(
-                "{name} has {} values, expected {expected}",
-                values.len()
-            )));
+            return Err(
+                lines.bad(format!("{name} has {} values, expected {expected}", values.len()))
+            );
         }
         matrices.push(values);
     }
@@ -454,11 +433,7 @@ fn read_hmm(lines: &mut Lines<'_>) -> Result<HmmDetector, ModelError> {
     let table = SymbolTable::from_entries(entries);
     let benign = read_hmm_model(lines, "benign_hmm")?;
     let mixed = read_hmm_model(lines, "mixed_hmm")?;
-    Ok(HmmDetector::from_parts(
-        HmmClassifier::from_parts(benign, mixed),
-        encoder,
-        table,
-    ))
+    Ok(HmmDetector::from_parts(HmmClassifier::from_parts(benign, mixed), encoder, table))
 }
 
 #[cfg(test)]
@@ -470,12 +445,8 @@ mod tests {
     use leaps_etw::scenario::{GenParams, Scenario};
 
     fn dataset() -> Dataset {
-        Dataset::materialize(
-            Scenario::by_name("vim_reverse_tcp").unwrap(),
-            &GenParams::small(),
-            7,
-        )
-        .unwrap()
+        Dataset::materialize(Scenario::by_name("vim_reverse_tcp").unwrap(), &GenParams::small(), 7)
+            .unwrap()
     }
 
     fn roundtrip(method: Method) {
@@ -525,10 +496,7 @@ mod tests {
     #[test]
     fn malformed_inputs_are_diagnosed() {
         assert!(matches!(load_classifier(""), Err(ModelError::BadHeader)));
-        assert!(matches!(
-            load_classifier("# LEAPS-MODEL v1\n"),
-            Err(ModelError::Truncated)
-        ));
+        assert!(matches!(load_classifier("# LEAPS-MODEL v1\n"), Err(ModelError::Truncated)));
         let bad_kind = load_classifier("# LEAPS-MODEL v1\nkind forest\n");
         assert!(matches!(bad_kind, Err(ModelError::BadRecord { line: 2, .. })));
         let bad_record = load_classifier("# LEAPS-MODEL v1\nkind cgraph\nnope\n");
@@ -577,10 +545,7 @@ mod tests {
             }
         }
         let err = load_classifier(&fixed.join("\n")).unwrap_err();
-        assert!(
-            err.to_string().contains("inconsistent dimensions"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("inconsistent dimensions"), "{err}");
     }
 
     #[test]

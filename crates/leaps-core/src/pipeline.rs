@@ -26,9 +26,9 @@ use leaps_cfg::infer::infer_cfg;
 use leaps_cfg::weight::assess_weights;
 use leaps_cgraph::classify::{CallGraphClassifier, Decision};
 use leaps_cluster::features::FeatureEncoder;
+use leaps_etw::rng::SimRng;
 use leaps_hmm::classify::{HmmClassifier, SymbolTable};
 use leaps_hmm::hmm::HmmParams;
-use leaps_etw::rng::SimRng;
 use leaps_svm::cv::{GridSearch, Scoring};
 use leaps_svm::data::{Sample, TrainSet};
 use leaps_svm::kernel::Kernel;
@@ -55,8 +55,7 @@ impl Method {
     pub const ALL: [Method; 3] = [Method::CGraph, Method::Svm, Method::Wsvm];
 
     /// The paper's methods plus the extensions.
-    pub const EXTENDED: [Method; 4] =
-        [Method::CGraph, Method::Svm, Method::Wsvm, Method::Hmm];
+    pub const EXTENDED: [Method; 4] = [Method::CGraph, Method::Svm, Method::Wsvm, Method::Hmm];
 
     /// Display label used in the figures.
     #[must_use]
@@ -93,10 +92,7 @@ pub struct HmmDetector {
 impl HmmDetector {
     /// Maps events to their dense HMM observation symbols.
     fn symbols(&self, events: &[PartitionedEvent]) -> Vec<usize> {
-        events
-            .iter()
-            .map(|e| self.table.lookup(&self.encoder.tuple(e)))
-            .collect()
+        events.iter().map(|e| self.table.lookup(&self.encoder.tuple(e))).collect()
     }
 
     /// The preprocessing configuration (window/stride) of the encoder.
@@ -186,14 +182,9 @@ fn train_hmm(
     let encoder = FeatureEncoder::fit(&fit_events, config.preprocess);
 
     let mut table: SymbolTable<(u32, u32, u32)> = SymbolTable::new();
-    let benign_symbols: Vec<usize> = benign_train
-        .iter()
-        .map(|e| table.intern(encoder.tuple(e)))
-        .collect();
-    let mixed_symbols: Vec<usize> = mixed
-        .iter()
-        .map(|e| table.intern(encoder.tuple(e)))
-        .collect();
+    let benign_symbols: Vec<usize> =
+        benign_train.iter().map(|e| table.intern(encoder.tuple(e))).collect();
+    let mixed_symbols: Vec<usize> = mixed.iter().map(|e| table.intern(encoder.tuple(e))).collect();
     let clf = HmmClassifier::fit(
         &benign_symbols,
         &mixed_symbols,
@@ -223,17 +214,11 @@ fn train_svm_family(
             let mcfg = infer_cfg(mixed);
             let weights = match config.weight_mode {
                 WeightMode::AddressSpace => assess_weights(&bcfg.cfg, &mcfg, config.weight),
-                WeightMode::Aligned => {
-                    leaps_cfg::align::assess_weights_aligned(&bcfg, &mcfg)
-                }
+                WeightMode::Aligned => leaps_cfg::align::assess_weights_aligned(&bcfg, &mcfg),
             };
             match config.weight_polarity {
-                WeightPolarity::Maliciousness => {
-                    Box::new(move |num| weights.maliciousness(num))
-                }
-                WeightPolarity::Benignity => {
-                    Box::new(move |num| weights.benignity_or_default(num))
-                }
+                WeightPolarity::Maliciousness => Box::new(move |num| weights.maliciousness(num)),
+                WeightPolarity::Benignity => Box::new(move |num| weights.benignity_or_default(num)),
             }
         }
         _ => Box::new(|_| 1.0),
@@ -263,14 +248,8 @@ fn train_svm_family(
         config.sample_fraction * benign_points.len() as f64 / mixed_points.len() as f64;
     for (point, cover) in mixed_points.iter().zip(&mixed_covers) {
         if rng.chance(negative_fraction.min(1.0)) {
-            // Coalesced weight: mean maliciousness over covered events,
-            // floored so the negative class keeps a feasible box.
-            let c = cover
-                .iter()
-                .map(|&i| maliciousness(mixed[i].num))
-                .sum::<f64>()
-                / cover.len() as f64;
-            samples.push(Sample::new(point.clone(), -1.0, c.max(config.weight_floor)));
+            let c = coalesced_weight(cover, |i| maliciousness(mixed[i].num), config.weight_floor);
+            samples.push(Sample::new(point.clone(), -1.0, c));
         }
     }
     let train_set = TrainSet::new(samples).expect("sampled training set is degenerate");
@@ -290,6 +269,19 @@ fn train_svm_family(
         &SmoParams { lambda: best.lambda, ..Default::default() },
     );
     SvmClassifier { model, encoder, tuned: (best.lambda, best.sigma2) }
+}
+
+/// Coalesced-point weight: mean maliciousness over the covered events,
+/// floored so the negative class keeps a feasible box (Eq. 2 needs
+/// `cᵢ > 0`). An empty cover yields the floor directly — averaging over
+/// zero events would otherwise produce `0/0 = NaN` and poison the SMO
+/// box constraints.
+fn coalesced_weight(cover: &[usize], maliciousness: impl Fn(usize) -> f64, floor: f64) -> f64 {
+    if cover.is_empty() {
+        return floor;
+    }
+    let mean = cover.iter().map(|&i| maliciousness(i)).sum::<f64>() / cover.len() as f64;
+    mean.max(floor)
 }
 
 impl Classifier {
@@ -331,19 +323,20 @@ impl Classifier {
                 // Score the same 10-event windows the SVM family uses.
                 let window = hmm.encoder.config().window;
                 let stride = hmm.encoder.config().stride;
-                let score = |events: &[PartitionedEvent], cm: &mut ConfusionMatrix, benign: bool| {
-                    let symbols = hmm.symbols(events);
-                    let mut start = 0;
-                    while start + window <= symbols.len() {
-                        let verdict = hmm.clf.is_benign(&symbols[start..start + window]);
-                        if benign {
-                            cm.record_benign(verdict);
-                        } else {
-                            cm.record_malicious(!verdict);
+                let score =
+                    |events: &[PartitionedEvent], cm: &mut ConfusionMatrix, benign: bool| {
+                        let symbols = hmm.symbols(events);
+                        let mut start = 0;
+                        while start + window <= symbols.len() {
+                            let verdict = hmm.clf.is_benign(&symbols[start..start + window]);
+                            if benign {
+                                cm.record_benign(verdict);
+                            } else {
+                                cm.record_malicious(!verdict);
+                            }
+                            start += stride;
                         }
-                        start += stride;
-                    }
-                };
+                    };
                 score(benign_test, &mut cm, true);
                 score(malicious_test, &mut cm, false);
             }
@@ -366,6 +359,23 @@ mod tests {
     fn method_labels() {
         assert_eq!(Method::Wsvm.label(), "WSVM");
         assert_eq!(Method::ALL.len(), 3);
+    }
+
+    #[test]
+    fn coalesced_weight_handles_empty_cover() {
+        // Regression: an empty cover used to average over zero events and
+        // produce a NaN sample weight.
+        let w = coalesced_weight(&[], |_| 0.9, 0.05);
+        assert_eq!(w, 0.05);
+        assert!(!w.is_nan());
+    }
+
+    #[test]
+    fn coalesced_weight_means_and_floors() {
+        let malice = |i: usize| [0.2, 0.4, 0.0][i];
+        assert!((coalesced_weight(&[0, 1], malice, 0.05) - 0.3).abs() < 1e-12);
+        // Mean below the floor is clamped up.
+        assert_eq!(coalesced_weight(&[2], malice, 0.05), 0.05);
     }
 
     #[test]
@@ -406,12 +416,7 @@ mod tests {
         let m_wsvm = wsvm.evaluate(&test, &d.malicious).metrics();
         // The CFG guidance must help on benign recall (the paper's central
         // claim); allow equality in degenerate small-data cases.
-        assert!(
-            m_wsvm.tpr >= m_svm.tpr,
-            "WSVM TPR {} < SVM TPR {}",
-            m_wsvm.tpr,
-            m_svm.tpr
-        );
+        assert!(m_wsvm.tpr >= m_svm.tpr, "WSVM TPR {} < SVM TPR {}", m_wsvm.tpr, m_svm.tpr);
     }
 
     #[test]
@@ -420,9 +425,6 @@ mod tests {
         let (train, test) = d.split_benign(0.5, 2);
         let a = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7);
         let b = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7);
-        assert_eq!(
-            a.evaluate(&test, &d.malicious),
-            b.evaluate(&test, &d.malicious)
-        );
+        assert_eq!(a.evaluate(&test, &d.malicious), b.evaluate(&test, &d.malicious));
     }
 }

@@ -123,10 +123,7 @@ impl StreamDetector {
     }
 
     /// Feeds many events, collecting every verdict.
-    pub fn push_all(
-        &mut self,
-        events: impl IntoIterator<Item = PartitionedEvent>,
-    ) -> Vec<Verdict> {
+    pub fn push_all(&mut self, events: impl IntoIterator<Item = PartitionedEvent>) -> Vec<Verdict> {
         events.into_iter().filter_map(|e| self.push(e)).collect()
     }
 }
@@ -140,12 +137,8 @@ mod tests {
     use leaps_etw::scenario::{GenParams, Scenario};
 
     fn dataset() -> Dataset {
-        Dataset::materialize(
-            Scenario::by_name("vim_reverse_tcp").unwrap(),
-            &GenParams::small(),
-            5,
-        )
-        .unwrap()
+        Dataset::materialize(Scenario::by_name("vim_reverse_tcp").unwrap(), &GenParams::small(), 5)
+            .unwrap()
     }
 
     #[test]
@@ -176,8 +169,8 @@ mod tests {
         let clf2 = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
         let mut detector2 = StreamDetector::new(clf2);
         let mal_verdicts = detector2.push_all(d.malicious.iter().cloned());
-        let mal_benign_rate = mal_verdicts.iter().filter(|v| v.benign).count() as f64
-            / mal_verdicts.len() as f64;
+        let mal_benign_rate =
+            mal_verdicts.iter().filter(|v| v.benign).count() as f64 / mal_verdicts.len() as f64;
         assert!(
             benign_rate > mal_benign_rate,
             "benign stream {benign_rate} should look more benign than payload {mal_benign_rate}"

@@ -53,10 +53,8 @@ impl UniversalClassifier {
         config.validate();
 
         // Per-dataset benign training halves.
-        let splits: Vec<(Vec<PartitionedEvent>, Vec<PartitionedEvent>)> = datasets
-            .iter()
-            .map(|d| d.split_benign(config.benign_train_fraction, seed))
-            .collect();
+        let splits: Vec<(Vec<PartitionedEvent>, Vec<PartitionedEvent>)> =
+            datasets.iter().map(|d| d.split_benign(config.benign_train_fraction, seed)).collect();
 
         // One encoder over everything available at training time.
         let mut fit_events: Vec<&PartitionedEvent> = Vec::new();
@@ -76,9 +74,7 @@ impl UniversalClassifier {
                 let mcfg = infer_cfg(&d.mixed);
                 let weights = match config.weight_mode {
                     WeightMode::AddressSpace => assess_weights(&bcfg.cfg, &mcfg, config.weight),
-                    WeightMode::Aligned => {
-                        leaps_cfg::align::assess_weights_aligned(&bcfg, &mcfg)
-                    }
+                    WeightMode::Aligned => leaps_cfg::align::assess_weights_aligned(&bcfg, &mcfg),
                 };
                 match config.weight_polarity {
                     WeightPolarity::Maliciousness => {
@@ -105,10 +101,7 @@ impl UniversalClassifier {
                 / mixed_points.len().max(1) as f64;
             for (p, cover) in mixed_points.iter().zip(&covers) {
                 if rng.chance(neg_fraction.min(1.0)) {
-                    let c = cover
-                        .iter()
-                        .map(|&i| maliciousness(d.mixed[i].num))
-                        .sum::<f64>()
+                    let c = cover.iter().map(|&i| maliciousness(d.mixed[i].num)).sum::<f64>()
                         / cover.len() as f64;
                     samples.push(Sample::new(p.clone(), -1.0, c.max(config.weight_floor)));
                 }

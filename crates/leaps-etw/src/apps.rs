@@ -29,13 +29,8 @@ pub enum AppId {
 
 impl AppId {
     /// All applications.
-    pub const ALL: [AppId; 5] = [
-        AppId::WinScp,
-        AppId::Chrome,
-        AppId::NotepadPlusPlus,
-        AppId::Putty,
-        AppId::Vim,
-    ];
+    pub const ALL: [AppId; 5] =
+        [AppId::WinScp, AppId::Chrome, AppId::NotepadPlusPlus, AppId::Putty, AppId::Vim];
 
     /// Dataset-name component, e.g. `"notepad++"`.
     #[must_use]
@@ -72,117 +67,273 @@ pub fn app_spec(app: AppId) -> ProgramSpec {
     let activities = match app {
         AppId::WinScp => vec![
             // SFTP/SCP file transfer client: network session + local file I/O.
-            ActivityProfile::new("session", 0.30, 26, &[
-                ("socket", 0.4), ("connect", 0.6), ("getaddrinfo", 0.5),
-                ("send", 1.0), ("recv", 1.2), ("EncryptMessage", 0.7),
-                ("DecryptMessage", 0.7), ("WaitForSingleObject", 0.3),
-            ]),
-            ActivityProfile::new("transfer", 0.35, 30, &[
-                ("CreateFileW", 0.6), ("ReadFile", 1.2), ("WriteFile", 1.2),
-                ("CloseHandle", 0.6), ("send", 0.8), ("recv", 0.8),
-                ("FlushFileBuffers", 0.2),
-            ]),
-            ActivityProfile::new("ui", 0.20, 18, &[
-                ("GetMessageW", 1.0), ("DispatchMessageW", 1.0),
-                ("CreateWindowExW", 0.2), ("TextOutW", 0.5), ("BitBlt", 0.3),
-            ]),
-            ActivityProfile::new("config", 0.10, 12, &[
-                ("RegOpenKeyExW", 0.8), ("RegQueryValueExW", 1.0),
-                ("RegSetValueExW", 0.4), ("CloseHandle", 0.3),
-            ]),
+            ActivityProfile::new(
+                "session",
+                0.30,
+                26,
+                &[
+                    ("socket", 0.4),
+                    ("connect", 0.6),
+                    ("getaddrinfo", 0.5),
+                    ("send", 1.0),
+                    ("recv", 1.2),
+                    ("EncryptMessage", 0.7),
+                    ("DecryptMessage", 0.7),
+                    ("WaitForSingleObject", 0.3),
+                ],
+            ),
+            ActivityProfile::new(
+                "transfer",
+                0.35,
+                30,
+                &[
+                    ("CreateFileW", 0.6),
+                    ("ReadFile", 1.2),
+                    ("WriteFile", 1.2),
+                    ("CloseHandle", 0.6),
+                    ("send", 0.8),
+                    ("recv", 0.8),
+                    ("FlushFileBuffers", 0.2),
+                ],
+            ),
+            ActivityProfile::new(
+                "ui",
+                0.20,
+                18,
+                &[
+                    ("GetMessageW", 1.0),
+                    ("DispatchMessageW", 1.0),
+                    ("CreateWindowExW", 0.2),
+                    ("TextOutW", 0.5),
+                    ("BitBlt", 0.3),
+                ],
+            ),
+            ActivityProfile::new(
+                "config",
+                0.10,
+                12,
+                &[
+                    ("RegOpenKeyExW", 0.8),
+                    ("RegQueryValueExW", 1.0),
+                    ("RegSetValueExW", 0.4),
+                    ("CloseHandle", 0.3),
+                ],
+            ),
             // Latent: directory synchronization, unseen in benign training.
-            ActivityProfile::new("dirsync", 0.05, 14, &[
-                ("GetFileAttributesW", 1.0), ("CreateFileW", 0.6),
-                ("ReadFile", 0.8), ("send", 0.6), ("CloseHandle", 0.4),
-            ]),
+            ActivityProfile::new(
+                "dirsync",
+                0.05,
+                14,
+                &[
+                    ("GetFileAttributesW", 1.0),
+                    ("CreateFileW", 0.6),
+                    ("ReadFile", 0.8),
+                    ("send", 0.6),
+                    ("CloseHandle", 0.4),
+                ],
+            ),
         ],
         AppId::Chrome => vec![
             // Browser: heavy network, TLS, cache file I/O, rendering.
-            ActivityProfile::new("net", 0.40, 34, &[
-                ("getaddrinfo", 0.6), ("connect", 0.8), ("WSASend", 1.2),
-                ("WSARecv", 1.4), ("closesocket", 0.3), ("socket", 0.4),
-            ]),
-            ActivityProfile::new("tls", 0.20, 20, &[
-                ("AcquireCredentialsHandleW", 0.3), ("InitializeSecurityContextW", 0.6),
-                ("EncryptMessage", 1.0), ("DecryptMessage", 1.0),
-            ]),
-            ActivityProfile::new("cache", 0.15, 22, &[
-                ("CreateFileW", 0.8), ("ReadFile", 1.0), ("WriteFile", 1.0),
-                ("MapViewOfFile", 0.5), ("CloseHandle", 0.5),
-            ]),
-            ActivityProfile::new("render", 0.20, 26, &[
-                ("BitBlt", 1.0), ("TextOutW", 0.8), ("GetMessageW", 0.8),
-                ("DispatchMessageW", 0.8), ("malloc", 0.5),
-            ]),
+            ActivityProfile::new(
+                "net",
+                0.40,
+                34,
+                &[
+                    ("getaddrinfo", 0.6),
+                    ("connect", 0.8),
+                    ("WSASend", 1.2),
+                    ("WSARecv", 1.4),
+                    ("closesocket", 0.3),
+                    ("socket", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "tls",
+                0.20,
+                20,
+                &[
+                    ("AcquireCredentialsHandleW", 0.3),
+                    ("InitializeSecurityContextW", 0.6),
+                    ("EncryptMessage", 1.0),
+                    ("DecryptMessage", 1.0),
+                ],
+            ),
+            ActivityProfile::new(
+                "cache",
+                0.15,
+                22,
+                &[
+                    ("CreateFileW", 0.8),
+                    ("ReadFile", 1.0),
+                    ("WriteFile", 1.0),
+                    ("MapViewOfFile", 0.5),
+                    ("CloseHandle", 0.5),
+                ],
+            ),
+            ActivityProfile::new(
+                "render",
+                0.20,
+                26,
+                &[
+                    ("BitBlt", 1.0),
+                    ("TextOutW", 0.8),
+                    ("GetMessageW", 0.8),
+                    ("DispatchMessageW", 0.8),
+                    ("malloc", 0.5),
+                ],
+            ),
             // Latent: extension loading path.
-            ActivityProfile::new("extension", 0.05, 14, &[
-                ("LoadLibraryW", 0.7), ("GetProcAddress", 1.0),
-                ("CreateFileW", 0.5), ("ReadFile", 0.6),
-            ]),
+            ActivityProfile::new(
+                "extension",
+                0.05,
+                14,
+                &[
+                    ("LoadLibraryW", 0.7),
+                    ("GetProcAddress", 1.0),
+                    ("CreateFileW", 0.5),
+                    ("ReadFile", 0.6),
+                ],
+            ),
         ],
         AppId::NotepadPlusPlus => vec![
             // Text editor: UI-message-pump heavy, file I/O, config registry.
-            ActivityProfile::new("editor", 0.40, 30, &[
-                ("GetMessageW", 1.2), ("DispatchMessageW", 1.2),
-                ("TextOutW", 1.0), ("CreateWindowExW", 0.2), ("malloc", 0.4),
-            ]),
-            ActivityProfile::new("file", 0.30, 26, &[
-                ("CreateFileW", 0.8), ("ReadFile", 1.0), ("WriteFile", 0.9),
-                ("CloseHandle", 0.6), ("GetFileAttributesW", 0.4),
-            ]),
-            ActivityProfile::new("config", 0.15, 14, &[
-                ("RegOpenKeyExW", 0.8), ("RegQueryValueExW", 1.0),
-                ("RegSetValueExW", 0.3), ("fopen", 0.4), ("fread", 0.5),
-            ]),
-            ActivityProfile::new("plugins", 0.10, 12, &[
-                ("LoadLibraryW", 0.8), ("GetProcAddress", 1.0), ("malloc", 0.3),
-            ]),
+            ActivityProfile::new(
+                "editor",
+                0.40,
+                30,
+                &[
+                    ("GetMessageW", 1.2),
+                    ("DispatchMessageW", 1.2),
+                    ("TextOutW", 1.0),
+                    ("CreateWindowExW", 0.2),
+                    ("malloc", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "file",
+                0.30,
+                26,
+                &[
+                    ("CreateFileW", 0.8),
+                    ("ReadFile", 1.0),
+                    ("WriteFile", 0.9),
+                    ("CloseHandle", 0.6),
+                    ("GetFileAttributesW", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "config",
+                0.15,
+                14,
+                &[
+                    ("RegOpenKeyExW", 0.8),
+                    ("RegQueryValueExW", 1.0),
+                    ("RegSetValueExW", 0.3),
+                    ("fopen", 0.4),
+                    ("fread", 0.5),
+                ],
+            ),
+            ActivityProfile::new(
+                "plugins",
+                0.10,
+                12,
+                &[("LoadLibraryW", 0.8), ("GetProcAddress", 1.0), ("malloc", 0.3)],
+            ),
             // Latent: print/export path.
-            ActivityProfile::new("export", 0.05, 12, &[
-                ("fwrite", 1.0), ("fopen", 0.6), ("BitBlt", 0.4),
-                ("CloseHandle", 0.3),
-            ]),
+            ActivityProfile::new(
+                "export",
+                0.05,
+                12,
+                &[("fwrite", 1.0), ("fopen", 0.6), ("BitBlt", 0.4), ("CloseHandle", 0.3)],
+            ),
         ],
         AppId::Putty => vec![
             // SSH terminal: network + console rendering.
-            ActivityProfile::new("ssh", 0.45, 30, &[
-                ("socket", 0.3), ("connect", 0.5), ("send", 1.2), ("recv", 1.4),
-                ("EncryptMessage", 0.6), ("DecryptMessage", 0.6),
-                ("getaddrinfo", 0.3),
-            ]),
-            ActivityProfile::new("terminal", 0.35, 24, &[
-                ("TextOutW", 1.2), ("GetMessageW", 1.0), ("DispatchMessageW", 1.0),
-                ("BitBlt", 0.4), ("ReadConsoleW", 0.3),
-            ]),
-            ActivityProfile::new("config", 0.15, 12, &[
-                ("RegOpenKeyExW", 0.8), ("RegQueryValueExW", 1.0),
-                ("RegSetValueExW", 0.4),
-            ]),
+            ActivityProfile::new(
+                "ssh",
+                0.45,
+                30,
+                &[
+                    ("socket", 0.3),
+                    ("connect", 0.5),
+                    ("send", 1.2),
+                    ("recv", 1.4),
+                    ("EncryptMessage", 0.6),
+                    ("DecryptMessage", 0.6),
+                    ("getaddrinfo", 0.3),
+                ],
+            ),
+            ActivityProfile::new(
+                "terminal",
+                0.35,
+                24,
+                &[
+                    ("TextOutW", 1.2),
+                    ("GetMessageW", 1.0),
+                    ("DispatchMessageW", 1.0),
+                    ("BitBlt", 0.4),
+                    ("ReadConsoleW", 0.3),
+                ],
+            ),
+            ActivityProfile::new(
+                "config",
+                0.15,
+                12,
+                &[("RegOpenKeyExW", 0.8), ("RegQueryValueExW", 1.0), ("RegSetValueExW", 0.4)],
+            ),
             // Latent: port-forwarding path.
-            ActivityProfile::new("forwarding", 0.05, 12, &[
-                ("socket", 0.6), ("connect", 0.5), ("send", 1.0), ("recv", 1.0),
-                ("closesocket", 0.4),
-            ]),
+            ActivityProfile::new(
+                "forwarding",
+                0.05,
+                12,
+                &[
+                    ("socket", 0.6),
+                    ("connect", 0.5),
+                    ("send", 1.0),
+                    ("recv", 1.0),
+                    ("closesocket", 0.4),
+                ],
+            ),
         ],
         AppId::Vim => vec![
             // Console editor: file + console I/O, swap files.
-            ActivityProfile::new("edit", 0.45, 28, &[
-                ("ReadConsoleW", 1.2), ("WriteConsoleW", 1.2), ("malloc", 0.5),
-                ("fread", 0.4),
-            ]),
-            ActivityProfile::new("file", 0.30, 24, &[
-                ("fopen", 0.8), ("fread", 1.0), ("fwrite", 1.0),
-                ("CloseHandle", 0.4), ("GetFileAttributesW", 0.4),
-            ]),
-            ActivityProfile::new("swap", 0.20, 16, &[
-                ("WriteFile", 1.0), ("FlushFileBuffers", 0.6),
-                ("CreateFileW", 0.4), ("CloseHandle", 0.4),
-            ]),
+            ActivityProfile::new(
+                "edit",
+                0.45,
+                28,
+                &[("ReadConsoleW", 1.2), ("WriteConsoleW", 1.2), ("malloc", 0.5), ("fread", 0.4)],
+            ),
+            ActivityProfile::new(
+                "file",
+                0.30,
+                24,
+                &[
+                    ("fopen", 0.8),
+                    ("fread", 1.0),
+                    ("fwrite", 1.0),
+                    ("CloseHandle", 0.4),
+                    ("GetFileAttributesW", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "swap",
+                0.20,
+                16,
+                &[
+                    ("WriteFile", 1.0),
+                    ("FlushFileBuffers", 0.6),
+                    ("CreateFileW", 0.4),
+                    ("CloseHandle", 0.4),
+                ],
+            ),
             // Latent: plugin/script sourcing.
-            ActivityProfile::new("scripting", 0.05, 12, &[
-                ("fopen", 0.8), ("fread", 1.2), ("malloc", 0.5),
-                ("WriteConsoleW", 0.4),
-            ]),
+            ActivityProfile::new(
+                "scripting",
+                0.05,
+                12,
+                &[("fopen", 0.8), ("fread", 1.2), ("malloc", 0.5), ("WriteConsoleW", 0.4)],
+            ),
         ],
     };
     ProgramSpec {

@@ -190,10 +190,7 @@ pub fn relayout_pair(
         ModuleImage::new(
             name,
             range,
-            functions
-                .iter()
-                .map(|f| FunctionSym { name: f.name.clone(), addr: f.addr })
-                .collect(),
+            functions.iter().map(|f| FunctionSym { name: f.name.clone(), addr: f.addr }).collect(),
             true,
         )
     };

@@ -88,10 +88,7 @@ impl EventType {
     /// Parses the canonical name produced by [`fmt::Display`].
     #[must_use]
     pub fn from_name(name: &str) -> Option<EventType> {
-        EventType::ALL
-            .iter()
-            .copied()
-            .find(|e| e.name() == name)
+        EventType::ALL.iter().copied().find(|e| e.name() == name)
     }
 
     /// Canonical name as written in raw logs, e.g. `"FileWrite"`.
@@ -163,12 +160,7 @@ impl StackFrame {
         addr: Va,
         in_app_image: bool,
     ) -> Self {
-        StackFrame {
-            module: module.into(),
-            function: function.into(),
-            addr,
-            in_app_image,
-        }
+        StackFrame { module: module.into(), function: function.into(), addr, in_app_image }
     }
 
     /// `module!function` notation used in raw logs.

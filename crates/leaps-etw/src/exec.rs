@@ -156,9 +156,8 @@ pub fn run_benign(
     params: RunParams,
     seed: u64,
 ) -> Vec<SysEvent> {
-    let enabled: Vec<usize> = (0..app.activity_entries.len())
-        .filter(|i| !disabled.contains(i))
-        .collect();
+    let enabled: Vec<usize> =
+        (0..app.activity_entries.len()).filter(|i| !disabled.contains(i)).collect();
     let rng = SimRng::new(seed);
     let mut stream = Stream::new(
         app,
@@ -206,10 +205,7 @@ pub fn run_mixed(
     params: MixedParams,
     seed: u64,
 ) -> Vec<SysEvent> {
-    assert!(
-        (0.0..=1.0).contains(&params.benign_ratio),
-        "benign_ratio must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&params.benign_ratio), "benign_ratio must be in [0,1]");
     let rng = SimRng::new(seed);
     // Source-level trojans run the benign code from the recompiled image.
     let benign_model = infection.app_override.as_ref().unwrap_or(app);
@@ -225,8 +221,7 @@ pub fn run_mixed(
         rng.derive(1),
     );
     let prefix = hijack_prefix(benign_model, infection);
-    let payload_enabled: Vec<usize> =
-        (0..infection.payload.activity_entries.len()).collect();
+    let payload_enabled: Vec<usize> = (0..infection.payload.activity_entries.len()).collect();
     let mut payload = Stream::new(
         &infection.payload,
         payload_enabled,
@@ -397,10 +392,7 @@ mod tests {
         assert_eq!(mal.frames[0].function, "main");
         assert_eq!(mal.frames[0].module, app.module.name);
         // Payload frames resolve to the host module for offline infection.
-        assert!(mal
-            .frames
-            .iter()
-            .any(|f| f.in_app_image && f.function.starts_with("payload_")));
+        assert!(mal.frames.iter().any(|f| f.in_app_image && f.function.starts_with("payload_")));
     }
 
     #[test]

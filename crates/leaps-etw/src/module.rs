@@ -48,12 +48,7 @@ impl ModuleImage {
                 f.addr
             );
         }
-        ModuleImage {
-            name: name.into(),
-            range,
-            functions,
-            is_app_image,
-        }
+        ModuleImage { name: name.into(), range, functions, is_app_image }
     }
 
     /// Resolves the function containing/starting at `addr` (nearest symbol

@@ -26,11 +26,8 @@ pub enum PayloadId {
 
 impl PayloadId {
     /// All payloads.
-    pub const ALL: [PayloadId; 3] = [
-        PayloadId::ReverseTcp,
-        PayloadId::ReverseHttps,
-        PayloadId::Pwddlg,
-    ];
+    pub const ALL: [PayloadId; 3] =
+        [PayloadId::ReverseTcp, PayloadId::ReverseHttps, PayloadId::Pwddlg];
 
     /// Dataset-name component, e.g. `"reverse_tcp"`.
     #[must_use]
@@ -54,47 +51,111 @@ impl PayloadId {
 pub fn payload_spec(payload: PayloadId) -> ProgramSpec {
     let activities = match payload {
         PayloadId::ReverseTcp => vec![
-            ActivityProfile::new("stage", 0.10, 8, &[
-                ("VirtualAlloc", 1.0), ("VirtualProtect", 0.8),
-                ("LoadLibraryW", 0.6), ("GetProcAddress", 1.0),
-            ]),
-            ActivityProfile::new("c2_tcp", 0.45, 14, &[
-                ("socket", 0.4), ("connect", 0.7), ("send", 1.2), ("recv", 1.4),
-                ("Sleep", 0.4), ("closesocket", 0.2),
-            ]),
-            ActivityProfile::new("post_exploit", 0.45, 16, &[
-                ("CreateProcessW", 0.5), ("GetAsyncKeyState", 1.0),
-                ("BitBlt", 0.4), ("ReadFile", 0.5), ("RegQueryValueExW", 0.5),
-                ("CreateThread", 0.3), ("WriteFile", 0.4),
-            ]),
+            ActivityProfile::new(
+                "stage",
+                0.10,
+                8,
+                &[
+                    ("VirtualAlloc", 1.0),
+                    ("VirtualProtect", 0.8),
+                    ("LoadLibraryW", 0.6),
+                    ("GetProcAddress", 1.0),
+                ],
+            ),
+            ActivityProfile::new(
+                "c2_tcp",
+                0.45,
+                14,
+                &[
+                    ("socket", 0.4),
+                    ("connect", 0.7),
+                    ("send", 1.2),
+                    ("recv", 1.4),
+                    ("Sleep", 0.4),
+                    ("closesocket", 0.2),
+                ],
+            ),
+            ActivityProfile::new(
+                "post_exploit",
+                0.45,
+                16,
+                &[
+                    ("CreateProcessW", 0.5),
+                    ("GetAsyncKeyState", 1.0),
+                    ("BitBlt", 0.4),
+                    ("ReadFile", 0.5),
+                    ("RegQueryValueExW", 0.5),
+                    ("CreateThread", 0.3),
+                    ("WriteFile", 0.4),
+                ],
+            ),
         ],
         PayloadId::ReverseHttps => vec![
-            ActivityProfile::new("stage", 0.10, 8, &[
-                ("VirtualAlloc", 1.0), ("VirtualProtect", 0.8),
-                ("LoadLibraryW", 0.6), ("GetProcAddress", 1.0),
-            ]),
-            ActivityProfile::new("c2_https", 0.45, 16, &[
-                ("InternetOpenW", 0.2), ("InternetConnectW", 0.5),
-                ("HttpSendRequestW", 1.2), ("InternetReadFile", 1.4),
-                ("EncryptMessage", 0.6), ("DecryptMessage", 0.6), ("Sleep", 0.4),
-            ]),
-            ActivityProfile::new("post_exploit", 0.45, 16, &[
-                ("CreateProcessW", 0.5), ("GetAsyncKeyState", 1.0),
-                ("BitBlt", 0.4), ("ReadFile", 0.5), ("RegQueryValueExW", 0.5),
-                ("CreateThread", 0.3), ("CryptProtectData", 0.4),
-            ]),
+            ActivityProfile::new(
+                "stage",
+                0.10,
+                8,
+                &[
+                    ("VirtualAlloc", 1.0),
+                    ("VirtualProtect", 0.8),
+                    ("LoadLibraryW", 0.6),
+                    ("GetProcAddress", 1.0),
+                ],
+            ),
+            ActivityProfile::new(
+                "c2_https",
+                0.45,
+                16,
+                &[
+                    ("InternetOpenW", 0.2),
+                    ("InternetConnectW", 0.5),
+                    ("HttpSendRequestW", 1.2),
+                    ("InternetReadFile", 1.4),
+                    ("EncryptMessage", 0.6),
+                    ("DecryptMessage", 0.6),
+                    ("Sleep", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "post_exploit",
+                0.45,
+                16,
+                &[
+                    ("CreateProcessW", 0.5),
+                    ("GetAsyncKeyState", 1.0),
+                    ("BitBlt", 0.4),
+                    ("ReadFile", 0.5),
+                    ("RegQueryValueExW", 0.5),
+                    ("CreateThread", 0.3),
+                    ("CryptProtectData", 0.4),
+                ],
+            ),
         ],
         PayloadId::Pwddlg => vec![
-            ActivityProfile::new("dialog", 0.60, 10, &[
-                ("DialogBoxParamW", 1.2), ("CreateWindowExW", 0.6),
-                ("GetMessageW", 0.8), ("DispatchMessageW", 0.8),
-                ("TextOutW", 0.4),
-            ]),
-            ActivityProfile::new("check", 0.40, 8, &[
-                ("RegOpenKeyExW", 0.6), ("RegQueryValueExW", 1.0),
-                ("CryptProtectData", 0.5), ("ExitProcess", 0.3),
-                ("WaitForSingleObject", 0.4),
-            ]),
+            ActivityProfile::new(
+                "dialog",
+                0.60,
+                10,
+                &[
+                    ("DialogBoxParamW", 1.2),
+                    ("CreateWindowExW", 0.6),
+                    ("GetMessageW", 0.8),
+                    ("DispatchMessageW", 0.8),
+                    ("TextOutW", 0.4),
+                ],
+            ),
+            ActivityProfile::new(
+                "check",
+                0.40,
+                8,
+                &[
+                    ("RegOpenKeyExW", 0.6),
+                    ("RegQueryValueExW", 1.0),
+                    ("CryptProtectData", 0.5),
+                    ("ExitProcess", 0.3),
+                    ("WaitForSingleObject", 0.4),
+                ],
+            ),
         ],
     };
     ProgramSpec {

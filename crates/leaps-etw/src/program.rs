@@ -46,12 +46,7 @@ impl ActivityProfile {
         functions: usize,
         apis: &[(&'static str, f64)],
     ) -> Self {
-        ActivityProfile {
-            name,
-            weight,
-            apis: apis.to_vec(),
-            functions,
-        }
+        ActivityProfile { name, weight, apis: apis.to_vec(), functions }
     }
 }
 
@@ -140,11 +135,8 @@ impl ProgramSpec {
         for (act_idx, act) in self.activities.iter().enumerate() {
             assert!(act.functions >= 1, "activity {} has zero functions", act.name);
             assert!(!act.apis.is_empty(), "activity {} has no APIs", act.name);
-            let api_ids: Vec<(ApiId, f64)> = act
-                .apis
-                .iter()
-                .map(|&(name, w)| (catalog.api_id(name), w))
-                .collect();
+            let api_ids: Vec<(ApiId, f64)> =
+                act.apis.iter().map(|&(name, w)| (catalog.api_id(name), w)).collect();
 
             // Build the activity subtree: node 0 of the subtree is the entry.
             let first = functions.len();
@@ -179,9 +171,7 @@ impl ProgramSpec {
                     0
                 };
                 for _ in 0..n_apis {
-                    let k = rng.weighted(
-                        &api_ids.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
-                    );
+                    let k = rng.weighted(&api_ids.iter().map(|&(_, w)| w).collect::<Vec<_>>());
                     let (api, w) = api_ids[k];
                     if !functions[id].apis.iter().any(|&(a, _)| a == api) {
                         functions[id].apis.push((api, w));
@@ -210,21 +200,11 @@ impl ProgramSpec {
         let module = ModuleImage::new(
             self.name.clone(),
             AddressRange::new(base, code_end),
-            functions
-                .iter()
-                .map(|f| FunctionSym { name: f.name.clone(), addr: f.addr })
-                .collect(),
+            functions.iter().map(|f| FunctionSym { name: f.name.clone(), addr: f.addr }).collect(),
             true,
         );
 
-        ProgramModel {
-            module,
-            functions,
-            root,
-            activity_entries,
-            activity_weights,
-            activity_names,
-        }
+        ProgramModel { module, functions, root, activity_entries, activity_weights, activity_names }
     }
 }
 
@@ -373,16 +353,9 @@ mod tests {
         // Sorted by address, the activity sequence should alternate rather
         // than form two contiguous blocks.
         let m = spec().instantiate(Va(0x40_0000), 11);
-        let mut by_addr: Vec<_> = m
-            .functions
-            .iter()
-            .filter(|f| f.activity != usize::MAX)
-            .collect();
+        let mut by_addr: Vec<_> = m.functions.iter().filter(|f| f.activity != usize::MAX).collect();
         by_addr.sort_by_key(|f| f.addr);
-        let switches = by_addr
-            .windows(2)
-            .filter(|w| w[0].activity != w[1].activity)
-            .count();
+        let switches = by_addr.windows(2).filter(|w| w[0].activity != w[1].activity).count();
         assert!(switches >= 5, "activities not interleaved: {switches} switches");
     }
 }

@@ -34,12 +34,7 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         let mut s = seed;
         SimRng {
-            state: [
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-                splitmix64(&mut s),
-            ],
+            state: [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)],
         }
     }
 
@@ -53,10 +48,8 @@ impl SimRng {
 
     /// Next 64 random bits (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.state[0]
-            .wrapping_add(self.state[3])
-            .rotate_left(23)
-            .wrapping_add(self.state[0]);
+        let result =
+            self.state[0].wrapping_add(self.state[3]).rotate_left(23).wrapping_add(self.state[0]);
         let t = self.state[1] << 17;
         self.state[2] ^= self.state[0];
         self.state[3] ^= self.state[1];

@@ -77,11 +77,7 @@ impl Scenario {
             (Chrome, ReverseHttps),
         ]
         .into_iter()
-        .map(|(app, payload)| Scenario {
-            app,
-            payload,
-            method: AttackMethod::SourceRecompile,
-        })
+        .map(|(app, payload)| Scenario { app, payload, method: AttackMethod::SourceRecompile })
         .collect()
     }
 
@@ -115,12 +111,7 @@ impl Scenario {
     /// or `"vim_codeinject"`.
     #[must_use]
     pub fn name(&self) -> String {
-        format!(
-            "{}_{}{}",
-            self.app.name(),
-            self.payload.name(),
-            self.method.suffix()
-        )
+        format!("{}_{}{}", self.app.name(), self.payload.name(), self.method.suffix())
     }
 
     /// Looks a scenario up by its dataset name (Table I names plus the
@@ -339,11 +330,7 @@ mod tests {
         let logs = s.generate_events(&GenParams::small(), 5);
         assert!(logs.benign.iter().all(|e| e.truth == Provenance::Benign));
         assert!(logs.malicious.iter().all(|e| e.truth == Provenance::Malicious));
-        let mal_in_mixed = logs
-            .mixed
-            .iter()
-            .filter(|e| e.truth == Provenance::Malicious)
-            .count();
+        let mal_in_mixed = logs.mixed.iter().filter(|e| e.truth == Provenance::Malicious).count();
         assert!(mal_in_mixed > 0);
         assert!(mal_in_mixed < logs.mixed.len());
     }

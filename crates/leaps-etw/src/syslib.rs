@@ -373,10 +373,7 @@ impl SysCatalog {
         // Materialize module images.
         let mut funcs_per_lib: HashMap<&'static str, Vec<FunctionSym>> = HashMap::new();
         for (&(lib, func), &addr) in &func_addr {
-            funcs_per_lib
-                .entry(lib)
-                .or_default()
-                .push(FunctionSym { name: func.to_owned(), addr });
+            funcs_per_lib.entry(lib).or_default().push(FunctionSym { name: func.to_owned(), addr });
         }
         let libs: Vec<ModuleImage> = LIBS
             .iter()
@@ -436,10 +433,7 @@ impl SysCatalog {
     /// unknown name is a programming error, caught by unit tests.
     #[must_use]
     pub fn api_id(&self, name: &str) -> ApiId {
-        *self
-            .by_name
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown API {name:?} in catalog"))
+        *self.by_name.get(name).unwrap_or_else(|| panic!("unknown API {name:?} in catalog"))
     }
 
     /// Name of an API.

@@ -10,14 +10,12 @@ fn any_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn small_params() -> impl Strategy<Value = GenParams> {
-    (50usize..200, 50usize..200, 20usize..100, 0.2f64..0.8).prop_map(
-        |(b, m, p, ratio)| GenParams {
-            benign_events: b,
-            mixed_events: m,
-            malicious_events: p,
-            benign_ratio: ratio,
-        },
-    )
+    (50usize..200, 50usize..200, 20usize..100, 0.2f64..0.8).prop_map(|(b, m, p, ratio)| GenParams {
+        benign_events: b,
+        mixed_events: m,
+        malicious_events: p,
+        benign_ratio: ratio,
+    })
 }
 
 proptest! {

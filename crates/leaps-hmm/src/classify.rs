@@ -168,9 +168,8 @@ mod tests {
         // The mixed stream interleaves benign and malicious symbols (the
         // paper's noisy-negative situation).
         let benign = repeat_pattern(&[0, 1], 300);
-        let mixed: Vec<usize> = (0..300)
-            .map(|i| if (i / 25) % 2 == 0 { i % 2 } else { 2 + i % 2 })
-            .collect();
+        let mixed: Vec<usize> =
+            (0..300).map(|i| if (i / 25) % 2 == 0 { i % 2 } else { 2 + i % 2 }).collect();
         let clf = HmmClassifier::fit(&benign, &mixed, 4, 50, &HmmParams::default());
         assert!(!clf.is_benign(&repeat_pattern(&[2, 3], 12)));
     }

@@ -51,8 +51,7 @@ impl Hmm {
     pub fn train(sequences: &[Vec<usize>], symbols: usize, params: &HmmParams) -> Hmm {
         assert!(symbols > 0, "need at least one observation symbol");
         assert!(params.states > 0, "need at least one hidden state");
-        let sequences: Vec<&Vec<usize>> =
-            sequences.iter().filter(|s| !s.is_empty()).collect();
+        let sequences: Vec<&Vec<usize>> = sequences.iter().filter(|s| !s.is_empty()).collect();
         assert!(!sequences.is_empty(), "need at least one non-empty sequence");
         for seq in &sequences {
             for &o in seq.iter() {
@@ -227,7 +226,13 @@ impl Hmm {
     ///
     /// Panics on dimension mismatches.
     #[must_use]
-    pub fn from_parts(states: usize, symbols: usize, pi: Vec<f64>, a: Vec<f64>, b: Vec<f64>) -> Hmm {
+    pub fn from_parts(
+        states: usize,
+        symbols: usize,
+        pi: Vec<f64>,
+        a: Vec<f64>,
+        b: Vec<f64>,
+    ) -> Hmm {
         assert_eq!(pi.len(), states, "pi length mismatch");
         assert_eq!(a.len(), states * states, "A length mismatch");
         assert_eq!(b.len(), states * symbols, "B length mismatch");

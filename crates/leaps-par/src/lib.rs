@@ -1,0 +1,247 @@
+//! Scoped-thread parallelism for the LEAPS training hot loops.
+//!
+//! The three dominant costs of the training path — the dense Gaussian
+//! kernel matrix, the (λ, σ²) × fold cross-validation grid and the
+//! O(n²) pairwise Jaccard distance matrix — are embarrassingly
+//! parallel: every unit of work is independent and the reduction is a
+//! plain index-ordered concatenation. This crate provides that fan-out
+//! with three hard guarantees:
+//!
+//! 1. **Determinism.** Results are assembled strictly by work-item
+//!    index, never by completion order, so every `par_*` call returns
+//!    exactly what the serial loop would have returned — bit for bit —
+//!    regardless of thread count or scheduling.
+//! 2. **No dependencies.** Built on [`std::thread::scope`]; workers
+//!    borrow the caller's data directly, no channels or arcs.
+//! 3. **No nested oversubscription.** A worker thread that itself calls
+//!    into a `par_*` helper runs the inner call serially (tracked by a
+//!    thread-local), so parallel cross-validation cells don't each
+//!    spawn their own kernel-matrix pool.
+//!
+//! The thread count comes from, in priority order: the runtime override
+//! ([`set_thread_override`], used by the CLI's `--threads` flag), the
+//! `LEAPS_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. A count of 1 short-circuits
+//! to the plain serial loop with zero threading overhead.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runtime thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True inside a `par_*` worker; forces nested calls serial.
+    static IN_PAR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the worker-thread count for every subsequent `par_*` call
+/// in this process (`None` restores env/hardware detection).
+///
+/// Because all reductions are index-ordered, changing the thread count
+/// never changes any computed result — only wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `Some(0)` is passed.
+pub fn set_thread_override(threads: Option<usize>) {
+    if let Some(n) = threads {
+        assert!(n >= 1, "thread override must be at least 1");
+        THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    } else {
+        THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The worker-thread count `par_*` calls will use right now:
+/// the [`set_thread_override`] value if set, else `LEAPS_THREADS` if
+/// set to a positive integer, else the machine's available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_thread_count().unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }),
+        n => n,
+    }
+}
+
+fn env_thread_count() -> Option<usize> {
+    std::env::var("LEAPS_THREADS").ok()?.trim().parse().ok().filter(|&n| n >= 1)
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// Work items are distributed dynamically (an atomic cursor), so
+/// heavily skewed per-item costs — e.g. triangular distance-matrix
+/// rows — still balance across workers.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = thread_count().min(n);
+    if threads <= 1 || IN_PAR_WORKER.with(Cell::get) {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PAR_WORKER.with(|flag| flag.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("par_map worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index computed exactly once")).collect()
+}
+
+/// Maps `f` over every element of `items`, returning results in input
+/// order. See [`par_map_indexed`] for the guarantees.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Splits `items` into at most `thread_count()` contiguous chunks of at
+/// least `min_chunk` elements, maps `f` over each `(offset, chunk)` and
+/// returns the per-chunk results in offset order.
+///
+/// Use this when per-element work is too small to amortize dynamic
+/// scheduling and the caller wants to process runs of elements at once.
+///
+/// # Panics
+///
+/// Panics if `min_chunk == 0`; propagates panics from `f`.
+pub fn par_chunks<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(min_chunk >= 1, "min_chunk must be at least 1");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunks = (items.len() / min_chunk).clamp(1, thread_count());
+    let chunk_len = items.len().div_ceil(chunks);
+    let bounds: Vec<usize> = (0..chunks).map(|c| c * chunk_len).collect();
+    par_map(&bounds, |&start| {
+        let end = (start + chunk_len).min(items.len());
+        f(start, &items[start..end])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(par_map(&items, |x| x * x), serial);
+    }
+
+    #[test]
+    fn par_map_indexed_handles_empty_and_single() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Skewed work per item (triangular), like distance-matrix rows.
+        let work = |i: usize| -> f64 { (i..1000).map(|j| (j as f64).sqrt()).sum() };
+        let reference: Vec<f64> = (0..200).map(work).collect();
+        assert_eq!(par_map_indexed(200, work), reference);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_without_deadlock() {
+        let out = par_map_indexed(8, |i| {
+            // Inner call must not spawn another pool.
+            par_map_indexed(8, move |j| i * 8 + j)
+        });
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(*row, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let items: Vec<u32> = (0..997).collect();
+        let chunked = par_chunks(&items, 10, |offset, chunk| (offset, chunk.to_vec()));
+        let mut flattened = Vec::new();
+        let mut expected_offset = 0;
+        for (offset, chunk) in chunked {
+            assert_eq!(offset, expected_offset);
+            expected_offset += chunk.len();
+            flattened.extend(chunk);
+        }
+        assert_eq!(flattened, items);
+    }
+
+    #[test]
+    fn par_chunks_empty_input() {
+        let items: Vec<u32> = Vec::new();
+        assert!(par_chunks(&items, 5, |_, c| c.len()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        // Force the parallel path even on single-core CI machines.
+        set_thread_override(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed(64, |i| {
+                assert!(i != 32, "boom");
+                i
+            })
+        });
+        set_thread_override(None);
+        match result {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(_) => panic!("expected worker panic"),
+        }
+    }
+
+    #[test]
+    fn override_and_env_precedence() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+}

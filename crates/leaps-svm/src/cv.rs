@@ -71,6 +71,12 @@ impl GridSearch {
     /// score; returns the best configuration (ties → first in grid
     /// order, so results are deterministic).
     ///
+    /// Every (λ, σ², fold) cell is an independent SVM training run, so
+    /// the cells fan out across threads (see `leaps_par`); fold scores
+    /// are averaged in fold order and the best cell is selected in grid
+    /// order, making the result — including tie-breaking — bit-identical
+    /// to the serial loop at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the grid is empty or `folds < 2`.
@@ -78,11 +84,38 @@ impl GridSearch {
     pub fn run(&self, set: &TrainSet) -> GridSearchResult {
         assert!(!self.lambdas.is_empty() && !self.sigma2s.is_empty(), "empty grid");
         assert!(self.folds >= 2, "need at least 2 folds");
-        let folds = stratified_folds(set, self.folds, self.seed);
-        let mut best = GridSearchResult { lambda: self.lambdas[0], sigma2: self.sigma2s[0], accuracy: -1.0 };
-        for &lambda in &self.lambdas {
-            for &sigma2 in &self.sigma2s {
-                let acc = cv_score(set, &folds, lambda, sigma2, self.scoring);
+        let fold_of = stratified_folds(set, self.folds, self.seed);
+        let n_folds = fold_of.iter().copied().max().unwrap_or(0) + 1;
+
+        // Flat cell list in (λ, σ², fold) lexicographic order.
+        let mut cells = Vec::with_capacity(self.lambdas.len() * self.sigma2s.len() * n_folds);
+        for li in 0..self.lambdas.len() {
+            for si in 0..self.sigma2s.len() {
+                for fold in 0..n_folds {
+                    cells.push((li, si, fold));
+                }
+            }
+        }
+        let scoring = self.scoring;
+        let fold_scores = leaps_par::par_map(&cells, |&(li, si, fold)| {
+            fold_score(set, &fold_of, self.lambdas[li], self.sigma2s[si], fold, scoring)
+        });
+
+        // Deterministic reduce: average per cell in fold order, select in
+        // grid order with strict `>` so ties keep the first grid entry —
+        // exactly the serial algorithm.
+        let mut best =
+            GridSearchResult { lambda: self.lambdas[0], sigma2: self.sigma2s[0], accuracy: -1.0 };
+        for (li, &lambda) in self.lambdas.iter().enumerate() {
+            for (si, &sigma2) in self.sigma2s.iter().enumerate() {
+                let base = (li * self.sigma2s.len() + si) * n_folds;
+                let scores: Vec<f64> =
+                    fold_scores[base..base + n_folds].iter().copied().flatten().collect();
+                let acc = if scores.is_empty() {
+                    0.0
+                } else {
+                    scores.iter().sum::<f64>() / scores.len() as f64
+                };
                 if acc > best.accuracy {
                     best = GridSearchResult { lambda, sigma2, accuracy: acc };
                 }
@@ -113,45 +146,32 @@ fn stratified_folds(set: &TrainSet, folds: usize, seed: u64) -> Vec<usize> {
     assignment
 }
 
-/// Mean validation score over folds for one (λ, σ²). Folds whose
-/// training split degenerates to one class are skipped.
-fn cv_score(
+/// Validation score of one (λ, σ², fold) cell, or `None` if the fold is
+/// empty or its training split degenerates to one class.
+fn fold_score(
     set: &TrainSet,
     fold_of: &[usize],
     lambda: f64,
     sigma2: f64,
+    fold: usize,
     scoring: Scoring,
-) -> f64 {
-    let n_folds = fold_of.iter().copied().max().unwrap_or(0) + 1;
-    let mut scores = Vec::new();
-    for fold in 0..n_folds {
-        let mut train_samples: Vec<Sample> = Vec::new();
-        let mut val: Vec<&Sample> = Vec::new();
-        for (sample, &f) in set.samples().iter().zip(fold_of) {
-            if f == fold {
-                val.push(sample);
-            } else {
-                train_samples.push(sample.clone());
-            }
+) -> Option<f64> {
+    let mut train_samples: Vec<Sample> = Vec::new();
+    let mut val: Vec<&Sample> = Vec::new();
+    for (sample, &f) in set.samples().iter().zip(fold_of) {
+        if f == fold {
+            val.push(sample);
+        } else {
+            train_samples.push(sample.clone());
         }
-        if val.is_empty() {
-            continue;
-        }
-        let Ok(train_set) = TrainSet::new(train_samples) else {
-            continue;
-        };
-        let model = train(
-            &train_set,
-            Kernel::Gaussian { sigma2 },
-            &SmoParams { lambda, ..Default::default() },
-        );
-        scores.push(score_fold(&model, &val, scoring));
     }
-    if scores.is_empty() {
-        0.0
-    } else {
-        scores.iter().sum::<f64>() / scores.len() as f64
+    if val.is_empty() {
+        return None;
     }
+    let train_set = TrainSet::new(train_samples).ok()?;
+    let model =
+        train(&train_set, Kernel::Gaussian { sigma2 }, &SmoParams { lambda, ..Default::default() });
+    Some(score_fold(&model, &val, scoring))
 }
 
 fn score_fold(model: &crate::model::SvmModel, val: &[&Sample], scoring: Scoring) -> f64 {

@@ -55,17 +55,15 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::Empty => write!(f, "no training samples"),
-            DataError::DimensionMismatch { index, expected, found } => write!(
-                f,
-                "sample {index} has dimension {found}, expected {expected}"
-            ),
+            DataError::DimensionMismatch { index, expected, found } => {
+                write!(f, "sample {index} has dimension {found}, expected {expected}")
+            }
             DataError::BadLabel { index } => {
                 write!(f, "sample {index} has a label other than +1/-1")
             }
-            DataError::BadValue { index } => write!(
-                f,
-                "sample {index} has a weight outside [0,1] or non-finite feature"
-            ),
+            DataError::BadValue { index } => {
+                write!(f, "sample {index} has a weight outside [0,1] or non-finite feature")
+            }
             DataError::SingleClass => write!(f, "all samples share one label"),
         }
     }
@@ -149,10 +147,7 @@ mod tests {
     use super::*;
 
     fn ok_samples() -> Vec<Sample> {
-        vec![
-            Sample::new(vec![0.0, 1.0], 1.0, 1.0),
-            Sample::new(vec![2.0, 3.0], -1.0, 0.5),
-        ]
+        vec![Sample::new(vec![0.0, 1.0], 1.0, 1.0), Sample::new(vec![2.0, 3.0], -1.0, 0.5)]
     }
 
     #[test]
@@ -197,10 +192,7 @@ mod tests {
 
     #[test]
     fn single_class_rejected() {
-        let s = vec![
-            Sample::new(vec![0.0], 1.0, 1.0),
-            Sample::new(vec![1.0], 1.0, 1.0),
-        ];
+        let s = vec![Sample::new(vec![0.0], 1.0, 1.0), Sample::new(vec![1.0], 1.0, 1.0)];
         assert_eq!(TrainSet::new(s), Err(DataError::SingleClass));
     }
 

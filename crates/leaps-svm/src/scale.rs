@@ -33,11 +33,8 @@ impl MinMaxScaler {
                 maxs[d] = maxs[d].max(v);
             }
         }
-        let ranges = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
-            .collect();
+        let ranges =
+            mins.iter().zip(&maxs).map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 }).collect();
         MinMaxScaler { mins, ranges }
     }
 

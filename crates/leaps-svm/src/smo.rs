@@ -58,11 +58,18 @@ pub fn train(set: &TrainSet, kernel: Kernel, params: &SmoParams) -> SvmModel {
     let cap: Vec<f64> = samples.iter().map(|s| params.lambda * s.c).collect();
 
     // Dense kernel matrix (training sets here are small enough; the
-    // caller controls size via sampling).
+    // caller controls size via sampling). Rows of the upper triangle are
+    // independent, so they fan out across threads; every entry is the
+    // same `kernel.eval` the serial loop would compute, and assembly is
+    // by row index, so the matrix is bit-identical at any thread count.
+    // The SMO iteration below stays strictly serial.
+    let row_tails = leaps_par::par_map_indexed(n, |i| {
+        (i..n).map(|j| kernel.eval(&samples[i].x, &samples[j].x)).collect::<Vec<f64>>()
+    });
     let mut k = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in i..n {
-            let v = kernel.eval(&samples[i].x, &samples[j].x);
+    for (i, tail) in row_tails.iter().enumerate() {
+        for (offset, &v) in tail.iter().enumerate() {
+            let j = i + offset;
             k[i * n + j] = v;
             k[j * n + i] = v;
         }
@@ -269,12 +276,7 @@ mod tests {
         for (alpha_y, sample) in model.dual_coefficients() {
             balance += alpha_y;
             let alpha = alpha_y.abs();
-            let c = s
-                .samples()
-                .iter()
-                .find(|t| t.x == *sample)
-                .map(|t| t.c)
-                .unwrap();
+            let c = s.samples().iter().find(|t| t.x == *sample).map(|t| t.c).unwrap();
             assert!(alpha <= params.lambda * c + 1e-9, "box violated: {alpha} > λ·{c}");
         }
         assert!(balance.abs() < 1e-9, "equality constraint violated: {balance}");
@@ -291,16 +293,10 @@ mod tests {
             Sample::new(vec![1.0], -1.0, 1.0),
             Sample::new(vec![0.9], -1.0, 1.0),
         ]);
-        let model = train(
-            &s,
-            Kernel::Gaussian { sigma2: 0.5 },
-            &SmoParams::default(),
-        );
+        let model = train(&s, Kernel::Gaussian { sigma2: 0.5 }, &SmoParams::default());
         assert_eq!(model.predict(&[0.05]), 1.0);
         // No support vector at the zero-weight point.
-        assert!(model
-            .dual_coefficients()
-            .all(|(a, x)| x[0] != 0.05 || a.abs() < 1e-12));
+        assert!(model.dual_coefficients().all(|(a, x)| x[0] != 0.05 || a.abs() < 1e-12));
     }
 
     #[test]
@@ -335,19 +331,13 @@ mod tests {
         let probe: Vec<f64> = (0..10).map(|i| 0.025 + 0.05 * f64::from(i)).collect();
         let plain_correct = probe.iter().filter(|&&x| plain.predict(&[x]) == 1.0).count();
         let guided_correct = probe.iter().filter(|&&x| guided.predict(&[x]) == 1.0).count();
-        assert!(
-            guided_correct > plain_correct,
-            "guided {guided_correct} vs plain {plain_correct}"
-        );
+        assert!(guided_correct > plain_correct, "guided {guided_correct} vs plain {plain_correct}");
         assert_eq!(guided_correct, probe.len());
     }
 
     #[test]
     fn solver_reports_iterations_and_terminates() {
-        let s = set(vec![
-            Sample::new(vec![0.0], 1.0, 1.0),
-            Sample::new(vec![1.0], -1.0, 1.0),
-        ]);
+        let s = set(vec![Sample::new(vec![0.0], 1.0, 1.0), Sample::new(vec![1.0], -1.0, 1.0)]);
         let model = train(&s, Kernel::Linear, &SmoParams::default());
         assert!(model.iterations() >= 1);
         assert!(model.iterations() < 1000);
@@ -356,10 +346,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be positive")]
     fn rejects_nonpositive_lambda() {
-        let s = set(vec![
-            Sample::new(vec![0.0], 1.0, 1.0),
-            Sample::new(vec![1.0], -1.0, 1.0),
-        ]);
+        let s = set(vec![Sample::new(vec![0.0], 1.0, 1.0), Sample::new(vec![1.0], -1.0, 1.0)]);
         let _ = train(&s, Kernel::Linear, &SmoParams { lambda: 0.0, ..Default::default() });
     }
 }

@@ -151,10 +151,7 @@ pub fn parse_log(raw: &str) -> Result<CorrelatedLog, ParseError> {
             event.frames.reverse();
             events.push(event);
         } else {
-            return Err(ParseError::UnexpectedLine {
-                line: line_no,
-                content: truncate(trimmed),
-            });
+            return Err(ParseError::UnexpectedLine { line: line_no, content: truncate(trimmed) });
         }
     }
     if let Some((ev, _)) = current {
@@ -219,19 +216,11 @@ fn parse_event_header(rest: &str, line: usize) -> Result<CorrelatedEvent, ParseE
 }
 
 fn parse_u64(value: &str, field: &'static str, line: usize) -> Result<u64, ParseError> {
-    value.parse().map_err(|_| ParseError::InvalidValue {
-        line,
-        field,
-        value: value.to_owned(),
-    })
+    value.parse().map_err(|_| ParseError::InvalidValue { line, field, value: value.to_owned() })
 }
 
 fn parse_u32(value: &str, field: &'static str, line: usize) -> Result<u32, ParseError> {
-    value.parse().map_err(|_| ParseError::InvalidValue {
-        line,
-        field,
-        value: value.to_owned(),
-    })
+    value.parse().map_err(|_| ParseError::InvalidValue { line, field, value: value.to_owned() })
 }
 
 fn parse_stack_line(rest: &str, line: usize) -> Result<StackFrame, ParseError> {
@@ -264,17 +253,15 @@ mod tests {
     use leaps_etw::scenario::{GenParams, Scenario};
 
     fn sample_log() -> String {
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 3);
         write_log(&logs.mixed)
     }
 
     #[test]
     fn roundtrip_preserves_count_order_and_fields() {
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 3);
         let parsed = parse_log(&write_log(&logs.mixed)).unwrap();
         assert_eq!(parsed.events.len(), logs.mixed.len());
         for (orig, parsed) in logs.mixed.iter().zip(&parsed.events) {
@@ -315,48 +302,33 @@ mod tests {
     #[test]
     fn stack_line_outside_event_is_rejected() {
         let raw = "# LEAPS-ETL v1\n  STACK 0x10 a!b\n";
-        assert!(matches!(
-            parse_log(raw),
-            Err(ParseError::UnexpectedLine { line: 2, .. })
-        ));
+        assert!(matches!(parse_log(raw), Err(ParseError::UnexpectedLine { line: 2, .. })));
     }
 
     #[test]
     fn missing_fields_are_diagnosed() {
         let raw = "# LEAPS-ETL v1\nEVENT num=1 pid=1 tid=2 ts=3\nEND\n";
-        assert_eq!(
-            parse_log(raw),
-            Err(ParseError::MissingField { line: 2, field: "type" })
-        );
+        assert_eq!(parse_log(raw), Err(ParseError::MissingField { line: 2, field: "type" }));
     }
 
     #[test]
     fn invalid_event_type_is_diagnosed() {
         let raw = "# LEAPS-ETL v1\nEVENT num=1 type=Bogus pid=1 tid=2 ts=3\nEND\n";
-        assert!(matches!(
-            parse_log(raw),
-            Err(ParseError::InvalidValue { field: "type", .. })
-        ));
+        assert!(matches!(parse_log(raw), Err(ParseError::InvalidValue { field: "type", .. })));
     }
 
     #[test]
     fn invalid_address_is_diagnosed() {
         let raw =
             "# LEAPS-ETL v1\nEVENT num=1 type=FileRead pid=1 tid=2 ts=3\n  STACK 12 a!b\nEND\n";
-        assert!(matches!(
-            parse_log(raw),
-            Err(ParseError::InvalidValue { field: "addr", .. })
-        ));
+        assert!(matches!(parse_log(raw), Err(ParseError::InvalidValue { field: "addr", .. })));
     }
 
     #[test]
     fn symbol_without_bang_is_diagnosed() {
         let raw =
             "# LEAPS-ETL v1\nEVENT num=1 type=FileRead pid=1 tid=2 ts=3\n  STACK 0x10 ab\nEND\n";
-        assert!(matches!(
-            parse_log(raw),
-            Err(ParseError::InvalidValue { field: "symbol", .. })
-        ));
+        assert!(matches!(parse_log(raw), Err(ParseError::InvalidValue { field: "symbol", .. })));
     }
 
     #[test]
@@ -369,11 +341,7 @@ mod tests {
 
     #[test]
     fn errors_display_with_context() {
-        let err = ParseError::InvalidValue {
-            line: 12,
-            field: "addr",
-            value: "zz".into(),
-        };
+        let err = ParseError::InvalidValue { line: 12, field: "addr", value: "zz".into() };
         let msg = err.to_string();
         assert!(msg.contains("12") && msg.contains("addr") && msg.contains("zz"));
     }

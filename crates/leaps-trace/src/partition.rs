@@ -60,10 +60,7 @@ impl PartitionedEvent {
 /// kernel module known to the catalog).
 #[must_use]
 pub fn is_system_frame(frame: &StackFrame) -> bool {
-    SysCatalog::standard()
-        .libraries()
-        .iter()
-        .any(|lib| lib.name == frame.module)
+    SysCatalog::standard().libraries().iter().any(|lib| lib.name == frame.module)
 }
 
 /// Partitions one event's stack walk.
@@ -106,9 +103,7 @@ mod tests {
     use leaps_etw::scenario::{GenParams, Scenario};
 
     fn parsed_mixed(name: &str) -> Vec<CorrelatedEvent> {
-        let logs = Scenario::by_name(name)
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs = Scenario::by_name(name).unwrap().generate_events(&GenParams::small(), 3);
         parse_log(&write_log(&logs.mixed)).unwrap().events
     }
 
@@ -116,9 +111,8 @@ mod tests {
     fn partition_recovers_generator_split() {
         // The generator knows which frames were application-side; the
         // partition module must reconstruct that from module names alone.
-        let logs = Scenario::by_name("vim_reverse_tcp")
-            .unwrap()
-            .generate_events(&GenParams::small(), 3);
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 3);
         let parsed = parse_log(&write_log(&logs.mixed)).unwrap();
         for (orig, ev) in logs.mixed.iter().zip(&parsed.events) {
             let p = partition_event(ev);

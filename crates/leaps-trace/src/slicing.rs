@@ -63,14 +63,8 @@ mod tests {
     fn slices_group_by_pid_preserving_order() {
         let slices = slice_by_process(&log());
         assert_eq!(slices.len(), 3);
-        assert_eq!(
-            slices[&10].iter().map(|e| e.num).collect::<Vec<_>>(),
-            vec![1, 3]
-        );
-        assert_eq!(
-            slices[&20].iter().map(|e| e.num).collect::<Vec<_>>(),
-            vec![2, 5]
-        );
+        assert_eq!(slices[&10].iter().map(|e| e.num).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(slices[&20].iter().map(|e| e.num).collect::<Vec<_>>(), vec![2, 5]);
         assert_eq!(slices[&30].len(), 1);
     }
 

@@ -54,23 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Algorithm 2: per-event benignity.
     let weights = assess_weights(&benign.cfg, &mixed, WeightConfig::default());
-    println!(
-        "  weight assessment scored {} mixed events",
-        weights.scored_events()
-    );
-    let low: Vec<u64> = weights
-        .iter()
-        .filter(|&(_, b)| b < 0.2)
-        .map(|(num, _)| num)
-        .take(8)
-        .collect();
+    println!("  weight assessment scored {} mixed events", weights.scored_events());
+    let low: Vec<u64> =
+        weights.iter().filter(|&(_, b)| b < 0.2).map(|(num, _)| num).take(8).collect();
     println!("  sample of events flagged low-benignity: {low:?}");
 
     std::fs::write("putty_benign_cfg.dot", to_dot(&benign.cfg, "putty_benign", None))?;
-    std::fs::write(
-        "putty_mixed_cfg.dot",
-        to_dot(&mixed.cfg, "putty_mixed", Some(&benign.cfg)),
-    )?;
+    std::fs::write("putty_mixed_cfg.dot", to_dot(&mixed.cfg, "putty_mixed", Some(&benign.cfg)))?;
     println!("  wrote putty_benign_cfg.dot and putty_mixed_cfg.dot");
     Ok(())
 }

@@ -35,24 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|(m, metrics)| format!("{}={:.3}", m.label(), metrics.acc))
             .collect();
-        let best = results
-            .iter()
-            .max_by(|a, b| a.1.acc.total_cmp(&b.1.acc))
-            .expect("three methods")
-            .0;
+        let best =
+            results.iter().max_by(|a, b| a.1.acc.total_cmp(&b.1.acc)).expect("three methods").0;
         if best == Method::Wsvm {
             wsvm_wins += 1;
         }
-        println!(
-            "  {:<32} {}  -> best: {}",
-            scenario.name(),
-            accs.join("  "),
-            best.label()
-        );
+        println!("  {:<32} {}  -> best: {}", scenario.name(), accs.join("  "), best.label());
     }
-    println!(
-        "\nWSVM ranked first on {wsvm_wins}/{} online-injection datasets.",
-        scenarios.len()
-    );
+    println!("\nWSVM ranked first on {wsvm_wins}/{} online-injection datasets.", scenarios.len());
     Ok(())
 }

@@ -28,8 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Training phase: controlled-environment logs.
     let training = Dataset::materialize(scenario, &params, 11)?;
     let (train, _) = training.split_benign(0.5, 11);
-    println!("training WSVM on {} ({} benign / {} mixed events)...",
-        scenario.name(), train.len(), training.mixed.len());
+    println!(
+        "training WSVM on {} ({} benign / {} mixed events)...",
+        scenario.name(),
+        train.len(),
+        training.mixed.len()
+    );
     let classifier =
         train_classifier(Method::Wsvm, &train, &training.mixed, &PipelineConfig::default(), 11);
 

@@ -18,9 +18,7 @@ use proptest::prelude::*;
 
 /// Strategy: an arbitrary module name drawn from system + app modules.
 fn module_name() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec![
-        "ntdll", "kernel32", "ws2_32", "tcpip", "vim", "myapp", "<anon>",
-    ])
+    prop::sample::select(vec!["ntdll", "kernel32", "ws2_32", "tcpip", "vim", "myapp", "<anon>"])
 }
 
 fn frame() -> impl Strategy<Value = StackFrame> {
@@ -44,21 +42,14 @@ fn event(num: u64) -> impl Strategy<Value = SysEvent> {
             tid,
             timestamp: num * 17,
             frames,
-            truth: if malicious {
-                Provenance::Malicious
-            } else {
-                Provenance::Benign
-            },
+            truth: if malicious { Provenance::Malicious } else { Provenance::Benign },
         })
 }
 
 fn event_log() -> impl Strategy<Value = Vec<SysEvent>> {
     prop::collection::vec(prop::num::u8::ANY, 1..40).prop_flat_map(|nums| {
-        let strategies: Vec<_> = nums
-            .iter()
-            .enumerate()
-            .map(|(i, _)| event(i as u64 + 1))
-            .collect();
+        let strategies: Vec<_> =
+            nums.iter().enumerate().map(|(i, _)| event(i as u64 + 1)).collect();
         strategies
     })
 }

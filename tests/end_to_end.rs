@@ -29,12 +29,9 @@ fn every_table1_scenario_materializes_through_the_full_front_end() {
 
 #[test]
 fn wsvm_end_to_end_detects_an_offline_trojan() {
-    let dataset = Dataset::materialize(
-        Scenario::by_name("vim_reverse_tcp").unwrap(),
-        &GenParams::small(),
-        9,
-    )
-    .unwrap();
+    let dataset =
+        Dataset::materialize(Scenario::by_name("vim_reverse_tcp").unwrap(), &GenParams::small(), 9)
+            .unwrap();
     let (train, test) = dataset.split_benign(0.5, 9);
     let classifier = train_classifier(Method::Wsvm, &train, &dataset.mixed, &fast_config(), 9);
     let metrics = classifier.evaluate(&test, &dataset.malicious).metrics();
@@ -84,9 +81,7 @@ fn all_three_methods_produce_complete_confusion_matrices() {
 #[test]
 fn generated_raw_logs_reparse_identically() {
     // The writer and parser agree byte-for-byte on a roundtrip.
-    let raw = Scenario::by_name("chrome_reverse_tcp")
-        .unwrap()
-        .generate(&GenParams::small(), 4);
+    let raw = Scenario::by_name("chrome_reverse_tcp").unwrap().generate(&GenParams::small(), 4);
     for log in [&raw.benign, &raw.mixed, &raw.malicious] {
         let parsed = parse_log(log).expect("parse");
         let rewritten = {

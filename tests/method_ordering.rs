@@ -27,20 +27,11 @@ fn experiment() -> Experiment {
 #[test]
 fn wsvm_beats_svm_on_representative_datasets() {
     let experiment = experiment();
-    for name in [
-        "winscp_reverse_tcp",
-        "vim_codeinject",
-        "putty_reverse_https_online",
-    ] {
+    for name in ["winscp_reverse_tcp", "vim_codeinject", "putty_reverse_https_online"] {
         let scenario = Scenario::by_name(name).unwrap();
         let svm = experiment.run(scenario, Method::Svm).unwrap();
         let wsvm = experiment.run(scenario, Method::Wsvm).unwrap();
-        assert!(
-            wsvm.acc > svm.acc,
-            "{name}: WSVM {} should beat SVM {}",
-            wsvm.acc,
-            svm.acc
-        );
+        assert!(wsvm.acc > svm.acc, "{name}: WSVM {} should beat SVM {}", wsvm.acc, svm.acc);
     }
 }
 
@@ -69,12 +60,7 @@ fn cfg_guidance_improves_benign_recall() {
     let scenario = Scenario::by_name("winscp_reverse_tcp").unwrap();
     let svm = experiment.run(scenario, Method::Svm).unwrap();
     let wsvm = experiment.run(scenario, Method::Wsvm).unwrap();
-    assert!(
-        wsvm.tpr > svm.tpr,
-        "WSVM TPR {} should exceed SVM TPR {}",
-        wsvm.tpr,
-        svm.tpr
-    );
+    assert!(wsvm.tpr > svm.tpr, "WSVM TPR {} should exceed SVM TPR {}", wsvm.tpr, svm.tpr);
 }
 
 /// All methods detect *something*: even the weakest baseline is far from

@@ -1,0 +1,108 @@
+//! Parallel/serial equivalence: every `leaps_par` fan-out (kernel
+//! matrix, CV grid, pairwise distances) must be bit-identical to the
+//! serial path at any thread count, including grid-search tie-breaking.
+
+use leaps::cluster::dissim::{jaccard_dissimilarity, DistanceMatrix};
+use leaps::core::config::PipelineConfig;
+use leaps::core::dataset::Dataset;
+use leaps::core::par;
+use leaps::core::pipeline::{train_classifier, Method};
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::svm::cv::GridSearch;
+use leaps::svm::data::{Sample, TrainSet};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that mutate the process-global thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `f` with the thread count forced to `threads`, restoring the
+/// default afterwards.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    par::set_thread_override(Some(threads));
+    let out = f();
+    par::set_thread_override(None);
+    out
+}
+
+fn blob_set() -> TrainSet {
+    // Two overlapping 2-D blobs on a deterministic lattice — overlap
+    // makes fold scores non-trivial so the grid selection is exercised.
+    let mut samples = Vec::new();
+    for i in 0..30 {
+        let dx = (i % 5) as f64 * 0.06;
+        let dy = (i / 5) as f64 * 0.06;
+        samples.push(Sample::new(vec![0.1 + dx, 0.15 + dy], 1.0, 1.0));
+        samples.push(Sample::new(vec![0.45 + dx, 0.4 + dy], -1.0, 1.0));
+    }
+    TrainSet::new(samples).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn from_sets_parallel_matches_serial(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u8..60, 0..6),
+            0..25,
+        ),
+        threads in 2usize..6,
+    ) {
+        let _guard = lock();
+        let items: Vec<Vec<u8>> =
+            sets.into_iter().map(|s| s.into_iter().collect()).collect();
+        let serial = DistanceMatrix::from_sets(&items, |a, b| jaccard_dissimilarity(a, b));
+        let parallel = with_threads(threads, || {
+            DistanceMatrix::from_sets_parallel(&items, |a, b| jaccard_dissimilarity(a, b))
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn grid_search_selects_identical_config_across_thread_counts() {
+    let _guard = lock();
+    let set = blob_set();
+    let gs = GridSearch { folds: 4, ..Default::default() };
+    let serial = with_threads(1, || gs.run(&set));
+    for threads in [2, 4, 7] {
+        let parallel = with_threads(threads, || gs.run(&set));
+        // GridSearchResult compares (λ, σ², accuracy) — the accuracy
+        // equality is the bit-identical float reduction guarantee.
+        assert_eq!(serial, parallel, "thread count {threads} diverged");
+    }
+}
+
+#[test]
+fn wsvm_training_is_identical_across_thread_counts() {
+    let _guard = lock();
+    let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+    let d = Dataset::materialize(scenario, &GenParams::small(), 21).unwrap();
+    let (train, test) = d.split_benign(0.5, 1);
+    let evaluate = || {
+        train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 7)
+            .evaluate(&test, &d.malicious)
+    };
+    let cm1 = with_threads(1, evaluate);
+    let cm4 = with_threads(4, evaluate);
+    assert_eq!(cm1, cm4);
+}
+
+#[test]
+fn leaps_threads_env_var_reaches_the_pool() {
+    let _guard = lock();
+    // No override active: the env var must drive the thread count, and
+    // the parallel result must still match the serial builder.
+    par::set_thread_override(None);
+    std::env::set_var("LEAPS_THREADS", "3");
+    assert_eq!(par::thread_count(), 3);
+    let items: Vec<Vec<u32>> = (0..12).map(|i| (0..=(i % 4)).collect()).collect();
+    let enved = DistanceMatrix::from_sets_parallel(&items, |a, b| jaccard_dissimilarity(a, b));
+    std::env::remove_var("LEAPS_THREADS");
+    let serial = DistanceMatrix::from_sets(&items, |a, b| jaccard_dissimilarity(a, b));
+    assert_eq!(serial, enved);
+}

@@ -41,12 +41,8 @@ fn master_seed_changes_propagate_everywhere() {
 #[test]
 fn scenario_identity_is_baked_into_generation() {
     // The same seed on different scenarios must not alias.
-    let a = Scenario::by_name("vim_reverse_tcp")
-        .unwrap()
-        .generate(&GenParams::small(), 3);
-    let b = Scenario::by_name("vim_reverse_tcp_online")
-        .unwrap()
-        .generate(&GenParams::small(), 3);
+    let a = Scenario::by_name("vim_reverse_tcp").unwrap().generate(&GenParams::small(), 3);
+    let b = Scenario::by_name("vim_reverse_tcp_online").unwrap().generate(&GenParams::small(), 3);
     assert_ne!(a.mixed, b.mixed);
     assert_ne!(a.benign, b.benign);
 }
