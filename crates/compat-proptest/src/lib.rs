@@ -63,6 +63,27 @@ pub mod num {
             }
         }
     }
+
+    pub mod u64 {
+        //! `u64` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for an arbitrary `u64`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniformly random 64-bit values.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+            fn generate(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
 }
 
 pub mod sample {

@@ -47,6 +47,9 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
+    /// Boolean flags that take no value.
+    const SWITCHES: [&'static str; 1] = ["lenient"];
+
     /// Parses `tokens` (without the program name).
     ///
     /// # Errors
@@ -60,10 +63,20 @@ impl Args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedToken(tok.clone()));
             };
+            if Self::SWITCHES.contains(&key) {
+                options.insert(key.to_owned(), "true".to_owned());
+                continue;
+            }
             let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
             options.insert(key.to_owned(), value.clone());
         }
         Ok(Args { command, options })
+    }
+
+    /// Whether a boolean switch (e.g. `--lenient`) was given.
+    #[must_use]
+    pub fn enabled(&self, name: &str) -> bool {
+        self.options.contains_key(name)
     }
 
     /// A required string option.
@@ -145,6 +158,18 @@ mod tests {
             Args::parse(&toks(&["gen", "stray"])),
             Err(ArgError::UnexpectedToken("stray".into()))
         );
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse(&toks(&["detect", "--lenient", "--target", "t.log"])).unwrap();
+        assert!(a.enabled("lenient"));
+        assert_eq!(a.required("target").unwrap(), "t.log");
+        let a = Args::parse(&toks(&["detect", "--target", "t.log"])).unwrap();
+        assert!(!a.enabled("lenient"));
+        // A switch at the end of the line must not demand a value.
+        let a = Args::parse(&toks(&["train", "--lenient"])).unwrap();
+        assert!(a.enabled("lenient"));
     }
 
     #[test]

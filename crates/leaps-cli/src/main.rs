@@ -5,22 +5,23 @@
 //! leaps list
 //! leaps gen    --scenario vim_reverse_tcp --out ./data [--events 4000] [--seed 7]
 //! leaps eval   --scenario vim_reverse_tcp [--method wsvm] [--runs 3] [--events 2000]
-//! leaps detect --benign b.log --mixed m.log --target t.log [--method wsvm]
+//! leaps detect --benign b.log --mixed m.log --target t.log [--method wsvm] [--lenient]
 //! leaps cfg    --log m.log --dot out.dot [--reference b.log]
 //! ```
 
 mod args;
 
-use args::Args;
+use args::{ArgError, Args};
 use leaps::cfg::dot::to_dot;
 use leaps::cfg::infer::infer_cfg;
 use leaps::core::config::PipelineConfig;
+use leaps::core::error::LeapsError;
 use leaps::core::experiment::Experiment;
 use leaps::core::persist::{load_classifier, save_classifier};
-use leaps::core::pipeline::{train_classifier, Method};
+use leaps::core::pipeline::{try_train_classifier, Method};
 use leaps::core::stream::StreamDetector;
 use leaps::etw::scenario::{GenParams, Scenario};
-use leaps::trace::parser::parse_log;
+use leaps::trace::parser::{parse_log, parse_log_lenient};
 use leaps::trace::partition::{partition_events, PartitionedEvent};
 use std::process::ExitCode;
 
@@ -36,13 +37,13 @@ USAGE:
              [--events N] [--seed S]
       Train and evaluate on a scenario; prints ACC/PPV/TPR/TNR/NPV.
   leaps train --benign FILE --mixed FILE --out MODEL
-              [--method cgraph|svm|wsvm|hmm] [--seed S]
+              [--method cgraph|svm|wsvm|hmm] [--seed S] [--lenient]
       Train a classifier from a benign and a mixed raw log and save it.
   leaps detect --target FILE (--model MODEL | --benign FILE --mixed FILE)
-               [--method cgraph|svm|wsvm|hmm] [--seed S]
+               [--method cgraph|svm|wsvm|hmm] [--seed S] [--lenient]
       Stream-detect over a target log with a saved model (or train
       in-place from raw logs); prints flagged windows and a summary.
-  leaps cfg --log FILE --dot FILE [--reference FILE]
+  leaps cfg --log FILE --dot FILE [--reference FILE] [--lenient]
       Infer the CFG of a raw log and write Graphviz; with --reference,
       highlight nodes absent from the reference log's CFG.
 
@@ -52,26 +53,61 @@ GLOBAL OPTIONS:
       Overrides the LEAPS_THREADS environment variable; default is the
       number of available cores. Results are identical at any setting;
       N=1 forces the serial path.
+  --lenient
+      Recover from damaged raw logs instead of failing: unparseable
+      records are quarantined, parsing resynchronizes at the next EVENT
+      header, and per-class skip statistics go to stderr.
+
+EXIT CODES:
+  0 success   2 usage error   3 parse error   4 model error
+  5 data error (too little/degenerate data)   6 I/O error
 ";
+
+/// A terminal CLI failure: one stderr line plus a process exit code.
+/// Usage-class failures (code 2) also reprint the usage text.
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Failure {
+        Failure { code: 2, message: message.into() }
+    }
+}
+
+impl From<ArgError> for Failure {
+    fn from(e: ArgError) -> Failure {
+        Failure::usage(e.to_string())
+    }
+}
+
+impl From<LeapsError> for Failure {
+    fn from(e: LeapsError) -> Failure {
+        Failure { code: e.exit_code(), message: e.to_string() }
+    }
+}
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     match run(&tokens) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: {}", failure.message);
+            if failure.code == 2 {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(failure.code)
         }
     }
 }
 
-fn run(tokens: &[String]) -> Result<(), String> {
-    let args = Args::parse(tokens).map_err(|e| e.to_string())?;
-    if let Some(threads) = args.parse_opt::<usize>("threads").map_err(|e| e.to_string())? {
+fn run(tokens: &[String]) -> Result<(), Failure> {
+    let args = Args::parse(tokens)?;
+    if let Some(threads) = args.parse_opt::<usize>("threads")? {
         if threads == 0 {
-            return Err("--threads must be >= 1".to_owned());
+            return Err(Failure::usage("--threads must be >= 1"));
         }
         leaps::core::par::set_thread_override(Some(threads));
     }
@@ -86,25 +122,25 @@ fn run(tokens: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(Failure::usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn method_of(args: &Args) -> Result<Method, String> {
+fn method_of(args: &Args) -> Result<Method, Failure> {
     match args.get("method").unwrap_or("wsvm") {
         "cgraph" => Ok(Method::CGraph),
         "svm" => Ok(Method::Svm),
         "wsvm" => Ok(Method::Wsvm),
         "hmm" => Ok(Method::Hmm),
-        other => Err(format!("unknown method {other:?} (cgraph|svm|wsvm|hmm)")),
+        other => Err(Failure::usage(format!("unknown method {other:?} (cgraph|svm|wsvm|hmm)"))),
     }
 }
 
-fn gen_params(args: &Args) -> Result<GenParams, String> {
-    let events = args.parse_or("events", 2000usize).map_err(|e| e.to_string())?;
-    let ratio = args.parse_or("ratio", 0.5f64).map_err(|e| e.to_string())?;
+fn gen_params(args: &Args) -> Result<GenParams, Failure> {
+    let events = args.parse_or("events", 2000usize)?;
+    let ratio = args.parse_or("ratio", 0.5f64)?;
     if !(0.0..=1.0).contains(&ratio) {
-        return Err("--ratio must be in [0,1]".to_owned());
+        return Err(Failure::usage("--ratio must be in [0,1]"));
     }
     Ok(GenParams {
         benign_events: events,
@@ -114,12 +150,13 @@ fn gen_params(args: &Args) -> Result<GenParams, String> {
     })
 }
 
-fn scenario_of(args: &Args) -> Result<Scenario, String> {
-    let name = args.required("scenario").map_err(|e| e.to_string())?;
-    Scenario::by_name(name).ok_or_else(|| format!("unknown scenario {name:?}; run `leaps list`"))
+fn scenario_of(args: &Args) -> Result<Scenario, Failure> {
+    let name = args.required("scenario")?;
+    Scenario::by_name(name)
+        .ok_or_else(|| Failure::usage(format!("unknown scenario {name:?}; run `leaps list`")))
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), Failure> {
     println!("Table I datasets:");
     for s in Scenario::table1() {
         println!("  {:<34} {}", s.name(), s.method.label());
@@ -131,32 +168,32 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), Failure> {
     let scenario = scenario_of(args)?;
-    let out = args.required("out").map_err(|e| e.to_string())?;
-    let seed = args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?;
+    let out = args.required("out")?;
+    let seed = args.parse_or("seed", 0x1ea5u64)?;
     let params = gen_params(args)?;
     let logs = scenario.generate(&params, seed);
-    std::fs::create_dir_all(out).map_err(|e| format!("creating {out}: {e}"))?;
+    std::fs::create_dir_all(out).map_err(|e| LeapsError::io(out, &e))?;
     for (name, content) in [
         ("benign.log", &logs.benign),
         ("mixed.log", &logs.mixed),
         ("malicious.log", &logs.malicious),
     ] {
         let path = format!("{out}/{name}");
-        std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(&path, content).map_err(|e| LeapsError::io(&path, &e))?;
         println!("wrote {path} ({} lines)", content.lines().count());
     }
     Ok(())
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> Result<(), Failure> {
     let scenario = scenario_of(args)?;
     let method = method_of(args)?;
     let experiment = Experiment {
         gen: gen_params(args)?,
-        runs: args.parse_or("runs", 3usize).map_err(|e| e.to_string())?,
-        seed: args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?,
+        runs: args.parse_or("runs", 3usize)?,
+        seed: args.parse_or("seed", 0x1ea5u64)?,
         ..Experiment::default()
     };
     println!(
@@ -166,56 +203,69 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         experiment.runs,
         experiment.gen.benign_events
     );
-    let metrics =
-        experiment.run(scenario, method).map_err(|e| format!("evaluation failed: {e}"))?;
+    let metrics = experiment.run(scenario, method)?;
     println!("{metrics}");
     Ok(())
 }
 
-fn load_log(path: &str) -> Result<Vec<PartitionedEvent>, String> {
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let parsed = parse_log(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
-    Ok(partition_events(&parsed.events))
+fn load_log(path: &str, lenient: bool) -> Result<Vec<PartitionedEvent>, Failure> {
+    let raw = std::fs::read_to_string(path).map_err(|e| LeapsError::io(path, &e))?;
+    let events = if lenient {
+        let recovered = parse_log_lenient(&raw);
+        if !recovered.stats.is_clean() {
+            eprintln!("{path}: recovered degraded log: {}", recovered.stats);
+        }
+        recovered.events
+    } else {
+        parse_log(&raw)
+            .map_err(|e| Failure { code: 3, message: format!("parsing {path}: {e}") })?
+            .events
+    };
+    Ok(partition_events(&events))
 }
 
-fn train_from_logs(args: &Args) -> Result<leaps::core::pipeline::Classifier, String> {
-    let benign = load_log(args.required("benign").map_err(|e| e.to_string())?)?;
-    let mixed = load_log(args.required("mixed").map_err(|e| e.to_string())?)?;
+fn train_from_logs(args: &Args) -> Result<leaps::core::pipeline::Classifier, Failure> {
+    let lenient = args.enabled("lenient");
+    let benign = load_log(args.required("benign")?, lenient)?;
+    let mixed = load_log(args.required("mixed")?, lenient)?;
     let method = method_of(args)?;
-    let seed = args.parse_or("seed", 0x1ea5u64).map_err(|e| e.to_string())?;
+    let seed = args.parse_or("seed", 0x1ea5u64)?;
     println!(
         "training {} on {} benign + {} mixed events...",
         method.label(),
         benign.len(),
         mixed.len()
     );
-    Ok(train_classifier(method, &benign, &mixed, &PipelineConfig::default(), seed))
+    let classifier =
+        try_train_classifier(method, &benign, &mixed, &PipelineConfig::default(), seed)
+            .map_err(LeapsError::from)?;
+    Ok(classifier)
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
-    let out = args.required("out").map_err(|e| e.to_string())?;
+fn cmd_train(args: &Args) -> Result<(), Failure> {
+    let out = args.required("out")?;
     let classifier = train_from_logs(args)?;
     let text = save_classifier(&classifier);
-    std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| LeapsError::io(out, &e))?;
     println!("wrote model to {out} ({} lines)", text.lines().count());
     Ok(())
 }
 
-fn cmd_detect(args: &Args) -> Result<(), String> {
-    let target_path = args.required("target").map_err(|e| e.to_string())?;
-    let target = load_log(target_path)?;
+fn cmd_detect(args: &Args) -> Result<(), Failure> {
+    let target_path = args.required("target")?;
+    let target = load_log(target_path, args.enabled("lenient"))?;
     let classifier = match args.get("model") {
         Some(path) => {
             for conflicting in ["benign", "mixed", "method"] {
                 if args.get(conflicting).is_some() {
-                    return Err(format!(
+                    return Err(Failure::usage(format!(
                         "--model conflicts with --{conflicting}: a saved model \
                          already fixes the method and training data"
-                    ));
+                    )));
                 }
             }
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let classifier = load_classifier(&text).map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(path).map_err(|e| LeapsError::io(path, &e))?;
+            let classifier = load_classifier(&text).map_err(LeapsError::from)?;
             println!("loaded model from {path}");
             classifier
         }
@@ -232,10 +282,21 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
         flagged.len(),
         100.0 * flagged.len() as f64 / verdicts.len().max(1) as f64
     );
+    let stats = detector.stats();
+    if stats.gaps > 0 || stats.duplicates > 0 || stats.degraded_verdicts > 0 {
+        println!(
+            "telemetry quality: {} gaps ({} missing events), {} duplicates dropped, \
+             {} reordered, {} degraded verdicts",
+            stats.gaps, stats.missing, stats.duplicates, stats.reordered, stats.degraded_verdicts
+        );
+    }
     for v in flagged.iter().take(20) {
+        let tag = if v.degraded { " [degraded]" } else { "" };
         match v.score {
-            Some(score) => println!("  ALERT window ending @{} (score {score:.3})", v.last_event),
-            None => println!("  ALERT event @{}", v.last_event),
+            Some(score) => {
+                println!("  ALERT window ending @{} (score {score:.3}){tag}", v.last_event);
+            }
+            None => println!("  ALERT event @{}{tag}", v.last_event),
         }
     }
     if flagged.len() > 20 {
@@ -244,16 +305,17 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cfg(args: &Args) -> Result<(), String> {
-    let events = load_log(args.required("log").map_err(|e| e.to_string())?)?;
-    let dot_path = args.required("dot").map_err(|e| e.to_string())?;
+fn cmd_cfg(args: &Args) -> Result<(), Failure> {
+    let lenient = args.enabled("lenient");
+    let events = load_log(args.required("log")?, lenient)?;
+    let dot_path = args.required("dot")?;
     let inferred = infer_cfg(&events);
     let reference = match args.get("reference") {
-        Some(path) => Some(infer_cfg(&load_log(path)?).cfg),
+        Some(path) => Some(infer_cfg(&load_log(path, lenient)?).cfg),
         None => None,
     };
     let dot = to_dot(&inferred.cfg, "inferred_cfg", reference.as_ref());
-    std::fs::write(dot_path, dot).map_err(|e| format!("writing {dot_path}: {e}"))?;
+    std::fs::write(dot_path, dot).map_err(|e| LeapsError::io(dot_path, &e))?;
     println!(
         "inferred CFG: {} nodes, {} edges -> {dot_path}",
         inferred.cfg.node_count(),

@@ -1,8 +1,9 @@
 //! Dataset materialization: scenario → raw logs → parsed, partitioned
 //! event sets, exercising the full front end.
 
+use crate::error::LeapsError;
 use leaps_etw::scenario::{GenParams, Scenario};
-use leaps_trace::parser::{parse_log, ParseError};
+use leaps_trace::parser::parse_log;
 use leaps_trace::partition::{partition_events, PartitionedEvent};
 
 /// A fully preprocessed dataset: the three logs of Section V-A, parsed and
@@ -25,13 +26,13 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] if a generated log fails to parse (which
-    /// would indicate a writer/parser mismatch).
+    /// Returns [`LeapsError::Parse`] if a generated log fails to parse
+    /// (which would indicate a writer/parser mismatch).
     pub fn materialize(
         scenario: Scenario,
         params: &GenParams,
         seed: u64,
-    ) -> Result<Dataset, ParseError> {
+    ) -> Result<Dataset, LeapsError> {
         let raw = scenario.generate(params, seed);
         Ok(Dataset {
             scenario,

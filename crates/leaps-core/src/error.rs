@@ -1,0 +1,175 @@
+//! Workspace-wide error unification.
+//!
+//! Every fallible step of the pipeline — parsing raw telemetry, loading a
+//! persisted model, assembling training data, touching the filesystem —
+//! reports through [`LeapsError`], so the CLI and the experiment harness
+//! propagate `Result` end to end instead of unwrapping. Each variant maps
+//! to a distinct process exit code (see [`LeapsError::exit_code`]), which
+//! lets deployments distinguish "your log is damaged" from "your model
+//! file is damaged" from "there is not enough data to train on".
+
+use crate::persist::ModelError;
+use leaps_trace::parser::ParseError;
+use std::error::Error;
+use std::fmt;
+
+/// Dataset-level failures: the inputs exist and parse, but cannot support
+/// the requested operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A required event log contained no usable events.
+    EmptyLog {
+        /// Which log (e.g. "benign training").
+        role: &'static str,
+    },
+    /// A log parsed but yielded too few events for the operation.
+    TooFewEvents {
+        /// Which input fell short.
+        role: &'static str,
+        /// Minimum usable count.
+        needed: usize,
+        /// What was actually available.
+        got: usize,
+    },
+    /// The sampled training set is degenerate (single class, bad values).
+    Degenerate(leaps_svm::data::DataError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptyLog { role } => write!(f, "{role} log contains no usable events"),
+            DataError::TooFewEvents { role, needed, got } => {
+                write!(f, "{role}: need at least {needed} events, got {got}")
+            }
+            DataError::Degenerate(e) => write!(f, "degenerate training set: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+/// Unified error for every layer of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeapsError {
+    /// Raw telemetry failed to parse (strict mode).
+    Parse(ParseError),
+    /// A persisted model failed to load.
+    Model(ModelError),
+    /// The data is insufficient or degenerate.
+    Data(DataError),
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl LeapsError {
+    /// Wraps an I/O error with the path it concerned.
+    #[must_use]
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> LeapsError {
+        LeapsError::Io { path: path.into(), message: err.to_string() }
+    }
+
+    /// The process exit code for this error family: parse errors exit 3,
+    /// model errors 4, data errors 5, I/O errors 6. (2 is reserved for
+    /// command-line usage errors, 1 for internal failures.)
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            LeapsError::Parse(_) => 3,
+            LeapsError::Model(_) => 4,
+            LeapsError::Data(_) => 5,
+            LeapsError::Io { .. } => 6,
+        }
+    }
+}
+
+impl fmt::Display for LeapsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeapsError::Parse(e) => write!(f, "parse error: {e}"),
+            LeapsError::Model(e) => write!(f, "model error: {e}"),
+            LeapsError::Data(e) => write!(f, "data error: {e}"),
+            LeapsError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+        }
+    }
+}
+
+impl Error for LeapsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LeapsError::Parse(e) => Some(e),
+            LeapsError::Model(e) => Some(e),
+            LeapsError::Data(e) => Some(e),
+            LeapsError::Io { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for LeapsError {
+    fn from(e: ParseError) -> LeapsError {
+        LeapsError::Parse(e)
+    }
+}
+
+impl From<ModelError> for LeapsError {
+    fn from(e: ModelError) -> LeapsError {
+        LeapsError::Model(e)
+    }
+}
+
+impl From<DataError> for LeapsError {
+    fn from(e: DataError) -> LeapsError {
+        LeapsError::Data(e)
+    }
+}
+
+impl From<leaps_svm::data::DataError> for LeapsError {
+    fn from(e: leaps_svm::data::DataError) -> LeapsError {
+        LeapsError::Data(DataError::Degenerate(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            LeapsError::Parse(ParseError::MissingHeader),
+            LeapsError::Model(ModelError::BadHeader),
+            LeapsError::Data(DataError::EmptyLog { role: "benign" }),
+            LeapsError::Io { path: "x".into(), message: "denied".into() },
+        ];
+        let codes: Vec<u8> = errors.iter().map(LeapsError::exit_code).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), errors.len());
+        assert!(codes.iter().all(|&c| c > 2), "codes 0/1/2 are reserved");
+    }
+
+    #[test]
+    fn displays_are_single_line_with_context() {
+        let e = LeapsError::from(ParseError::UnterminatedEvent { num: 9 });
+        let text = e.to_string();
+        assert!(text.starts_with("parse error:"), "{text}");
+        assert!(!text.contains('\n'));
+        let e = LeapsError::Data(DataError::TooFewEvents { role: "target", needed: 10, got: 3 });
+        assert!(e.to_string().contains("need at least 10"), "{e}");
+        let e = LeapsError::from(leaps_svm::data::DataError::SingleClass);
+        assert!(e.to_string().contains("degenerate"), "{e}");
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e = LeapsError::from(ModelError::Truncated);
+        assert!(e.source().is_some());
+        assert_eq!(e.exit_code(), 4);
+    }
+}

@@ -3,11 +3,11 @@
 
 use crate::config::PipelineConfig;
 use crate::dataset::Dataset;
+use crate::error::LeapsError;
 use crate::metrics::Metrics;
-use crate::pipeline::{train_classifier, Method};
+use crate::pipeline::{try_train_classifier, Method};
 use leaps_etw::rng::splitmix64;
 use leaps_etw::scenario::{GenParams, Scenario};
-use leaps_trace::parser::ParseError;
 
 /// Experiment parameters: which dataset sizes, how many randomized runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,12 +53,13 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`ParseError`] from dataset materialization.
+    /// Propagates [`LeapsError`] from dataset materialization or training
+    /// (e.g. degraded telemetry left too few events).
     ///
     /// # Panics
     ///
     /// Panics if `runs == 0`.
-    pub fn run(&self, scenario: Scenario, method: Method) -> Result<Metrics, ParseError> {
+    pub fn run(&self, scenario: Scenario, method: Method) -> Result<Metrics, LeapsError> {
         assert!(self.runs > 0, "need at least one run");
         let mut state = self.seed;
         let mut per_run = Vec::with_capacity(self.runs);
@@ -73,16 +74,17 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`ParseError`] from dataset materialization.
+    /// Propagates [`LeapsError`] from dataset materialization or training.
     pub fn run_once(
         &self,
         scenario: Scenario,
         method: Method,
         seed: u64,
-    ) -> Result<Metrics, ParseError> {
+    ) -> Result<Metrics, LeapsError> {
         let dataset = Dataset::materialize(scenario, &self.gen, seed)?;
         let (train, test) = dataset.split_benign(self.pipeline.benign_train_fraction, seed);
-        let classifier = train_classifier(method, &train, &dataset.mixed, &self.pipeline, seed);
+        let classifier =
+            try_train_classifier(method, &train, &dataset.mixed, &self.pipeline, seed)?;
         Ok(classifier.evaluate(&test, &dataset.malicious).metrics())
     }
 
@@ -90,11 +92,11 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`ParseError`] from dataset materialization.
+    /// Propagates [`LeapsError`] from dataset materialization or training.
     pub fn run_all_methods(
         &self,
         scenario: Scenario,
-    ) -> Result<[(Method, Metrics); 3], ParseError> {
+    ) -> Result<[(Method, Metrics); 3], LeapsError> {
         Ok([
             (Method::CGraph, self.run(scenario, Method::CGraph)?),
             (Method::Svm, self.run(scenario, Method::Svm)?),

@@ -12,7 +12,9 @@
 //! * [`experiment`] — randomized-run averaging as in Section V
 //!   ("average all results over 10 runs");
 //! * [`config`] — pipeline hyper-parameters with paper-faithful defaults;
-//! * [`stream`] — an incremental detector for production event streams.
+//! * [`stream`] — an incremental detector for production event streams;
+//! * [`error`] — the unified [`LeapsError`] every fallible layer reports
+//!   through, with per-family process exit codes.
 //!
 //! # Quickstart
 //!
@@ -25,7 +27,7 @@
 //! let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
 //! let metrics = experiment.run(scenario, Method::Wsvm)?;
 //! println!("{} WSVM: {metrics}", scenario.name());
-//! # Ok::<(), leaps_trace::parser::ParseError>(())
+//! # Ok::<(), leaps_core::error::LeapsError>(())
 //! ```
 
 /// Thread-fan-out helpers (`par_map`, `par_chunks`, `LEAPS_THREADS`
@@ -35,6 +37,7 @@ pub use leaps_par as par;
 
 pub mod config;
 pub mod dataset;
+pub mod error;
 pub mod experiment;
 pub mod metrics;
 pub mod persist;
@@ -44,6 +47,8 @@ pub mod universal;
 
 pub use config::PipelineConfig;
 pub use dataset::Dataset;
+pub use error::LeapsError;
 pub use experiment::Experiment;
 pub use metrics::{ConfusionMatrix, Metrics};
-pub use pipeline::{train_classifier, Classifier, Method};
+pub use pipeline::{train_classifier, try_train_classifier, Classifier, Method};
+pub use stream::{StreamDetector, StreamStats, Verdict};

@@ -233,12 +233,24 @@ impl<'a> Lines<'a> {
     fn parse<T: std::str::FromStr>(&self, token: &str, what: &str) -> Result<T, ModelError> {
         token.parse().map_err(|_| self.bad(format!("invalid {what}: {token:?}")))
     }
+
+    /// Parses a record count, bounding it so a corrupted count cannot
+    /// drive a multi-gigabyte pre-allocation before the missing records
+    /// are noticed.
+    fn parse_count(&self, token: &str, what: &str) -> Result<usize, ModelError> {
+        const MAX_COUNT: usize = 1 << 24;
+        let n: usize = self.parse(token, what)?;
+        if n > MAX_COUNT {
+            return Err(self.bad(format!("implausible {what} {n} (max {MAX_COUNT})")));
+        }
+        Ok(n)
+    }
 }
 
 fn read_call_graph(lines: &mut Lines<'_>, tag: &str) -> Result<CallGraph, ModelError> {
     let n_edges: usize = {
         let rest = lines.expect_prefixed(&format!("{tag}_edges"))?;
-        lines.parse(rest, "edge count")?
+        lines.parse_count(rest, "edge count")?
     };
     let mut edges = Vec::with_capacity(n_edges);
     for _ in 0..n_edges {
@@ -251,7 +263,7 @@ fn read_call_graph(lines: &mut Lines<'_>, tag: &str) -> Result<CallGraph, ModelE
     }
     let n_chains: usize = {
         let rest = lines.expect_prefixed(&format!("{tag}_chains"))?;
-        lines.parse(rest, "chain count")?
+        lines.parse_count(rest, "chain count")?
     };
     let mut chains = Vec::with_capacity(n_chains);
     for _ in 0..n_chains {
@@ -320,7 +332,7 @@ fn read_encoder(lines: &mut Lines<'_>) -> Result<FeatureEncoder, ModelError> {
 fn read_assigner(lines: &mut Lines<'_>, tag: &str) -> Result<ClusterAssigner<String>, ModelError> {
     let n: usize = {
         let rest = lines.expect_prefixed(&format!("{tag}_vocab"))?;
-        lines.parse(rest, "vocab size")?
+        lines.parse_count(rest, "vocab size")?
     };
     let mut members = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
@@ -354,7 +366,7 @@ fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
     };
     let n: usize = {
         let rest = lines.expect_prefixed("sv_count")?;
-        lines.parse(rest, "support vector count")?
+        lines.parse_count(rest, "support vector count")?
     };
     let mut support = Vec::with_capacity(n);
     let mut alpha_y = Vec::with_capacity(n);
@@ -385,10 +397,12 @@ fn read_svm(lines: &mut Lines<'_>) -> Result<SvmClassifier, ModelError> {
 fn read_hmm_model(lines: &mut Lines<'_>, tag: &str) -> Result<Hmm, ModelError> {
     let rest = lines.expect_prefixed(tag)?;
     let mut parts = rest.split_whitespace();
-    let states: usize =
-        lines.parse(parts.next().ok_or_else(|| lines.bad("hmm needs states".into()))?, "states")?;
-    let symbols: usize = lines
-        .parse(parts.next().ok_or_else(|| lines.bad("hmm needs symbols".into()))?, "symbols")?;
+    let states: usize = lines
+        .parse_count(parts.next().ok_or_else(|| lines.bad("hmm needs states".into()))?, "states")?;
+    let symbols: usize = lines.parse_count(
+        parts.next().ok_or_else(|| lines.bad("hmm needs symbols".into()))?,
+        "symbols",
+    )?;
     let mut matrices = Vec::with_capacity(3);
     for (name, expected) in [("pi", states), ("a", states * states), ("b", states * symbols)] {
         let rest = lines.expect_prefixed(name)?;
@@ -412,7 +426,7 @@ fn read_hmm(lines: &mut Lines<'_>) -> Result<HmmDetector, ModelError> {
     let encoder = read_encoder(lines)?;
     let n: usize = {
         let rest = lines.expect_prefixed("symbols")?;
-        lines.parse(rest, "symbol count")?
+        lines.parse_count(rest, "symbol count")?
     };
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
@@ -429,6 +443,16 @@ fn read_hmm(lines: &mut Lines<'_>) -> Result<HmmDetector, ModelError> {
             ),
             lines.parse(id, "symbol id")?,
         ));
+    }
+    // `SymbolTable::from_entries` requires dense ids and unique tuples;
+    // validate here so corrupt files get a diagnosis instead of a panic.
+    let mut seen = vec![false; n];
+    let mut uniq = std::collections::HashSet::new();
+    for &(key, id) in &entries {
+        if id >= n || seen[id] || !uniq.insert(key) {
+            return Err(lines.bad(format!("symbol table entries are not dense at id {id}")));
+        }
+        seen[id] = true;
     }
     let table = SymbolTable::from_entries(entries);
     let benign = read_hmm_model(lines, "benign_hmm")?;
@@ -546,6 +570,72 @@ mod tests {
         }
         let err = load_classifier(&fixed.join("\n")).unwrap_err();
         assert!(err.to_string().contains("inconsistent dimensions"), "{err}");
+    }
+
+    #[test]
+    fn implausible_counts_are_rejected_before_allocation() {
+        let text = "# LEAPS-MODEL v1\nkind cgraph\nbcg_edges 999999999999\n";
+        let err = load_classifier(text).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_model_files_never_panic() {
+        use leaps_etw::rng::SimRng;
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        for (m, method) in [Method::CGraph, Method::Wsvm, Method::Hmm].into_iter().enumerate() {
+            let clf = train_classifier(method, &train, &d.mixed, &PipelineConfig::fast(), 7);
+            let text = save_classifier(&clf);
+            let mut rng = SimRng::new(0xc0_44 ^ m as u64);
+            for _ in 0..40 {
+                let mutated = match rng.below(4) {
+                    // Truncate at an arbitrary byte (the format is ASCII).
+                    0 => text[..rng.below(text.len())].to_owned(),
+                    // Delete one line.
+                    1 => {
+                        let victim = rng.below(text.lines().count());
+                        text.lines()
+                            .enumerate()
+                            .filter(|(i, _)| *i != victim)
+                            .map(|(_, l)| l)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    }
+                    // Duplicate one line.
+                    2 => {
+                        let victim = rng.below(text.lines().count());
+                        let mut lines: Vec<&str> = text.lines().collect();
+                        lines.insert(victim, lines[victim]);
+                        lines.join("\n")
+                    }
+                    // Mangle one line: overwrite a token with garbage.
+                    _ => {
+                        let victim = rng.below(text.lines().count());
+                        let lines: Vec<String> = text
+                            .lines()
+                            .enumerate()
+                            .map(|(i, l)| {
+                                if i == victim {
+                                    let mut tokens: Vec<&str> = l.split_whitespace().collect();
+                                    if !tokens.is_empty() {
+                                        let t = rng.below(tokens.len());
+                                        tokens[t] = "999999999999999999";
+                                    }
+                                    tokens.join(" ")
+                                } else {
+                                    l.to_owned()
+                                }
+                            })
+                            .collect();
+                        lines.join("\n")
+                    }
+                };
+                // Must return Ok (benign mutation) or a clean Err — never
+                // panic, never attempt an absurd allocation.
+                let _ = load_classifier(&mutated);
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! construction.
 
 use crate::config::{PipelineConfig, WeightMode, WeightPolarity};
+use crate::error::DataError;
 use crate::metrics::ConfusionMatrix;
 use leaps_cfg::infer::infer_cfg;
 use leaps_cfg::weight::assess_weights;
@@ -146,7 +147,9 @@ pub struct SvmClassifier {
 /// # Panics
 ///
 /// Panics if the inputs are too small to produce at least one coalesced
-/// training point per class, or if `config` is invalid.
+/// training point per class, or if `config` is invalid. Use
+/// [`try_train_classifier`] when the inputs come from untrusted or
+/// degraded telemetry.
 #[must_use]
 pub fn train_classifier(
     method: Method,
@@ -155,15 +158,50 @@ pub fn train_classifier(
     config: &PipelineConfig,
     seed: u64,
 ) -> Classifier {
+    match try_train_classifier(method, benign_train, mixed, config, seed) {
+        Ok(classifier) => classifier,
+        Err(e) => panic!("not enough events to form coalesced training points: {e}"),
+    }
+}
+
+/// Fallible variant of [`train_classifier`]: instead of panicking on
+/// inputs too damaged or too small to train on, reports which input fell
+/// short. This is the entry point for pipelines fed by lossy telemetry,
+/// where fault injection or lenient parsing may have consumed most of a
+/// log.
+///
+/// # Errors
+///
+/// Returns a [`DataError`] when either log is empty, when coalescing
+/// yields no training point for a class, or when the sampled training set
+/// is degenerate (e.g. single-class).
+///
+/// # Panics
+///
+/// Still panics if `config` itself is invalid — a configuration bug, not
+/// a data condition.
+pub fn try_train_classifier(
+    method: Method,
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+) -> Result<Classifier, DataError> {
     config.validate();
+    if benign_train.is_empty() {
+        return Err(DataError::EmptyLog { role: "benign training" });
+    }
+    if mixed.is_empty() {
+        return Err(DataError::EmptyLog { role: "mixed" });
+    }
     match method {
         Method::CGraph => {
-            Classifier::CGraph(CallGraphClassifier::fit(benign_train.iter(), mixed.iter()))
+            Ok(Classifier::CGraph(CallGraphClassifier::fit(benign_train.iter(), mixed.iter())))
         }
         Method::Svm | Method::Wsvm => {
-            Classifier::Svm(train_svm_family(method, benign_train, mixed, config, seed))
+            Ok(Classifier::Svm(train_svm_family(method, benign_train, mixed, config, seed)?))
         }
-        Method::Hmm => Classifier::Hmm(train_hmm(benign_train, mixed, config, seed)),
+        Method::Hmm => Ok(Classifier::Hmm(train_hmm(benign_train, mixed, config, seed))),
     }
 }
 
@@ -201,7 +239,7 @@ fn train_svm_family(
     mixed: &[PartitionedEvent],
     config: &PipelineConfig,
     seed: u64,
-) -> SvmClassifier {
+) -> Result<SvmClassifier, DataError> {
     // 1. Fit the feature encoder on everything available at training time.
     let mut fit_events: Vec<&PartitionedEvent> = benign_train.iter().collect();
     fit_events.extend(mixed.iter());
@@ -229,10 +267,21 @@ fn train_svm_family(
     let mixed_refs: Vec<&PartitionedEvent> = mixed.iter().collect();
     let (benign_points, _) = encoder.encode_sequence(&benign_refs);
     let (mixed_points, mixed_covers) = encoder.encode_sequence(&mixed_refs);
-    assert!(
-        !benign_points.is_empty() && !mixed_points.is_empty(),
-        "not enough events to form coalesced training points"
-    );
+    let window = config.preprocess.window;
+    if benign_points.is_empty() {
+        return Err(DataError::TooFewEvents {
+            role: "benign training events",
+            needed: window,
+            got: benign_train.len(),
+        });
+    }
+    if mixed_points.is_empty() {
+        return Err(DataError::TooFewEvents {
+            role: "mixed events",
+            needed: window,
+            got: mixed.len(),
+        });
+    }
 
     let mut samples: Vec<Sample> = Vec::new();
     let mut rng = SimRng::new(seed ^ 0x7ea1_11ed);
@@ -252,7 +301,7 @@ fn train_svm_family(
             samples.push(Sample::new(point.clone(), -1.0, c));
         }
     }
-    let train_set = TrainSet::new(samples).expect("sampled training set is degenerate");
+    let train_set = TrainSet::new(samples).map_err(DataError::Degenerate)?;
 
     // 4. Tune (λ, σ²) and train the final model on the full training set.
     let grid = GridSearch {
@@ -268,7 +317,7 @@ fn train_svm_family(
         Kernel::Gaussian { sigma2: best.sigma2 },
         &SmoParams { lambda: best.lambda, ..Default::default() },
     );
-    SvmClassifier { model, encoder, tuned: (best.lambda, best.sigma2) }
+    Ok(SvmClassifier { model, encoder, tuned: (best.lambda, best.sigma2) })
 }
 
 /// Coalesced-point weight: mean maliciousness over the covered events,
@@ -376,6 +425,36 @@ mod tests {
         assert!((coalesced_weight(&[0, 1], malice, 0.05) - 0.3).abs() < 1e-12);
         // Mean below the floor is clamped up.
         assert_eq!(coalesced_weight(&[2], malice, 0.05), 0.05);
+    }
+
+    #[test]
+    fn try_train_reports_empty_inputs() {
+        let d = dataset("vim_reverse_tcp");
+        let (train, _) = d.split_benign(0.5, 1);
+        let cfg = PipelineConfig::fast();
+        let err = try_train_classifier(Method::Wsvm, &[], &d.mixed, &cfg, 1).unwrap_err();
+        assert!(matches!(err, DataError::EmptyLog { role: "benign training" }), "{err}");
+        let err = try_train_classifier(Method::Wsvm, &train, &[], &cfg, 1).unwrap_err();
+        assert!(matches!(err, DataError::EmptyLog { role: "mixed" }), "{err}");
+    }
+
+    #[test]
+    fn try_train_reports_too_few_events() {
+        let d = dataset("vim_reverse_tcp");
+        let few = &d.benign[..1];
+        let err = try_train_classifier(Method::Wsvm, few, &d.mixed, &PipelineConfig::fast(), 1)
+            .unwrap_err();
+        assert!(matches!(err, DataError::TooFewEvents { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_train_succeeds_on_healthy_inputs() {
+        let d = dataset("vim_reverse_tcp");
+        let (train, test) = d.split_benign(0.5, 1);
+        let c = try_train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 1)
+            .unwrap();
+        let cm = c.evaluate(&test, &d.malicious);
+        assert!(cm.total() > 0);
     }
 
     #[test]

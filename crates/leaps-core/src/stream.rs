@@ -18,6 +18,29 @@ pub struct Verdict {
     /// log-likelihood ratio (positive = benign); `None` for the
     /// call-graph model, which is purely symbolic.
     pub score: Option<f64>,
+    /// `true` when the window behind this verdict is **incomplete**: its
+    /// event sequence numbers are not contiguous (events were dropped,
+    /// reordered or arrived out of sequence inside the window).
+    /// Deployments can treat `benign && degraded` as "benign, but judged
+    /// on damaged telemetry" rather than a clean bill of health.
+    pub degraded: bool,
+}
+
+/// Telemetry-quality counters accumulated by a [`StreamDetector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events accepted into the detector.
+    pub accepted: usize,
+    /// Events discarded as immediate duplicates of the previous record.
+    pub duplicates: usize,
+    /// Forward sequence gaps observed (`num` jumped past `last + 1`).
+    pub gaps: usize,
+    /// Total sequence numbers missing inside those gaps.
+    pub missing: u64,
+    /// Events that arrived behind the highest sequence number seen.
+    pub reordered: usize,
+    /// Verdicts emitted with the `degraded` flag set.
+    pub degraded_verdicts: usize,
 }
 
 /// An incremental detector wrapping a trained [`Classifier`].
@@ -27,6 +50,16 @@ pub struct Verdict {
 ///   encoder configuration);
 /// * the call-graph model emits one verdict per event (undecidable events
 ///   are reported as *not benign* — a deployment treats them as alerts).
+///
+/// # Degraded telemetry
+///
+/// The detector does not trust sequence continuity. Immediate duplicates
+/// are discarded; gaps and reordered arrivals are counted in
+/// [`StreamStats`] and every verdict whose window spans a discontinuity
+/// carries [`Verdict::degraded`]. The window **resynchronizes by
+/// sliding**: once `window` contiguous post-gap events have arrived, the
+/// flag clears on its own. After a known outage, [`StreamDetector::resync`]
+/// hard-resets the window instead.
 #[derive(Debug, Clone)]
 pub struct StreamDetector {
     classifier: Classifier,
@@ -35,6 +68,15 @@ pub struct StreamDetector {
     /// Rolling window of per-event feature triples (SVM path): each event
     /// is encoded exactly once when it arrives.
     triples: VecDeque<[f64; 3]>,
+    /// Sequence numbers of the buffered events, for gap detection.
+    nums: VecDeque<u64>,
+    /// Highest sequence number accepted so far (gap/reorder detection).
+    last_num: Option<u64>,
+    /// Sequence number of the most recently accepted event (duplicate
+    /// detection — a duplicate is an immediate re-send, so it must be
+    /// compared against its neighbour, not the stream maximum).
+    prev_num: Option<u64>,
+    stats: StreamStats,
     window: usize,
     stride: usize,
     filled_once: bool,
@@ -60,6 +102,10 @@ impl StreamDetector {
             classifier,
             buffer: VecDeque::with_capacity(window),
             triples: VecDeque::with_capacity(window),
+            nums: VecDeque::with_capacity(window),
+            last_num: None,
+            prev_num: None,
+            stats: StreamStats::default(),
             window,
             stride,
             filled_once: false,
@@ -73,15 +119,60 @@ impl StreamDetector {
         self.window
     }
 
+    /// Telemetry-quality counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Hard-resets the rolling window after a known telemetry outage.
+    ///
+    /// The buffered events are discarded and the next verdict waits for a
+    /// full fresh window. Cumulative [`StreamStats`] and the last seen
+    /// sequence number are kept, so duplicates of pre-outage events are
+    /// still recognized.
+    pub fn resync(&mut self) {
+        self.buffer.clear();
+        self.triples.clear();
+        self.nums.clear();
+        self.filled_once = false;
+        self.since_last = 0;
+    }
+
     /// Feeds one event; returns a verdict when a window completes.
+    ///
+    /// Immediate duplicates (same sequence number as the newest accepted
+    /// event) are dropped and counted; gaps and out-of-order arrivals are
+    /// counted and mark the verdicts whose window spans them as
+    /// [`Verdict::degraded`].
     pub fn push(&mut self, event: PartitionedEvent) -> Option<Verdict> {
         let num = event.num;
+        if self.prev_num == Some(num) {
+            self.stats.duplicates += 1;
+            return None;
+        }
+        match self.last_num {
+            Some(last) if num < last => {
+                self.stats.reordered += 1;
+            }
+            Some(last) => {
+                if num > last + 1 {
+                    self.stats.gaps += 1;
+                    self.stats.missing += num - last - 1;
+                }
+                self.last_num = Some(num);
+            }
+            None => self.last_num = Some(num),
+        }
+        self.prev_num = Some(num);
+        self.stats.accepted += 1;
         if let Classifier::CGraph(model) = &self.classifier {
             let decision = model.classify(&event);
             return Some(Verdict {
                 last_event: num,
                 benign: decision == Decision::Benign,
                 score: None,
+                degraded: false,
             });
         }
         if let Classifier::Svm(svm) = &self.classifier {
@@ -91,8 +182,10 @@ impl StreamDetector {
             }
         }
         self.buffer.push_back(event);
+        self.nums.push_back(num);
         if self.buffer.len() > self.window {
             self.buffer.pop_front();
+            self.nums.pop_front();
         }
         if self.buffer.len() < self.window {
             return None;
@@ -106,6 +199,10 @@ impl StreamDetector {
         self.filled_once = true;
         self.since_last = 0;
 
+        let degraded = self.nums.iter().zip(self.nums.iter().skip(1)).any(|(a, b)| *b != *a + 1);
+        if degraded {
+            self.stats.degraded_verdicts += 1;
+        }
         let (benign, score) = match &self.classifier {
             Classifier::Svm(svm) => {
                 let point: Vec<f64> = self.triples.iter().flatten().copied().collect();
@@ -119,7 +216,7 @@ impl StreamDetector {
             }
             Classifier::CGraph(_) => unreachable!("handled above"),
         };
-        Some(Verdict { last_event: num, benign, score })
+        Some(Verdict { last_event: num, benign, score, degraded })
     }
 
     /// Feeds many events, collecting every verdict.
@@ -198,6 +295,107 @@ mod tests {
         let verdicts = detector.push_all(test.iter().take(60).cloned());
         assert!(!verdicts.is_empty());
         assert!(verdicts.iter().all(|v| v.score.is_some()));
+    }
+
+    #[test]
+    fn gap_marks_verdicts_degraded_until_window_slides_past() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut detector = StreamDetector::new(clf);
+        let window = detector.window();
+        // Contiguous events (renumbered), with one dropped in the middle.
+        let mut events: Vec<PartitionedEvent> = d.benign.iter().take(4 * window).cloned().collect();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.num = i as u64;
+        }
+        let cut = 2 * window;
+        events.remove(cut);
+        let verdicts = detector.push_all(events);
+        assert!(verdicts.iter().any(|v| v.degraded), "gap never flagged");
+        assert!(!verdicts.first().unwrap().degraded, "pre-gap window clean");
+        assert!(
+            !verdicts.last().unwrap().degraded,
+            "window should resynchronize once it slides past the gap"
+        );
+        let stats = detector.stats();
+        assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.missing, 1);
+        assert!(stats.degraded_verdicts > 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_and_counted() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut detector = StreamDetector::new(clf);
+        let window = detector.window();
+        let mut events: Vec<PartitionedEvent> = Vec::new();
+        for (i, e) in d.benign.iter().take(window).cloned().enumerate() {
+            let mut e = e;
+            e.num = i as u64;
+            events.push(e.clone());
+            events.push(e); // immediate duplicate of every record
+        }
+        let verdicts = detector.push_all(events);
+        let stats = detector.stats();
+        assert_eq!(stats.duplicates, window);
+        assert_eq!(stats.accepted, window);
+        assert_eq!(verdicts.len(), 1, "duplicates must not advance the window");
+        assert!(!verdicts[0].degraded, "deduplicated stream is contiguous");
+    }
+
+    #[test]
+    fn reordered_arrivals_are_counted_and_flagged() {
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut detector = StreamDetector::new(clf);
+        let window = detector.window();
+        let mut events: Vec<PartitionedEvent> = d.benign.iter().take(window).cloned().collect();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.num = i as u64;
+        }
+        events.swap(window / 2, window / 2 + 1);
+        let verdicts = detector.push_all(events);
+        assert_eq!(detector.stats().reordered, 1);
+        assert!(verdicts[0].degraded, "swapped pair breaks contiguity");
+    }
+
+    #[test]
+    fn resync_clears_window_but_keeps_stats() {
+        let d = dataset();
+        let (train, test) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut detector = StreamDetector::new(clf);
+        let window = detector.window();
+        let verdicts = detector.push_all(test.iter().take(window).cloned());
+        assert!(!verdicts.is_empty());
+        let accepted_before = detector.stats().accepted;
+        detector.resync();
+        // After resync a fresh full window is required before any verdict.
+        for e in test.iter().skip(window).take(window - 1) {
+            assert_eq!(detector.push(e.clone()), None);
+        }
+        assert!(detector.push(test[2 * window - 1].clone()).is_some());
+        assert!(detector.stats().accepted > accepted_before, "stats survive resync");
+    }
+
+    #[test]
+    fn cgraph_verdicts_are_never_degraded() {
+        let d = dataset();
+        let (train, test) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::CGraph, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut detector = StreamDetector::new(clf);
+        let mut events: Vec<PartitionedEvent> = test.iter().take(20).cloned().collect();
+        for (i, e) in events.iter_mut().enumerate() {
+            e.num = (i * 3) as u64; // gaps everywhere
+        }
+        let verdicts = detector.push_all(events);
+        assert_eq!(verdicts.len(), 20);
+        assert!(verdicts.iter().all(|v| !v.degraded));
+        assert!(detector.stats().gaps > 0);
     }
 
     #[test]

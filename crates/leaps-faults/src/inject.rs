@@ -1,0 +1,375 @@
+//! The injector: applies a [`FaultPlan`] to a raw log, reproducibly.
+
+use crate::plan::FaultPlan;
+use leaps_etw::rng::SimRng;
+
+/// Counts of faults actually applied by one [`inject`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectStats {
+    /// Records found in the input log.
+    pub records_in: usize,
+    /// Records present in the faulted output (after drops/duplications,
+    /// including corrupted and truncated ones).
+    pub records_out: usize,
+    /// Records removed by [`FaultClass::DropEvent`].
+    pub dropped: usize,
+    /// Records whose stack walk lost frames.
+    pub stack_truncated: usize,
+    /// Total `STACK` lines removed by stack truncation.
+    pub frames_removed: usize,
+    /// Extra copies emitted by [`FaultClass::DuplicateEvent`].
+    pub duplicated: usize,
+    /// Records displaced by [`FaultClass::Reorder`].
+    pub reordered: usize,
+    /// Records whose header was corrupted.
+    pub corrupted: usize,
+    /// Lines cut from the end by [`FaultClass::TruncateTail`]
+    /// (0 when the tail was left intact).
+    pub tail_truncated_lines: usize,
+}
+
+impl InjectStats {
+    /// Total number of individual faults applied.
+    #[must_use]
+    pub fn total_faults(&self) -> usize {
+        self.dropped
+            + self.stack_truncated
+            + self.duplicated
+            + self.reordered
+            + self.corrupted
+            + usize::from(self.tail_truncated_lines > 0)
+    }
+}
+
+/// One contiguous piece of the log: an `EVENT..END` record or a verbatim
+/// non-record line (header, comment, blank, stray).
+enum Segment {
+    Record(Vec<String>),
+    Raw(String),
+}
+
+/// Splits the log into records and pass-through lines. A record starts at
+/// an `EVENT` line and ends at the next `END` (inclusive); an `EVENT`
+/// line inside an open record starts a new record (the open one stays
+/// unterminated, as found).
+fn segment(raw: &str) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut open: Option<Vec<String>> = None;
+    for line in raw.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("EVENT ") || trimmed == "EVENT" {
+            if let Some(rec) = open.take() {
+                segments.push(Segment::Record(rec));
+            }
+            open = Some(vec![line.to_owned()]);
+        } else if let Some(rec) = open.as_mut() {
+            rec.push(line.to_owned());
+            if trimmed == "END" {
+                segments.push(Segment::Record(open.take().expect("open record")));
+            }
+        } else {
+            segments.push(Segment::Raw(line.to_owned()));
+        }
+    }
+    if let Some(rec) = open {
+        segments.push(Segment::Record(rec));
+    }
+    segments
+}
+
+/// Mangles one record's `EVENT` header line, choosing among four torn-write
+/// shapes: garbage value, missing field, malformed token, mangled keyword.
+fn corrupt_header(header: &mut String, rng: &mut SimRng) {
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    // tokens[0] is "EVENT"; the rest are key=value fields.
+    let n_fields = tokens.len().saturating_sub(1);
+    let mutation = if n_fields == 0 { 3 } else { rng.below(4) };
+    match mutation {
+        0 => {
+            // Replace a field's value with a non-numeric sentinel.
+            let target = 1 + rng.below(n_fields);
+            let mangled: Vec<String> = tokens
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if i == target {
+                        match t.split_once('=') {
+                            Some((k, _)) => format!("{k}=<torn>"),
+                            None => "<torn>".to_owned(),
+                        }
+                    } else {
+                        (*t).to_owned()
+                    }
+                })
+                .collect();
+            *header = mangled.join(" ");
+        }
+        1 => {
+            // Drop a field entirely.
+            let target = 1 + rng.below(n_fields);
+            let kept: Vec<&str> =
+                tokens.iter().enumerate().filter(|(i, _)| *i != target).map(|(_, t)| *t).collect();
+            *header = kept.join(" ");
+        }
+        2 => {
+            // Break a token's key=value shape.
+            let target = 1 + rng.below(n_fields);
+            let mangled: Vec<String> = tokens
+                .iter()
+                .enumerate()
+                .map(|(i, t)| if i == target { t.replace('=', "~") } else { (*t).to_owned() })
+                .collect();
+            *header = mangled.join(" ");
+        }
+        _ => {
+            // Mangle the keyword so the line is unrecognizable.
+            *header = header.replacen("EVENT", "EV#NT", 1);
+        }
+    }
+}
+
+/// Removes a random non-empty suffix of the record's `STACK` lines (the
+/// on-disk order is innermost-first, so a suffix is the outermost frames —
+/// exactly what a depth-limited stack walker loses). Returns the number of
+/// frames removed.
+fn truncate_stack(record: &mut Vec<String>, rng: &mut SimRng) -> usize {
+    let stack_idx: Vec<usize> = record
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.trim().starts_with("STACK "))
+        .map(|(i, _)| i)
+        .collect();
+    if stack_idx.is_empty() {
+        return 0;
+    }
+    let cut = rng.range(1, stack_idx.len());
+    let doomed: Vec<usize> = stack_idx[stack_idx.len() - cut..].to_vec();
+    for &i in doomed.iter().rev() {
+        record.remove(i);
+    }
+    cut
+}
+
+/// Applies `plan` to `raw`, returning the faulted log and what was done.
+///
+/// Deterministic: the same `(raw, plan, seed)` always produces the same
+/// output. Fault decisions are drawn per record in log order (drop,
+/// corrupt, stack-truncate, duplicate), then a reorder pass displaces
+/// surviving records within the jitter window, then the tail may be cut
+/// mid-record.
+#[must_use]
+pub fn inject(raw: &str, plan: &FaultPlan, seed: u64) -> (String, InjectStats) {
+    let mut stats = InjectStats::default();
+    let mut rng = SimRng::new(seed ^ 0xfa17_1e55_0bad_f00d);
+
+    // Per-record mutations, preserving non-record lines in place.
+    let mut out: Vec<Segment> = Vec::new();
+    for seg in segment(raw) {
+        let Segment::Record(mut rec) = seg else {
+            out.push(seg);
+            continue;
+        };
+        stats.records_in += 1;
+        if rng.chance(plan.drop_event) {
+            stats.dropped += 1;
+            continue;
+        }
+        if rng.chance(plan.corrupt_header) {
+            corrupt_header(&mut rec[0], &mut rng);
+            stats.corrupted += 1;
+        }
+        if rng.chance(plan.truncate_stack) {
+            let removed = truncate_stack(&mut rec, &mut rng);
+            if removed > 0 {
+                stats.stack_truncated += 1;
+                stats.frames_removed += removed;
+            }
+        }
+        if rng.chance(plan.duplicate_event) {
+            stats.duplicated += 1;
+            out.push(Segment::Record(rec.clone()));
+        }
+        out.push(Segment::Record(rec));
+    }
+
+    // Reorder pass: displace records forward within the jitter window.
+    if plan.reorder > 0.0 && plan.reorder_jitter > 0 {
+        let record_slots: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Segment::Record(_)))
+            .map(|(i, _)| i)
+            .collect();
+        for slot in 0..record_slots.len() {
+            if !rng.chance(plan.reorder) {
+                continue;
+            }
+            let jump = 1 + rng.below(plan.reorder_jitter);
+            let target = (slot + jump).min(record_slots.len().saturating_sub(1));
+            if target != slot {
+                out.swap(record_slots[slot], record_slots[target]);
+                stats.reordered += 1;
+            }
+        }
+    }
+
+    // Tail truncation: cut the last record mid-way and drop what follows.
+    if rng.chance(plan.truncate_tail) {
+        if let Some(last_rec) = out.iter().rposition(|s| matches!(s, Segment::Record(_))) {
+            let tail_lines: usize = out[last_rec + 1..].iter().map(segment_lines).sum();
+            let Segment::Record(rec) = &mut out[last_rec] else { unreachable!() };
+            // Keep at least the EVENT line, never the END line.
+            let keep = rng.range(1, rec.len().saturating_sub(1).max(1));
+            let cut = rec.len() - keep;
+            rec.truncate(keep);
+            out.truncate(last_rec + 1);
+            stats.tail_truncated_lines = cut + tail_lines;
+        }
+    }
+
+    stats.records_out = out.iter().filter(|s| matches!(s, Segment::Record(_))).count();
+
+    let mut text = String::with_capacity(raw.len());
+    for seg in &out {
+        match seg {
+            Segment::Record(rec) => {
+                for line in rec {
+                    text.push_str(line);
+                    text.push('\n');
+                }
+            }
+            Segment::Raw(line) => {
+                text.push_str(line);
+                text.push('\n');
+            }
+        }
+    }
+    (text, stats)
+}
+
+fn segment_lines(seg: &Segment) -> usize {
+    match seg {
+        Segment::Record(rec) => rec.len(),
+        Segment::Raw(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultClass;
+    use leaps_etw::logfmt::write_log;
+    use leaps_etw::scenario::{GenParams, Scenario};
+
+    fn sample_raw() -> String {
+        let logs =
+            Scenario::by_name("vim_reverse_tcp").unwrap().generate_events(&GenParams::small(), 9);
+        write_log(&logs.mixed)
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::none(), 1);
+        assert_eq!(out, raw);
+        assert_eq!(stats.total_faults(), 0);
+        assert_eq!(stats.records_in, stats.records_out);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let raw = sample_raw();
+        let plan = FaultPlan::uniform(0.3);
+        let (a, sa) = inject(&raw, &plan, 42);
+        let (b, sb) = inject(&raw, &plan, 42);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = inject(&raw, &plan, 43);
+        assert_ne!(a, c, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn drop_removes_records() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::only(FaultClass::DropEvent, 0.5), 5);
+        assert!(stats.dropped > 0);
+        assert_eq!(stats.records_out, stats.records_in - stats.dropped);
+        let events = out.lines().filter(|l| l.starts_with("EVENT ")).count();
+        assert_eq!(events, stats.records_out);
+    }
+
+    #[test]
+    fn duplicate_adds_records() {
+        let raw = sample_raw();
+        let (_, stats) = inject(&raw, &FaultPlan::only(FaultClass::DuplicateEvent, 0.5), 5);
+        assert!(stats.duplicated > 0);
+        assert_eq!(stats.records_out, stats.records_in + stats.duplicated);
+    }
+
+    #[test]
+    fn stack_truncation_removes_frames_only() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::only(FaultClass::TruncateStack, 0.5), 5);
+        assert!(stats.stack_truncated > 0);
+        assert!(stats.frames_removed >= stats.stack_truncated);
+        assert_eq!(stats.records_out, stats.records_in);
+        let in_stacks = raw.lines().filter(|l| l.trim().starts_with("STACK")).count();
+        let out_stacks = out.lines().filter(|l| l.trim().starts_with("STACK")).count();
+        assert_eq!(in_stacks - out_stacks, stats.frames_removed);
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_records() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::only(FaultClass::Reorder, 0.5), 5);
+        assert!(stats.reordered > 0);
+        assert_eq!(stats.records_out, stats.records_in);
+        // Same multiset of EVENT lines, different order.
+        let mut in_events: Vec<&str> = raw.lines().filter(|l| l.starts_with("EVENT ")).collect();
+        let mut out_events: Vec<&str> = out.lines().filter(|l| l.starts_with("EVENT ")).collect();
+        assert_ne!(in_events, out_events);
+        in_events.sort_unstable();
+        out_events.sort_unstable();
+        assert_eq!(in_events, out_events);
+    }
+
+    #[test]
+    fn corrupt_header_touches_event_lines() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::only(FaultClass::CorruptHeader, 0.4), 5);
+        assert!(stats.corrupted > 0);
+        let torn = out
+            .lines()
+            .filter(|l| l.contains("<torn>") || l.contains('~') || l.starts_with("EV#NT"))
+            .count();
+        assert!(torn > 0, "some corruption shape must be visible");
+        // STACK/END bodies are untouched by this class.
+        assert_eq!(stats.frames_removed, 0);
+    }
+
+    #[test]
+    fn tail_truncation_cuts_mid_record() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::only(FaultClass::TruncateTail, 1.0), 5);
+        assert!(stats.tail_truncated_lines > 0);
+        assert!(!out.trim_end().ends_with("END"), "tail must end inside a record");
+    }
+
+    #[test]
+    fn empty_and_headerless_inputs_survive() {
+        for raw in ["", "# LEAPS-ETL v1\n", "garbage\nlines\n"] {
+            let (_, stats) = inject(raw, &FaultPlan::uniform(0.9), 3);
+            assert_eq!(stats.records_in, 0);
+        }
+    }
+
+    #[test]
+    fn full_rate_uniform_plan_is_survivable() {
+        let raw = sample_raw();
+        let (out, stats) = inject(&raw, &FaultPlan::uniform(1.0), 11);
+        // Everything dropped: drop fires first at rate 1.0.
+        assert_eq!(stats.dropped, stats.records_in);
+        assert_eq!(stats.records_out, 0);
+        assert!(out.starts_with("# LEAPS-ETL v1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic, seeded fault injection for raw LEAPS event logs.
+//!
+//! Production ETW stack-walk logging is lossy: events are dropped under
+//! load, stack walks are truncated, records are duplicated by retry
+//! paths, buffers are flushed out of order, and files are cut short by
+//! crashes. This crate mutates a raw textual log (the `leaps_etw::logfmt`
+//! format) with those fault classes so that every downstream layer —
+//! parser, stream detector, training pipeline — can be exercised and
+//! benchmarked under degraded telemetry.
+//!
+//! Injection is **pure and reproducible**: the same `(raw, plan, seed)`
+//! triple always yields the same faulted log and the same
+//! [`InjectStats`].
+//!
+//! ```
+//! use leaps_faults::{inject, FaultClass, FaultPlan};
+//!
+//! let raw = "# LEAPS-ETL v1\n\
+//!            EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+//!            END\n\
+//!            EVENT num=2 type=FileRead pid=1 tid=2 ts=4\n\
+//!            END\n";
+//! let plan = FaultPlan::only(FaultClass::DropEvent, 1.0);
+//! let (faulted, stats) = inject(raw, &plan, 7);
+//! assert_eq!(stats.dropped, 2);
+//! assert!(!faulted.contains("EVENT"));
+//! ```
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{inject, InjectStats};
+pub use plan::{FaultClass, FaultPlan};

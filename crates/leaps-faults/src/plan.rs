@@ -1,0 +1,197 @@
+//! Fault classes and per-class rate plans.
+
+/// The classes of telemetry degradation the injector can apply.
+///
+/// Each class models a failure mode observed in production ETW stack-walk
+/// logging (see DESIGN.md "Fault model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A whole event record is lost (ring-buffer overwrite, drop under
+    /// load).
+    DropEvent,
+    /// The trailing (outermost) stack frames of a record are lost — the
+    /// stack walker hit its depth/time budget.
+    TruncateStack,
+    /// A record is delivered twice (flush/retry duplication).
+    DuplicateEvent,
+    /// A record arrives displaced from its logical position within a
+    /// small jitter window (per-CPU buffer flush reordering).
+    Reorder,
+    /// A header field of a record is corrupted (torn write): a mangled
+    /// value, a missing field, a malformed token or an unrecognizable
+    /// keyword.
+    CorruptHeader,
+    /// The log ends mid-record (crash while flushing the tail).
+    TruncateTail,
+}
+
+impl FaultClass {
+    /// Every fault class, in a stable order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::DropEvent,
+        FaultClass::TruncateStack,
+        FaultClass::DuplicateEvent,
+        FaultClass::Reorder,
+        FaultClass::CorruptHeader,
+        FaultClass::TruncateTail,
+    ];
+
+    /// Stable snake_case label (used in benchmark output and CLI knobs).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::DropEvent => "drop_event",
+            FaultClass::TruncateStack => "truncate_stack",
+            FaultClass::DuplicateEvent => "duplicate_event",
+            FaultClass::Reorder => "reorder",
+            FaultClass::CorruptHeader => "corrupt_header",
+            FaultClass::TruncateTail => "truncate_tail",
+        }
+    }
+
+    /// Parses a [`FaultClass::label`] back into the class.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+/// Per-class fault rates, each in `[0, 1]`.
+///
+/// A rate is the per-record probability of applying that class
+/// (`TruncateTail` is a single Bernoulli trial for the whole log, since a
+/// log has exactly one tail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability of losing each record.
+    pub drop_event: f64,
+    /// Probability of truncating each record's stack walk.
+    pub truncate_stack: f64,
+    /// Probability of duplicating each record.
+    pub duplicate_event: f64,
+    /// Probability of displacing each record forward.
+    pub reorder: f64,
+    /// Probability of corrupting each record's header.
+    pub corrupt_header: f64,
+    /// Probability that the log is cut mid-record at the end.
+    pub truncate_tail: f64,
+    /// Maximum forward displacement (in records) for `Reorder`.
+    pub reorder_jitter: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all; injection is the identity.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            drop_event: 0.0,
+            truncate_stack: 0.0,
+            duplicate_event: 0.0,
+            reorder: 0.0,
+            corrupt_header: 0.0,
+            truncate_tail: 0.0,
+            reorder_jitter: 4,
+        }
+    }
+
+    /// Every class at the same `rate`.
+    #[must_use]
+    pub fn uniform(rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for class in FaultClass::ALL {
+            plan.set(class, rate);
+        }
+        plan
+    }
+
+    /// A single class at `rate`, all others off.
+    #[must_use]
+    pub fn only(class: FaultClass, rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.set(class, rate);
+        plan
+    }
+
+    /// Sets one class's rate (clamped to `[0, 1]`; NaN becomes 0).
+    pub fn set(&mut self, class: FaultClass, rate: f64) {
+        let rate = if rate.is_nan() { 0.0 } else { rate.clamp(0.0, 1.0) };
+        match class {
+            FaultClass::DropEvent => self.drop_event = rate,
+            FaultClass::TruncateStack => self.truncate_stack = rate,
+            FaultClass::DuplicateEvent => self.duplicate_event = rate,
+            FaultClass::Reorder => self.reorder = rate,
+            FaultClass::CorruptHeader => self.corrupt_header = rate,
+            FaultClass::TruncateTail => self.truncate_tail = rate,
+        }
+    }
+
+    /// Reads one class's rate.
+    #[must_use]
+    pub fn rate(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::DropEvent => self.drop_event,
+            FaultClass::TruncateStack => self.truncate_stack,
+            FaultClass::DuplicateEvent => self.duplicate_event,
+            FaultClass::Reorder => self.reorder,
+            FaultClass::CorruptHeader => self.corrupt_header,
+            FaultClass::TruncateTail => self.truncate_tail,
+        }
+    }
+
+    /// `true` when every rate is zero.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        FaultClass::ALL.into_iter().all(|c| self.rate(c) == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(FaultClass::from_label("nope"), None);
+    }
+
+    #[test]
+    fn uniform_sets_every_class() {
+        let plan = FaultPlan::uniform(0.25);
+        for class in FaultClass::ALL {
+            assert_eq!(plan.rate(class), 0.25);
+        }
+        assert!(!plan.is_clean());
+        assert!(FaultPlan::none().is_clean());
+    }
+
+    #[test]
+    fn only_sets_a_single_class() {
+        let plan = FaultPlan::only(FaultClass::Reorder, 0.5);
+        assert_eq!(plan.rate(FaultClass::Reorder), 0.5);
+        for class in FaultClass::ALL {
+            if class != FaultClass::Reorder {
+                assert_eq!(plan.rate(class), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_clamped_and_nan_safe() {
+        let mut plan = FaultPlan::none();
+        plan.set(FaultClass::DropEvent, 1.5);
+        assert_eq!(plan.drop_event, 1.0);
+        plan.set(FaultClass::DropEvent, -0.5);
+        assert_eq!(plan.drop_event, 0.0);
+        plan.set(FaultClass::DropEvent, f64::NAN);
+        assert_eq!(plan.drop_event, 0.0);
+    }
+}

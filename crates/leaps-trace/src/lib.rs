@@ -33,5 +33,8 @@ pub mod parser;
 pub mod partition;
 pub mod slicing;
 
-pub use parser::{parse_log, CorrelatedEvent, CorrelatedLog, ParseError};
+pub use parser::{
+    parse_log, parse_log_lenient, CorrelatedEvent, CorrelatedLog, ErrorClass, ParseError,
+    RecoveredLog, RecoveryStats,
+};
 pub use partition::{partition_events, PartitionedEvent};

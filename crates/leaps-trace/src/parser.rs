@@ -102,6 +102,220 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
+/// Coarse classification of parse failures — the error taxonomy used for
+/// per-class skip statistics in lenient mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The `# LEAPS-ETL v1` magic line was absent.
+    MissingHeader,
+    /// A line made no sense in its context.
+    UnexpectedLine,
+    /// An `EVENT` header lacked a required field.
+    MissingField,
+    /// A field value failed to parse.
+    InvalidValue,
+    /// A record was cut off before its `END`.
+    UnterminatedEvent,
+}
+
+impl ErrorClass {
+    /// Every class, in a stable order.
+    pub const ALL: [ErrorClass; 5] = [
+        ErrorClass::MissingHeader,
+        ErrorClass::UnexpectedLine,
+        ErrorClass::MissingField,
+        ErrorClass::InvalidValue,
+        ErrorClass::UnterminatedEvent,
+    ];
+
+    /// Stable snake_case label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorClass::MissingHeader => "missing_header",
+            ErrorClass::UnexpectedLine => "unexpected_line",
+            ErrorClass::MissingField => "missing_field",
+            ErrorClass::InvalidValue => "invalid_value",
+            ErrorClass::UnterminatedEvent => "unterminated_event",
+        }
+    }
+}
+
+impl ParseError {
+    /// The coarse class of this error.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ParseError::MissingHeader => ErrorClass::MissingHeader,
+            ParseError::UnexpectedLine { .. } => ErrorClass::UnexpectedLine,
+            ParseError::MissingField { .. } => ErrorClass::MissingField,
+            ParseError::InvalidValue { .. } => ErrorClass::InvalidValue,
+            ParseError::UnterminatedEvent { .. } => ErrorClass::UnterminatedEvent,
+        }
+    }
+}
+
+/// Per-class skip statistics from a lenient parse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records parsed successfully.
+    pub parsed: usize,
+    /// Records discarded because part of them was unparseable.
+    pub quarantined: usize,
+    /// Individual lines skipped outside of a quarantined record.
+    pub skipped_lines: usize,
+    /// Error occurrences per [`ErrorClass`], indexed by position in
+    /// [`ErrorClass::ALL`].
+    pub class_counts: [usize; 5],
+}
+
+impl RecoveryStats {
+    fn count(&mut self, class: ErrorClass) {
+        let idx = ErrorClass::ALL.iter().position(|c| *c == class).expect("known class");
+        self.class_counts[idx] += 1;
+    }
+
+    /// Occurrences of one error class.
+    #[must_use]
+    pub fn class_count(&self, class: ErrorClass) -> usize {
+        let idx = ErrorClass::ALL.iter().position(|c| *c == class).expect("known class");
+        self.class_counts[idx]
+    }
+
+    /// Total error occurrences across all classes.
+    #[must_use]
+    pub fn total_errors(&self) -> usize {
+        self.class_counts.iter().sum()
+    }
+
+    /// `true` when the log parsed without a single skip.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total_errors() == 0 && self.quarantined == 0 && self.skipped_lines == 0
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} parsed, {} quarantined, {} lines skipped",
+            self.parsed, self.quarantined, self.skipped_lines
+        )?;
+        for class in ErrorClass::ALL {
+            let n = self.class_count(class);
+            if n > 0 {
+                write!(f, ", {}={n}", class.label())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a lenient parse: the surviving events plus recovery
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredLog {
+    /// Events that parsed completely, in log order.
+    pub events: Vec<CorrelatedEvent>,
+    /// What was skipped, quarantined, and why.
+    pub stats: RecoveryStats,
+}
+
+/// Parses a raw log leniently: never fails, never panics.
+///
+/// Where [`parse_log`] reports the first malformed construct, this
+/// recovery mode **quarantines** the enclosing record (drops it and
+/// counts it) and **resynchronizes** at the next `EVENT` header. A
+/// missing magic header is tolerated; a log truncated mid-record loses
+/// only the final record. Use this for production telemetry, which is
+/// lossy by nature; use [`parse_log`] for controlled-environment logs
+/// where any damage indicates a writer bug.
+#[must_use]
+pub fn parse_log_lenient(raw: &str) -> RecoveredLog {
+    let mut stats = RecoveryStats::default();
+    let mut events = Vec::new();
+    let mut lines = raw.lines().enumerate().peekable();
+    match lines.peek() {
+        Some((_, first)) if first.trim() == HEADER => {
+            lines.next();
+        }
+        _ => stats.count(ErrorClass::MissingHeader),
+    }
+
+    let mut current: Option<CorrelatedEvent> = None;
+    // After an error inside a record, skip lines until the next EVENT.
+    let mut resyncing = false;
+    let quarantine = |stats: &mut RecoveryStats, class: ErrorClass| {
+        stats.count(class);
+        stats.quarantined += 1;
+    };
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("EVENT ") {
+            if current.take().is_some() {
+                // The previous record never reached its END.
+                quarantine(&mut stats, ErrorClass::UnterminatedEvent);
+            }
+            resyncing = false;
+            match parse_event_header(rest, line_no) {
+                Ok(ev) => current = Some(ev),
+                Err(e) => {
+                    quarantine(&mut stats, e.class());
+                    resyncing = true;
+                }
+            }
+        } else if resyncing {
+            stats.skipped_lines += 1;
+        } else if let Some(rest) = trimmed.strip_prefix("STACK ") {
+            match current.as_mut() {
+                Some(ev) => match parse_stack_line(rest, line_no) {
+                    Ok(frame) => ev.frames.push(frame),
+                    Err(e) => {
+                        quarantine(&mut stats, e.class());
+                        current = None;
+                        resyncing = true;
+                    }
+                },
+                None => {
+                    stats.count(ErrorClass::UnexpectedLine);
+                    stats.skipped_lines += 1;
+                }
+            }
+        } else if trimmed == "END" {
+            match current.take() {
+                Some(mut ev) => {
+                    ev.frames.reverse();
+                    events.push(ev);
+                    stats.parsed += 1;
+                }
+                None => {
+                    stats.count(ErrorClass::UnexpectedLine);
+                    stats.skipped_lines += 1;
+                }
+            }
+        } else {
+            // Unrecognizable line: if it interrupts a record, the record
+            // can no longer be trusted.
+            stats.count(ErrorClass::UnexpectedLine);
+            stats.skipped_lines += 1;
+            if current.take().is_some() {
+                stats.quarantined += 1;
+                resyncing = true;
+            }
+        }
+    }
+    if current.is_some() {
+        quarantine(&mut stats, ErrorClass::UnterminatedEvent);
+    }
+    RecoveredLog { events, stats }
+}
+
 /// Parses a raw log into a [`CorrelatedLog`].
 ///
 /// Frames are reversed from the on-disk innermost-first order back into
@@ -350,5 +564,124 @@ mod tests {
     fn large_log_parses() {
         let parsed = parse_log(&sample_log()).unwrap();
         assert!(parsed.events.len() >= 600);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_logs() {
+        let raw = sample_log();
+        let strict = parse_log(&raw).unwrap();
+        let lenient = parse_log_lenient(&raw);
+        assert_eq!(lenient.events, strict.events);
+        assert!(lenient.stats.is_clean(), "{}", lenient.stats);
+        assert_eq!(lenient.stats.parsed, strict.events.len());
+    }
+
+    #[test]
+    fn lenient_quarantines_corrupt_record_and_resynchronizes() {
+        let raw = "# LEAPS-ETL v1\n\
+                   EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+                   END\n\
+                   EVENT num=2 type=FileRead pid=1 tid=2 ts=zz\n\
+                   \x20 STACK 0x10 a!b\n\
+                   END\n\
+                   EVENT num=3 type=FileRead pid=1 tid=2 ts=5\n\
+                   END\n";
+        let got = parse_log_lenient(raw);
+        assert_eq!(got.events.iter().map(|e| e.num).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(got.stats.quarantined, 1);
+        assert_eq!(got.stats.class_count(ErrorClass::InvalidValue), 1);
+        // The corrupt record's STACK and END lines are skipped silently.
+        assert_eq!(got.stats.skipped_lines, 2);
+    }
+
+    #[test]
+    fn lenient_quarantines_on_bad_stack_line() {
+        let raw = "# LEAPS-ETL v1\n\
+                   EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+                   \x20 STACK nonsense a!b\n\
+                   END\n\
+                   EVENT num=2 type=FileRead pid=1 tid=2 ts=4\n\
+                   END\n";
+        let got = parse_log_lenient(raw);
+        assert_eq!(got.events.iter().map(|e| e.num).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(got.stats.quarantined, 1);
+        assert_eq!(got.stats.class_count(ErrorClass::InvalidValue), 1);
+    }
+
+    #[test]
+    fn lenient_tolerates_missing_header() {
+        let raw = "EVENT num=1 type=FileRead pid=1 tid=2 ts=3\nEND\n";
+        let got = parse_log_lenient(raw);
+        assert_eq!(got.events.len(), 1);
+        assert_eq!(got.stats.class_count(ErrorClass::MissingHeader), 1);
+        assert!(!got.stats.is_clean());
+    }
+
+    #[test]
+    fn lenient_drops_only_the_truncated_tail_record() {
+        let raw = "# LEAPS-ETL v1\n\
+                   EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+                   END\n\
+                   EVENT num=2 type=FileRead pid=1 tid=2 ts=4\n\
+                   \x20 STACK 0x10 a!b\n";
+        let got = parse_log_lenient(raw);
+        assert_eq!(got.events.iter().map(|e| e.num).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(got.stats.quarantined, 1);
+        assert_eq!(got.stats.class_count(ErrorClass::UnterminatedEvent), 1);
+    }
+
+    #[test]
+    fn lenient_back_to_back_events_quarantine_the_first() {
+        let raw = "# LEAPS-ETL v1\n\
+                   EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+                   EVENT num=2 type=FileRead pid=1 tid=2 ts=4\n\
+                   END\n";
+        let got = parse_log_lenient(raw);
+        assert_eq!(got.events.iter().map(|e| e.num).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(got.stats.class_count(ErrorClass::UnterminatedEvent), 1);
+    }
+
+    #[test]
+    fn lenient_skips_stray_lines_and_interrupted_records() {
+        let raw = "# LEAPS-ETL v1\n\
+                   noise\n\
+                   END\n\
+                   EVENT num=1 type=FileRead pid=1 tid=2 ts=3\n\
+                   garbage in the middle\n\
+                   \x20 STACK 0x10 a!b\n\
+                   END\n";
+        let got = parse_log_lenient(raw);
+        assert!(got.events.is_empty());
+        assert_eq!(got.stats.quarantined, 1);
+        // "noise", stray "END", "garbage...", plus the record's remaining
+        // STACK and END lines skipped during resynchronization.
+        assert_eq!(got.stats.skipped_lines, 5);
+        assert!(got.stats.class_count(ErrorClass::UnexpectedLine) >= 3);
+    }
+
+    #[test]
+    fn error_class_taxonomy_is_total() {
+        let errors = [
+            ParseError::MissingHeader,
+            ParseError::UnexpectedLine { line: 1, content: "x".into() },
+            ParseError::MissingField { line: 1, field: "num" },
+            ParseError::InvalidValue { line: 1, field: "ts", value: "z".into() },
+            ParseError::UnterminatedEvent { num: 1 },
+        ];
+        let classes: Vec<ErrorClass> = errors.iter().map(ParseError::class).collect();
+        assert_eq!(classes, ErrorClass::ALL.to_vec());
+        for class in ErrorClass::ALL {
+            assert!(!class.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn recovery_stats_display_reports_classes() {
+        let raw = "EVENT num=1 type=FileRead pid=1 tid=2 ts=zz\nEND\n";
+        let got = parse_log_lenient(raw);
+        let text = got.stats.to_string();
+        assert!(text.contains("quarantined"), "{text}");
+        assert!(text.contains("missing_header=1"), "{text}");
+        assert!(text.contains("invalid_value=1"), "{text}");
     }
 }

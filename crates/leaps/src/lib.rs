@@ -22,6 +22,7 @@
 //! | [`hmm`] | `leaps-hmm` | HMM sequence classifier (VI-B extension) |
 //! | [`cgraph`] | `leaps-cgraph` | call-graph baseline (III-D-1) |
 //! | [`core`] | `leaps-core` | pipeline, datasets, metrics (II, V) |
+//! | [`faults`] | `leaps-faults` | deterministic telemetry fault injection |
 //!
 //! # Quickstart
 //!
@@ -34,7 +35,7 @@
 //! let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
 //! let metrics = Experiment::fast().run(scenario, Method::Wsvm)?;
 //! println!("WSVM on {}: {metrics}", scenario.name());
-//! # Ok::<(), leaps::trace::parser::ParseError>(())
+//! # Ok::<(), leaps::core::error::LeapsError>(())
 //! ```
 
 pub use leaps_cfg as cfg;
@@ -42,6 +43,7 @@ pub use leaps_cgraph as cgraph;
 pub use leaps_cluster as cluster;
 pub use leaps_core as core;
 pub use leaps_etw as etw;
+pub use leaps_faults as faults;
 pub use leaps_hmm as hmm;
 pub use leaps_svm as svm;
 pub use leaps_trace as trace;
