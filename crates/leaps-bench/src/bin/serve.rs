@@ -1,0 +1,225 @@
+//! Throughput/latency benchmark for the `leaps-serve` detection service:
+//! 1–64 concurrent sessions submitting a trained-WSVM workload through
+//! the in-process [`Server`], measuring sustained events/sec, verdict
+//! latency percentiles (submit → sink delivery), and shed/degraded
+//! counts under backpressure.
+//!
+//! Writes `results/BENCH_serve.json` (override the path with
+//! `LEAPS_BENCH_OUT`) and prints the same numbers to stdout.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin serve
+//! ```
+
+use leaps::core::config::PipelineConfig;
+use leaps::core::par;
+use leaps::core::persist::save_classifier;
+use leaps::core::pipeline::{train_classifier, Method};
+use leaps::core::stream::Verdict;
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::serve::{Server, ServerConfig, Submit, VerdictSink};
+use leaps::trace::parser::parse_log;
+use leaps::trace::partition::{partition_events, PartitionedEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const EVENTS_PER_SESSION: usize = 400;
+const SESSION_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// A sink that timestamps verdict delivery against the submit time of
+/// the verdict's last event (session event numbers are contiguous, so
+/// `last_event` indexes the submit-time table directly).
+struct LatencySink {
+    submit_times: Vec<Mutex<Option<Instant>>>,
+    latencies_us: Mutex<Vec<f64>>,
+    degraded: AtomicU64,
+}
+
+impl LatencySink {
+    fn new(events: usize) -> LatencySink {
+        LatencySink {
+            submit_times: (0..events).map(|_| Mutex::new(None)).collect(),
+            latencies_us: Mutex::new(Vec::new()),
+            degraded: AtomicU64::new(0),
+        }
+    }
+}
+
+impl VerdictSink for LatencySink {
+    fn deliver(&self, _pid: u32, verdict: &Verdict) {
+        let submitted =
+            *self.submit_times[verdict.last_event as usize].lock().expect("submit-time lock");
+        if let Some(t) = submitted {
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            self.latencies_us.lock().expect("latency lock").push(us);
+        }
+        if verdict.degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One contiguous per-session stream: the mixed production log, trimmed
+/// and renumbered so sequence numbers are dense from 0.
+fn session_stream(raw_events: &[PartitionedEvent]) -> Vec<PartitionedEvent> {
+    raw_events
+        .iter()
+        .cycle()
+        .take(EVENTS_PER_SESSION)
+        .enumerate()
+        .map(|(n, e)| {
+            let mut e = e.clone();
+            e.num = n as u64;
+            e
+        })
+        .collect()
+}
+
+struct RunResult {
+    sessions: usize,
+    events_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    shed: u64,
+    degraded: u64,
+    verdicts: u64,
+}
+
+impl RunResult {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"sessions\": {}, \"events_per_sec\": {:.1}, \"p50_us\": {:.1}, \
+             \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \"degraded\": {}, \
+             \"verdicts\": {}}}",
+            self.sessions,
+            self.events_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.shed,
+            self.degraded,
+            self.verdicts
+        )
+    }
+}
+
+fn run(models_dir: &std::path::Path, stream: &[PartitionedEvent], sessions: usize) -> RunResult {
+    let server = Arc::new(Server::new(&ServerConfig::new(models_dir)));
+    let sinks: Vec<Arc<LatencySink>> =
+        (0..sessions).map(|_| Arc::new(LatencySink::new(stream.len()))).collect();
+    for (pid, sink) in sinks.iter().enumerate() {
+        let sink = Arc::clone(sink) as Arc<dyn VerdictSink>;
+        server.open("bench", pid as u32, "vim", sink).expect("open session");
+    }
+
+    let started = Instant::now();
+    let mut submitters = Vec::new();
+    for (pid, sink) in sinks.iter().enumerate() {
+        let server = Arc::clone(&server);
+        let sink = Arc::clone(sink);
+        let events = stream.to_vec();
+        submitters.push(std::thread::spawn(move || {
+            for event in events {
+                let num = event.num as usize;
+                *sink.submit_times[num].lock().expect("submit-time lock") = Some(Instant::now());
+                let outcome = server.submit("bench", pid as u32, event).expect("submit");
+                let _ = matches!(outcome, Submit::Busy { .. });
+            }
+        }));
+    }
+    for handle in submitters {
+        handle.join().expect("submitter thread");
+    }
+    let reports = server.close_all();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut degraded = 0u64;
+    for sink in &sinks {
+        latencies.extend(sink.latencies_us.lock().expect("latency lock").iter().copied());
+        degraded += sink.degraded.load(Ordering::Relaxed);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let shed: u64 = reports.iter().map(|(_, r)| r.shed).sum();
+    let verdicts: u64 = reports.iter().map(|(_, r)| r.verdicts).sum();
+    let total_events = (sessions * stream.len()) as f64;
+    RunResult {
+        sessions,
+        events_per_sec: total_events / elapsed.max(1e-12),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        shed,
+        degraded,
+        verdicts,
+    }
+}
+
+fn main() {
+    let threads = par::thread_count();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "serve benchmark: {threads} pool workers on {cores} cores, \
+         {EVENTS_PER_SESSION} events/session"
+    );
+    let notes = if cores < 2 {
+        "single-core runner: all sessions share one pool worker, so latency percentiles \
+         include queueing behind other sessions; expect events/sec to stay flat and \
+         shedding to start earlier than on multi-core hosts"
+    } else {
+        "multi-core runner: sessions are sharded across pool workers; single-core \
+         containers will show flat events/sec and earlier shedding"
+    };
+    println!("note: {notes}");
+
+    let scenario = Scenario::by_name("vim_reverse_tcp").expect("known dataset");
+    let logs = scenario.generate(&GenParams::small(), 0x1ea5);
+    let benign = partition_events(&parse_log(&logs.benign).expect("benign log").events);
+    let mixed = partition_events(&parse_log(&logs.mixed).expect("mixed log").events);
+    println!("training WSVM model for the registry...");
+    let classifier = train_classifier(Method::Wsvm, &benign, &mixed, &PipelineConfig::fast(), 7);
+    let dir = std::env::temp_dir().join(format!("leaps-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench model dir");
+    std::fs::write(dir.join("vim.model"), save_classifier(&classifier)).expect("write model");
+
+    let production = scenario.generate(&GenParams::small(), 0x2026);
+    let stream =
+        session_stream(&partition_events(&parse_log(&production.mixed).expect("log").events));
+
+    let mut results = Vec::new();
+    for sessions in SESSION_COUNTS {
+        let r = run(&dir, &stream, sessions);
+        println!(
+            "{:>3} sessions: {:>9.0} events/s   p50 {:>8.1}us   p95 {:>8.1}us   \
+             p99 {:>8.1}us   shed {:>5}   degraded {:>5}",
+            r.sessions, r.events_per_sec, r.p50_us, r.p95_us, r.p99_us, r.shed, r.degraded
+        );
+        results.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out =
+        std::env::var("LEAPS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_serve.json".to_owned());
+    let body: Vec<String> = results.iter().map(RunResult::json).collect();
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"cores\": {},\n  \"events_per_session\": {},\n  \
+         \"notes\": \"{}\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        threads,
+        cores,
+        EVENTS_PER_SESSION,
+        notes,
+        body.join(",\n")
+    );
+    std::fs::write(&out, json).expect("writing benchmark output");
+    println!("wrote {out}");
+}

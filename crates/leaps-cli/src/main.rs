@@ -7,6 +7,8 @@
 //! leaps eval   --scenario vim_reverse_tcp [--method wsvm] [--runs 3] [--events 2000]
 //! leaps detect --benign b.log --mixed m.log --target t.log [--method wsvm] [--lenient]
 //! leaps cfg    --log m.log --dot out.dot [--reference b.log]
+//! leaps serve  --socket /tmp/leaps.sock --models ./models
+//! leaps submit --socket /tmp/leaps.sock --model vim --target t.log
 //! ```
 
 mod args;
@@ -19,11 +21,13 @@ use leaps::core::error::LeapsError;
 use leaps::core::experiment::Experiment;
 use leaps::core::persist::{load_classifier, save_classifier};
 use leaps::core::pipeline::{try_train_classifier, Method};
-use leaps::core::stream::StreamDetector;
+use leaps::core::stream::{StreamDetector, Verdict};
 use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::serve::{Client, Command, Endpoint, Reply, Server, ServerConfig};
 use leaps::trace::parser::{parse_log, parse_log_lenient};
 use leaps::trace::partition::{partition_events, PartitionedEvent};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 leaps — detect camouflaged attacks (LEAPS, DSN 2015 reproduction)
@@ -46,6 +50,18 @@ USAGE:
   leaps cfg --log FILE --dot FILE [--reference FILE] [--lenient]
       Infer the CFG of a raw log and write Graphviz; with --reference,
       highlight nodes absent from the reference log's CFG.
+  leaps serve (--socket PATH | --tcp ADDR) --models DIR
+              [--cap-mb N] [--queue N] [--workers N]
+      Run the detection daemon: clients open per-process sessions over a
+      line protocol and stream events; trained models load on demand
+      from DIR (LRU-cached under N MiB), flooded sessions shed load with
+      BUSY instead of stalling others. Stop it with `leaps shutdown`.
+  leaps submit (--socket PATH | --tcp ADDR) --model NAME --target FILE
+               [--pid N] [--client NAME] [--lenient]
+      Stream a raw log to a running daemon as one session and print the
+      verdicts — the online counterpart of `leaps detect`.
+  leaps shutdown (--socket PATH | --tcp ADDR)
+      Ask a running daemon to shut down gracefully (drains all sessions).
 
 GLOBAL OPTIONS:
   --threads N
@@ -61,6 +77,7 @@ GLOBAL OPTIONS:
 EXIT CODES:
   0 success   2 usage error   3 parse error   4 model error
   5 data error (too little/degenerate data)   6 I/O error
+  7 network/protocol error
 ";
 
 /// A terminal CLI failure: one stderr line plus a process exit code.
@@ -118,6 +135,9 @@ fn run(tokens: &[String]) -> Result<(), Failure> {
         "eval" => cmd_eval(&args),
         "detect" => cmd_detect(&args),
         "cfg" => cmd_cfg(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "shutdown" => cmd_shutdown(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -290,7 +310,61 @@ fn cmd_detect(args: &Args) -> Result<(), Failure> {
             stats.gaps, stats.missing, stats.duplicates, stats.reordered, stats.degraded_verdicts
         );
     }
-    for v in flagged.iter().take(20) {
+    print_alerts(flagged.iter().copied(), flagged.len());
+    Ok(())
+}
+
+#[cfg(unix)]
+fn socket_endpoint(path: &str) -> Result<Endpoint, Failure> {
+    Ok(Endpoint::Unix(path.into()))
+}
+
+#[cfg(not(unix))]
+fn socket_endpoint(_path: &str) -> Result<Endpoint, Failure> {
+    Err(Failure::usage("--socket needs a Unix platform; use --tcp ADDR"))
+}
+
+fn endpoint_of(args: &Args) -> Result<Endpoint, Failure> {
+    match (args.get("socket"), args.get("tcp")) {
+        (Some(path), None) => socket_endpoint(path),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.to_owned())),
+        _ => Err(Failure::usage("exactly one of --socket PATH or --tcp ADDR is required")),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let models = args.required("models")?;
+    let cap_mb = args.parse_or("cap-mb", 64u64)?;
+    let queue = args.parse_or("queue", 1024usize)?;
+    if queue == 0 {
+        return Err(Failure::usage("--queue must be >= 1"));
+    }
+    let config = ServerConfig {
+        models_dir: models.into(),
+        cache_cap_bytes: cap_mb << 20,
+        queue_cap: queue,
+        workers: args.parse_or("workers", 0usize)?,
+    };
+    let server = Arc::new(Server::new(&config));
+    let bound = endpoint.bind()?;
+    println!(
+        "leaps-serve listening on {} (models {models}, {} workers, queue {queue}, \
+         cache {cap_mb} MiB)",
+        bound.endpoint(),
+        server.stats().workers
+    );
+    let drained = bound.run(&server)?;
+    let stats = server.stats();
+    println!(
+        "leaps-serve shut down: {} sessions served, {drained} drained at shutdown",
+        stats.closed
+    );
+    Ok(())
+}
+
+fn print_alerts<'a>(flagged: impl IntoIterator<Item = &'a Verdict>, total: usize) {
+    for v in flagged.into_iter().take(20) {
         let tag = if v.degraded { " [degraded]" } else { "" };
         match v.score {
             Some(score) => {
@@ -299,9 +373,60 @@ fn cmd_detect(args: &Args) -> Result<(), Failure> {
             None => println!("  ALERT event @{}{tag}", v.last_event),
         }
     }
-    if flagged.len() > 20 {
-        println!("  ... {} more", flagged.len() - 20);
+    if total > 20 {
+        println!("  ... {} more", total - 20);
     }
+}
+
+fn cmd_submit(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let model = args.required("model")?;
+    let target_path = args.required("target")?;
+    let events = load_log(target_path, args.enabled("lenient"))?;
+    let pid = args.parse_or("pid", std::process::id())?;
+    let name = args.get("client").unwrap_or("leaps-submit").to_owned();
+    let mut verdicts: Vec<(u32, Verdict)> = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    let hello = client.expect_ok(&Command::Hello { client: name }, &mut verdicts)?;
+    println!("connected to {endpoint}: {hello}");
+    client.expect_ok(&Command::Open { pid, model: model.to_owned() }, &mut verdicts)?;
+    let mut busy = 0u64;
+    for event in &events {
+        match client.request(&Command::Event { pid, event: event.clone() }, &mut verdicts)? {
+            Reply::Busy { .. } => busy += 1,
+            Reply::Err { family, message } => {
+                return Err(LeapsError::protocol(format!(
+                    "event {} rejected ({family}): {message}",
+                    event.num
+                ))
+                .into());
+            }
+            Reply::Ok { .. } | Reply::Verdict { .. } => {}
+        }
+    }
+    let close = client.expect_ok(&Command::Close { pid }, &mut verdicts)?;
+    let _ = client.request(&Command::Bye, &mut verdicts);
+    let flagged: Vec<&Verdict> =
+        verdicts.iter().filter(|(_, v)| !v.benign).map(|(_, v)| v).collect();
+    println!(
+        "{target_path}: {} events submitted ({busy} answered BUSY), {} verdicts, \
+         {} flagged malicious",
+        events.len(),
+        verdicts.len(),
+        flagged.len()
+    );
+    println!("session report: {close}");
+    print_alerts(flagged.iter().copied(), flagged.len());
+    Ok(())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    client.expect_ok(&Command::Hello { client: "leaps-shutdown".to_owned() }, &mut verdicts)?;
+    client.expect_ok(&Command::Shutdown, &mut verdicts)?;
+    println!("daemon at {endpoint} is shutting down");
     Ok(())
 }
 

@@ -65,6 +65,14 @@ pub enum LeapsError {
         /// The OS error message.
         message: String,
     },
+    /// A network/protocol failure talking to or inside the detection
+    /// service (`leaps serve` / `leaps submit`): a connection that could
+    /// not be established, a malformed protocol line, an `ERR` reply, or
+    /// a command outside the session state machine.
+    Protocol {
+        /// What went wrong, in one line.
+        message: String,
+    },
 }
 
 impl LeapsError {
@@ -74,9 +82,16 @@ impl LeapsError {
         LeapsError::Io { path: path.into(), message: err.to_string() }
     }
 
+    /// Wraps a network/protocol failure message.
+    #[must_use]
+    pub fn protocol(message: impl Into<String>) -> LeapsError {
+        LeapsError::Protocol { message: message.into() }
+    }
+
     /// The process exit code for this error family: parse errors exit 3,
-    /// model errors 4, data errors 5, I/O errors 6. (2 is reserved for
-    /// command-line usage errors, 1 for internal failures.)
+    /// model errors 4, data errors 5, I/O errors 6, network/protocol
+    /// errors 7. (2 is reserved for command-line usage errors, 1 for
+    /// internal failures.)
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -84,6 +99,7 @@ impl LeapsError {
             LeapsError::Model(_) => 4,
             LeapsError::Data(_) => 5,
             LeapsError::Io { .. } => 6,
+            LeapsError::Protocol { .. } => 7,
         }
     }
 }
@@ -95,6 +111,7 @@ impl fmt::Display for LeapsError {
             LeapsError::Model(e) => write!(f, "model error: {e}"),
             LeapsError::Data(e) => write!(f, "data error: {e}"),
             LeapsError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            LeapsError::Protocol { message } => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -105,7 +122,7 @@ impl Error for LeapsError {
             LeapsError::Parse(e) => Some(e),
             LeapsError::Model(e) => Some(e),
             LeapsError::Data(e) => Some(e),
-            LeapsError::Io { .. } => None,
+            LeapsError::Io { .. } | LeapsError::Protocol { .. } => None,
         }
     }
 }
@@ -145,6 +162,7 @@ mod tests {
             LeapsError::Model(ModelError::BadHeader),
             LeapsError::Data(DataError::EmptyLog { role: "benign" }),
             LeapsError::Io { path: "x".into(), message: "denied".into() },
+            LeapsError::protocol("connection refused"),
         ];
         let codes: Vec<u8> = errors.iter().map(LeapsError::exit_code).collect();
         let mut unique = codes.clone();
@@ -164,6 +182,9 @@ mod tests {
         assert!(e.to_string().contains("need at least 10"), "{e}");
         let e = LeapsError::from(leaps_svm::data::DataError::SingleClass);
         assert!(e.to_string().contains("degenerate"), "{e}");
+        let e = LeapsError::protocol("session (cli, 4) already open");
+        assert!(e.to_string().starts_with("protocol error:"), "{e}");
+        assert_eq!(e.exit_code(), 7);
     }
 
     #[test]

@@ -26,6 +26,65 @@ pub struct Verdict {
     pub degraded: bool,
 }
 
+impl Verdict {
+    /// Encodes the verdict as one whitespace-free-value line, the body of
+    /// the wire protocol's `VERDICT` reply:
+    ///
+    /// ```text
+    /// num=42 benign=1 score=0.53 degraded=0
+    /// ```
+    ///
+    /// The score is written with Rust's `{:?}` (shortest round-trip
+    /// float), or `-` when absent, so [`Verdict::parse_line`] restores
+    /// the verdict bit for bit.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let score = match self.score {
+            Some(s) => format!("{s:?}"),
+            None => "-".to_owned(),
+        };
+        format!(
+            "num={} benign={} score={score} degraded={}",
+            self.last_event,
+            u8::from(self.benign),
+            u8::from(self.degraded)
+        )
+    }
+
+    /// Parses a line produced by [`Verdict::to_line`].
+    ///
+    /// Returns `None` on any missing field, unknown key, or malformed
+    /// value — wire damage must never turn into a wrong verdict.
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<Verdict> {
+        let mut num = None;
+        let mut benign = None;
+        let mut score: Option<Option<f64>> = None;
+        let mut degraded = None;
+        for token in line.split_ascii_whitespace() {
+            let (key, value) = token.split_once('=')?;
+            match key {
+                "num" => num = Some(value.parse().ok()?),
+                "benign" => benign = Some(parse_wire_bool(value)?),
+                "score" => {
+                    score = Some(if value == "-" { None } else { Some(value.parse().ok()?) });
+                }
+                "degraded" => degraded = Some(parse_wire_bool(value)?),
+                _ => return None,
+            }
+        }
+        Some(Verdict { last_event: num?, benign: benign?, score: score?, degraded: degraded? })
+    }
+}
+
+fn parse_wire_bool(value: &str) -> Option<bool> {
+    match value {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
 /// Telemetry-quality counters accumulated by a [`StreamDetector`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
@@ -219,9 +278,30 @@ impl StreamDetector {
         Some(Verdict { last_event: num, benign, score, degraded })
     }
 
+    /// Feeds many events, appending every verdict to `out`.
+    ///
+    /// This is the allocation-free hot path shared by [`push_all`] and
+    /// the `leaps-serve` session drain loop: the caller owns (and
+    /// reuses) the output buffer across batches.
+    ///
+    /// [`push_all`]: StreamDetector::push_all
+    pub fn push_all_into(
+        &mut self,
+        events: impl IntoIterator<Item = PartitionedEvent>,
+        out: &mut Vec<Verdict>,
+    ) {
+        for event in events {
+            if let Some(verdict) = self.push(event) {
+                out.push(verdict);
+            }
+        }
+    }
+
     /// Feeds many events, collecting every verdict.
     pub fn push_all(&mut self, events: impl IntoIterator<Item = PartitionedEvent>) -> Vec<Verdict> {
-        events.into_iter().filter_map(|e| self.push(e)).collect()
+        let mut out = Vec::new();
+        self.push_all_into(events, &mut out);
+        out
     }
 }
 
@@ -396,6 +476,54 @@ mod tests {
         assert_eq!(verdicts.len(), 20);
         assert!(verdicts.iter().all(|v| !v.degraded));
         assert!(detector.stats().gaps > 0);
+    }
+
+    #[test]
+    fn verdict_line_round_trips_exactly() {
+        let verdicts = [
+            Verdict { last_event: 42, benign: true, score: Some(0.53), degraded: false },
+            Verdict {
+                last_event: u64::MAX,
+                benign: false,
+                score: Some(-1.234_567_890_123_456_7e-300),
+                degraded: true,
+            },
+            Verdict { last_event: 0, benign: false, score: None, degraded: false },
+            Verdict { last_event: 7, benign: true, score: Some(f64::INFINITY), degraded: true },
+        ];
+        for v in &verdicts {
+            let line = v.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Verdict::parse_line(&line).as_ref(), Some(v), "round-trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn verdict_parse_rejects_damage() {
+        let good = Verdict { last_event: 9, benign: true, score: Some(1.5), degraded: false };
+        let line = good.to_line();
+        assert!(Verdict::parse_line("").is_none(), "all fields required");
+        assert!(Verdict::parse_line("num=9 benign=1 score=1.5").is_none(), "missing field");
+        assert!(Verdict::parse_line(&format!("{line} extra=1")).is_none(), "unknown key");
+        assert!(Verdict::parse_line(&line.replace("benign=1", "benign=yes")).is_none());
+        assert!(Verdict::parse_line(&line.replace("num=9", "num=nine")).is_none());
+        assert!(Verdict::parse_line(&line.replace("score=1.5", "score=")).is_none());
+    }
+
+    #[test]
+    fn push_all_into_matches_push_all_and_appends() {
+        let d = dataset();
+        let (train, test) = d.split_benign(0.5, 5);
+        let clf = train_classifier(Method::Wsvm, &train, &d.mixed, &PipelineConfig::fast(), 5);
+        let mut a = StreamDetector::new(clf.clone());
+        let mut b = StreamDetector::new(clf);
+        let expected = a.push_all(test.iter().take(80).cloned());
+        let sentinel =
+            Verdict { last_event: u64::MAX, benign: false, score: None, degraded: false };
+        let mut out = vec![sentinel.clone()];
+        b.push_all_into(test.iter().take(80).cloned(), &mut out);
+        assert_eq!(out[0], sentinel, "existing contents are preserved");
+        assert_eq!(&out[1..], &expected[..]);
     }
 
     #[test]

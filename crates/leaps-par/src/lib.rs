@@ -24,6 +24,8 @@
 //! [`std::thread::available_parallelism`]. A count of 1 short-circuits
 //! to the plain serial loop with zero threading overhead.
 
+pub mod pool;
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -64,6 +66,13 @@ pub fn thread_count() -> usize {
         }),
         n => n,
     }
+}
+
+/// Marks the calling thread as a par worker: any scoped `par_*` call it
+/// makes from now on runs serially instead of spawning a nested pool.
+/// Used by [`pool::Pool`] workers.
+pub(crate) fn mark_current_thread_as_worker() {
+    IN_PAR_WORKER.with(|flag| flag.set(true));
 }
 
 fn env_thread_count() -> Option<usize> {

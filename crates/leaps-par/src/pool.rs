@@ -1,0 +1,186 @@
+//! A persistent, sharded worker pool for long-running services.
+//!
+//! The scoped `par_*` helpers in the crate root fan a *batch* out and
+//! join before returning — the right shape for training loops, but not
+//! for a daemon that must keep accepting work for its whole lifetime.
+//! [`Pool`] keeps `n` worker threads alive with one FIFO queue each and
+//! routes every job by a caller-chosen **shard key**:
+//!
+//! * jobs with the same shard key land on the same worker queue, so
+//!   they execute in submission order (FIFO per shard) — the property a
+//!   detection service needs to keep every session's event order, and
+//!   therefore its verdict sequence, deterministic;
+//! * jobs with different shard keys run concurrently on different
+//!   workers;
+//! * submission never blocks: queues are unbounded here, and callers
+//!   that need backpressure bound their own per-session queues *before*
+//!   submitting (see `leaps-serve`).
+//!
+//! Workers are marked as par workers, so a job that reaches one of the
+//! scoped `par_*` helpers runs it serially instead of spawning a nested
+//! pool.
+
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads with per-worker FIFO
+/// queues and shard-keyed routing.
+///
+/// Dropping the pool (or calling [`Pool::shutdown`]) closes every queue,
+/// lets each worker finish the jobs already submitted, and joins the
+/// threads — a graceful drain, never an abort.
+pub struct Pool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads >= 1, "pool needs at least one worker");
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("leaps-pool-{i}"))
+                .spawn(move || {
+                    crate::mark_current_thread_as_worker();
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawning pool worker thread");
+            handles.push(handle);
+        }
+        Pool { senders, handles }
+    }
+
+    /// Spawns a pool sized by the crate's thread policy
+    /// ([`crate::thread_count`]: runtime override, `LEAPS_THREADS`, or
+    /// available parallelism).
+    #[must_use]
+    pub fn with_default_threads() -> Pool {
+        Pool::new(crate::thread_count())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submits `job` to the worker owning `shard % threads`.
+    ///
+    /// Jobs submitted with the same shard key run in submission order;
+    /// the call itself never blocks.
+    pub fn submit<F>(&self, shard: usize, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let idx = shard % self.senders.len();
+        // The receiver lives until shutdown/drop, so this cannot fail
+        // while `self` exists.
+        let _ = self.senders[idx].send(Box::new(job));
+    }
+
+    /// Closes the queues, drains every job already submitted and joins
+    /// the workers.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn runs_every_job_and_drains_on_shutdown() {
+        let pool = Pool::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let count = Arc::clone(&count);
+            pool.submit(i, move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn same_shard_preserves_submission_order() {
+        let pool = Pool::new(3);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..200 {
+            let seen = Arc::clone(&seen);
+            pool.submit(7, move || {
+                seen.lock().unwrap().push(i);
+            });
+        }
+        pool.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_shards_map_to_stable_workers() {
+        let pool = Pool::new(2);
+        let names: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        for shard in [0usize, 1, 2, 3] {
+            let names = Arc::clone(&names);
+            pool.submit(shard, move || {
+                let name = std::thread::current().name().unwrap_or("?").to_owned();
+                names.lock().unwrap().push((shard, name));
+            });
+        }
+        pool.shutdown();
+        let names = names.lock().unwrap();
+        let worker_of =
+            |shard: usize| names.iter().find(|(s, _)| *s == shard).map(|(_, n)| n.clone()).unwrap();
+        assert_eq!(worker_of(0), worker_of(2), "shards 0 and 2 share a worker of 2");
+        assert_eq!(worker_of(1), worker_of(3));
+        assert_ne!(worker_of(0), worker_of(1));
+    }
+
+    #[test]
+    fn nested_par_calls_inside_pool_jobs_run_serially() {
+        let pool = Pool::new(2);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        pool.submit(0, move || {
+            // Must not deadlock or spawn a nested scoped pool.
+            let values = crate::par_map_indexed(16, |i| i * i);
+            out2.lock().unwrap().extend(values);
+        });
+        pool.shutdown();
+        let out = out.lock().unwrap();
+        assert_eq!(*out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,392 @@
+//! The socket daemon: a line-protocol shell around [`Server`] over a
+//! Unix domain socket or TCP.
+//!
+//! One thread accepts connections; each connection gets a handler
+//! thread. Detection work never runs on either — events are queued into
+//! the session table and scored by the server's worker pool, which
+//! pushes `VERDICT` lines back through the connection's shared writer.
+//! A flooding client therefore cannot stall the accept loop: its
+//! session's queue sheds (answering `BUSY`) while every other
+//! connection proceeds.
+//!
+//! Shutdown is protocol-driven (`SHUTDOWN`, the daemon's
+//! SIGTERM-equivalent): the accept loop stops, connection threads are
+//! joined, every remaining session is drained, and
+//! [`BoundDaemon::run`] returns — the process exits 0.
+
+use crate::proto::{error_family, Command, Reply, PROTOCOL_VERSION};
+use crate::server::Server;
+use crate::session::{SessionReport, VerdictSink};
+use leaps_core::error::LeapsError;
+use leaps_core::stream::Verdict;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Where a daemon listens (and a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP address, `host:port`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One bidirectional protocol stream (either transport).
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix domain socket stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Binds the listening socket. For `Tcp` with port 0, the returned
+    /// daemon's [`BoundDaemon::endpoint`] carries the resolved port. A
+    /// stale Unix socket file is removed before binding.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if binding fails.
+    pub fn bind(&self) -> Result<BoundDaemon, LeapsError> {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| LeapsError::protocol(format!("binding {self}: {e}")))?;
+                Ok(BoundDaemon { listener: Listener::Unix(listener), endpoint: self.clone() })
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| LeapsError::protocol(format!("binding {self}: {e}")))?;
+                let actual = listener
+                    .local_addr()
+                    .map_err(|e| LeapsError::protocol(format!("resolving {self}: {e}")))?;
+                Ok(BoundDaemon {
+                    listener: Listener::Tcp(listener),
+                    endpoint: Endpoint::Tcp(actual.to_string()),
+                })
+            }
+        }
+    }
+
+    /// Connects a client stream.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the connection fails.
+    pub fn connect(&self) -> Result<Stream, LeapsError> {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(Stream::Unix)
+                .map_err(|e| LeapsError::protocol(format!("connecting {self}: {e}"))),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr)
+                .map(Stream::Tcp)
+                .map_err(|e| LeapsError::protocol(format!("connecting {self}: {e}"))),
+        }
+    }
+
+    /// Best-effort self-connect to wake a blocked accept loop.
+    fn wake(&self) {
+        let _ = self.connect();
+    }
+}
+
+/// A bound, not-yet-running daemon (separating bind from run lets
+/// callers learn the resolved endpoint before clients race to connect).
+pub struct BoundDaemon {
+    listener: Listener,
+    endpoint: Endpoint,
+}
+
+/// A [`VerdictSink`] that pushes `VERDICT` lines through a connection's
+/// shared writer.
+struct WriterSink {
+    writer: Arc<Mutex<Stream>>,
+}
+
+impl VerdictSink for WriterSink {
+    fn deliver(&self, pid: u32, verdict: &Verdict) {
+        let line = Reply::Verdict { pid, verdict: verdict.clone() }.to_line();
+        let mut writer = self.writer.lock().expect("connection writer lock");
+        // A dead connection is detected by the reader side; drop the
+        // verdict rather than panicking a pool worker.
+        let _ = writeln!(writer, "{line}");
+        let _ = writer.flush();
+    }
+}
+
+impl BoundDaemon {
+    /// The endpoint clients should connect to (TCP port resolved).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Runs the accept loop until a `SHUTDOWN` command arrives, then
+    /// joins connection threads, drains every remaining session and
+    /// returns the number of sessions drained at shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if accepting fails fatally.
+    pub fn run(self, server: &Arc<Server>) -> Result<usize, LeapsError> {
+        let mut handles = Vec::new();
+        loop {
+            let stream = match self.listener.accept() {
+                Ok(stream) => stream,
+                Err(e) => {
+                    if server.is_shutting_down() {
+                        break;
+                    }
+                    return Err(LeapsError::protocol(format!("accept on {}: {e}", self.endpoint)));
+                }
+            };
+            if server.is_shutting_down() {
+                break; // the wake connection, or a client racing shutdown
+            }
+            let server = Arc::clone(server);
+            let endpoint = self.endpoint.clone();
+            handles.push(std::thread::spawn(move || {
+                handle_connection(&server, &endpoint, stream);
+            }));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let drained = server.close_all().len();
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(drained)
+    }
+}
+
+/// Renders a session report as `key=value` stats tokens.
+fn report_fields(report: &SessionReport) -> String {
+    let s = report.stream;
+    format!(
+        "model={} queued={} submitted={} shed={} verdicts={} accepted={} duplicates={} \
+         gaps={} missing={} reordered={} degraded={}",
+        report.model,
+        report.queued,
+        report.submitted,
+        report.shed,
+        report.verdicts,
+        s.accepted,
+        s.duplicates,
+        s.gaps,
+        s.missing,
+        s.reordered,
+        s.degraded_verdicts
+    )
+}
+
+fn err_reply(e: &LeapsError) -> Reply {
+    Reply::Err { family: error_family(e).to_owned(), message: e.to_string() }
+}
+
+fn write_reply(writer: &Arc<Mutex<Stream>>, reply: &Reply) -> std::io::Result<()> {
+    let mut writer = writer.lock().expect("connection writer lock");
+    writeln!(writer, "{}", reply.to_line())?;
+    writer.flush()
+}
+
+/// Drives one connection's command loop until `BYE`, `SHUTDOWN`, EOF or
+/// an I/O error, then closes any sessions the client left open.
+fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    let mut client: Option<String> = None;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match Command::parse_line(&line) {
+            Err(e) => Reply::Err { family: "proto".to_owned(), message: e.to_string() },
+            Ok(command) => match dispatch(server, &writer, &mut client, command) {
+                Dispatch::Reply(reply) => reply,
+                Dispatch::Last(reply) => {
+                    let _ = write_reply(&writer, &reply);
+                    break;
+                }
+                Dispatch::Shutdown(reply) => {
+                    let _ = write_reply(&writer, &reply);
+                    server.begin_shutdown();
+                    endpoint.wake();
+                    break;
+                }
+            },
+        };
+        if write_reply(&writer, &reply).is_err() {
+            break;
+        }
+    }
+    if let Some(client) = client {
+        server.close_client(&client);
+    }
+}
+
+enum Dispatch {
+    /// Reply and keep the connection open.
+    Reply(Reply),
+    /// Reply, then end the connection.
+    Last(Reply),
+    /// Reply, then shut the daemon down.
+    Shutdown(Reply),
+}
+
+fn dispatch(
+    server: &Arc<Server>,
+    writer: &Arc<Mutex<Stream>>,
+    client: &mut Option<String>,
+    command: Command,
+) -> Dispatch {
+    let proto_err =
+        |message: &str| Reply::Err { family: "proto".to_owned(), message: message.to_owned() };
+    if let Command::Hello { client: id } = &command {
+        if client.is_some() {
+            return Dispatch::Reply(proto_err("already introduced"));
+        }
+        *client = Some(id.clone());
+        let stats = server.stats();
+        return Dispatch::Reply(Reply::Ok {
+            detail: format!("hello {PROTOCOL_VERSION} workers={}", stats.workers),
+        });
+    }
+    let Some(client) = client.as_deref() else {
+        return Dispatch::Reply(proto_err("HELLO first"));
+    };
+    match command {
+        Command::Hello { .. } => unreachable!("handled above"),
+        Command::Open { pid, model } => {
+            let sink = Arc::new(WriterSink { writer: Arc::clone(writer) });
+            match server.open(client, pid, &model, sink) {
+                Ok(()) => {
+                    Dispatch::Reply(Reply::Ok { detail: format!("open pid={pid} model={model}") })
+                }
+                Err(e) => Dispatch::Reply(err_reply(&e)),
+            }
+        }
+        Command::Event { pid, event } => match server.submit(client, pid, event) {
+            Ok(crate::session::Submit::Accepted { .. }) => {
+                Dispatch::Reply(Reply::Ok { detail: "event".to_owned() })
+            }
+            Ok(crate::session::Submit::Busy { shed }) => Dispatch::Reply(Reply::Busy { pid, shed }),
+            Err(e) => Dispatch::Reply(err_reply(&e)),
+        },
+        Command::Close { pid } => match server.close(client, pid) {
+            Ok(report) => Dispatch::Reply(Reply::Ok {
+                detail: format!("close pid={pid} {}", report_fields(&report)),
+            }),
+            Err(e) => Dispatch::Reply(err_reply(&e)),
+        },
+        Command::Stats { pid: Some(pid) } => match server.session_stats(client, pid) {
+            Ok(report) => Dispatch::Reply(Reply::Ok {
+                detail: format!("stats pid={pid} {}", report_fields(&report)),
+            }),
+            Err(e) => Dispatch::Reply(err_reply(&e)),
+        },
+        Command::Stats { pid: None } => {
+            let stats = server.stats();
+            let r = stats.registry;
+            Dispatch::Reply(Reply::Ok {
+                detail: format!(
+                    "stats sessions={} workers={} opened={} closed={} models={} \
+                     cached_bytes={} loads={} hits={} evictions={}",
+                    stats.sessions,
+                    stats.workers,
+                    stats.opened,
+                    stats.closed,
+                    r.loaded,
+                    r.cached_bytes,
+                    r.loads,
+                    r.hits,
+                    r.evictions
+                ),
+            })
+        }
+        Command::Reload { model } => match server.reload(&model) {
+            Ok(()) => Dispatch::Reply(Reply::Ok { detail: format!("reload model={model}") }),
+            Err(e) => Dispatch::Reply(err_reply(&e)),
+        },
+        Command::Shutdown => Dispatch::Shutdown(Reply::Ok { detail: "shutdown".to_owned() }),
+        Command::Bye => Dispatch::Last(Reply::Ok { detail: "bye".to_owned() }),
+    }
+}

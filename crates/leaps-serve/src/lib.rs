@@ -1,0 +1,44 @@
+//! # leaps-serve — the long-running LEAPS detection service
+//!
+//! The paper's deployment shape is host monitoring: event streams from
+//! many live processes, each scored online against a trained
+//! per-application model. This crate turns the one-shot pipeline into
+//! that long-lived component:
+//!
+//! * a **model [`Registry`]** — named classifiers loaded on demand from
+//!   a model directory via `leaps_core::persist`, cached under a byte
+//!   cap with LRU eviction, hot-reloadable (`RELOAD`);
+//! * a **session table** — independent [`StreamDetector`] instances
+//!   keyed `(client, pid)`, opened and closed by protocol commands, each
+//!   preserving the degraded-telemetry semantics of the standalone
+//!   detector;
+//! * a **line protocol** (`HELLO` / `OPEN` / `EVENT` / `CLOSE` /
+//!   `STATS` / `RELOAD` / `SHUTDOWN`) over a Unix domain socket or TCP,
+//!   with events fanned out to a `leaps_par::pool` worker pool;
+//! * **bounded per-session queues with backpressure and load
+//!   shedding** — a flooded session answers `BUSY` and sheds its oldest
+//!   events (counted per session) instead of stalling the accept loop,
+//!   and shutdown drains every session gracefully.
+//!
+//! The [`Server`] core is transport-independent: tests and benchmarks
+//! embed it in-process (see [`BufferSink`]), while the CLI's
+//! `leaps serve` wraps it in the socket [`daemon`]. Per-session verdict
+//! sequences are **bit-identical** to a standalone [`StreamDetector`]
+//! fed the same events in the same order — the service adds
+//! concurrency, never a different answer.
+//!
+//! [`StreamDetector`]: leaps_core::stream::StreamDetector
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use daemon::{BoundDaemon, Endpoint};
+pub use proto::{Command, ProtoError, Reply};
+pub use registry::{Registry, RegistryStats};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use session::{BufferSink, SessionKey, SessionReport, Submit, VerdictSink};

@@ -1,0 +1,534 @@
+//! The `leaps-serve` line protocol.
+//!
+//! Every message is one UTF-8 line (`\n`-terminated, no embedded
+//! newlines). A client drives the session state machine:
+//!
+//! ```text
+//! client → server                      server → client
+//! ---------------                      ---------------
+//! HELLO <client-id>                    OK hello <info>
+//! OPEN pid=<pid> model=<name>          OK open ... | ERR <family> <msg>
+//! EVENT pid=<pid> <event-body>         OK event | BUSY pid=<pid> shed=<n>
+//!                                      VERDICT pid=<pid> <verdict-body>   (async)
+//! STATS [pid=<pid>]                    OK stats <counters>
+//! RELOAD model=<name>                  OK reload ... | ERR ...
+//! CLOSE pid=<pid>                      OK close <final counters>
+//! SHUTDOWN                             OK shutdown
+//! BYE                                  OK bye
+//! ```
+//!
+//! Every command receives exactly one acknowledgement (`OK`, `BUSY` or
+//! `ERR`); `VERDICT` lines are pushed asynchronously by pool workers and
+//! may interleave between acknowledgements (never mid-line — the
+//! connection writer is a mutex). The verdict body is
+//! [`Verdict::to_line`]; the event body is [`encode_event`].
+//!
+//! Sessions are keyed `(client, pid)`: one client id (from `HELLO`) may
+//! stream many processes concurrently over one connection.
+
+use leaps_core::error::LeapsError;
+use leaps_core::stream::Verdict;
+use leaps_etw::event::{EventType, Provenance, StackFrame};
+use leaps_etw::Va;
+use leaps_trace::partition::PartitionedEvent;
+use std::fmt;
+
+/// Protocol identity sent in the `OK hello` acknowledgement and checked
+/// nowhere else — a human-readable version marker.
+pub const PROTOCOL_VERSION: &str = "leaps-serve v1";
+
+/// A malformed protocol line (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was wrong, in one line.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(message: impl Into<String>) -> ProtoError {
+        ProtoError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for LeapsError {
+    fn from(e: ProtoError) -> LeapsError {
+        LeapsError::protocol(e.message)
+    }
+}
+
+/// Validates a client or model name: non-empty, `[A-Za-z0-9_.-]` only,
+/// not starting with a dot (keeps registry names inside the model
+/// directory and protocol lines single-token).
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+// ---------------------------------------------------------------- events
+
+/// Encodes a partitioned event as the single-line `EVENT` body:
+///
+/// ```text
+/// num=7 type=TcpSend tid=3 src=benign app=vim!main@140001080@1 sys=...
+/// ```
+///
+/// Frames are comma-separated `module!function@hexaddr@inapp` tokens in
+/// caller order; empty stacks are written `-`. The `src` ground-truth
+/// tag is carried for evaluation tooling only, exactly like the raw log
+/// format's `src=` field.
+#[must_use]
+pub fn encode_event(event: &PartitionedEvent) -> String {
+    let src = match event.truth {
+        Some(Provenance::Benign) => "benign",
+        Some(Provenance::Malicious) => "malicious",
+        None => "-",
+    };
+    format!(
+        "num={} type={} tid={} src={src} app={} sys={}",
+        event.num,
+        event.etype,
+        event.tid,
+        encode_frames(&event.app_stack),
+        encode_frames(&event.system_stack)
+    )
+}
+
+fn encode_frames(frames: &[StackFrame]) -> String {
+    if frames.is_empty() {
+        return "-".to_owned();
+    }
+    let tokens: Vec<String> = frames
+        .iter()
+        .map(|f| format!("{}!{}@{:x}@{}", f.module, f.function, f.addr.0, u8::from(f.in_app_image)))
+        .collect();
+    tokens.join(",")
+}
+
+/// Decodes an `EVENT` body produced by [`encode_event`].
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on any missing field, unknown key or malformed
+/// token.
+pub fn decode_event(body: &str) -> Result<PartitionedEvent, ProtoError> {
+    let mut num = None;
+    let mut etype = None;
+    let mut tid = None;
+    let mut truth = None;
+    let mut app = None;
+    let mut sys = None;
+    for token in body.split_ascii_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| ProtoError::new(format!("bare token {token:?}")))?;
+        match key {
+            "num" => {
+                num = Some(value.parse().map_err(|_| ProtoError::new("bad num"))?);
+            }
+            "type" => {
+                etype = Some(
+                    EventType::from_name(value)
+                        .ok_or_else(|| ProtoError::new(format!("unknown event type {value:?}")))?,
+                );
+            }
+            "tid" => {
+                tid = Some(value.parse().map_err(|_| ProtoError::new("bad tid"))?);
+            }
+            "src" => {
+                truth = Some(match value {
+                    "benign" => Some(Provenance::Benign),
+                    "malicious" => Some(Provenance::Malicious),
+                    "-" => None,
+                    other => return Err(ProtoError::new(format!("bad src {other:?}"))),
+                });
+            }
+            "app" => app = Some(decode_frames(value)?),
+            "sys" => sys = Some(decode_frames(value)?),
+            other => return Err(ProtoError::new(format!("unknown event field {other:?}"))),
+        }
+    }
+    let missing = |field| move || ProtoError::new(format!("event body missing {field}"));
+    Ok(PartitionedEvent {
+        num: num.ok_or_else(missing("num"))?,
+        etype: etype.ok_or_else(missing("type"))?,
+        tid: tid.ok_or_else(missing("tid"))?,
+        truth: truth.ok_or_else(missing("src"))?,
+        app_stack: app.ok_or_else(missing("app"))?,
+        system_stack: sys.ok_or_else(missing("sys"))?,
+    })
+}
+
+fn decode_frames(text: &str) -> Result<Vec<StackFrame>, ProtoError> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(decode_frame).collect()
+}
+
+fn decode_frame(token: &str) -> Result<StackFrame, ProtoError> {
+    // Split from the right: addr and flag are the last two `@` fields,
+    // whatever characters the symbol itself contains.
+    let mut parts = token.rsplitn(3, '@');
+    let flag = parts.next().filter(|f| matches!(*f, "0" | "1"));
+    let addr = parts.next().and_then(|a| u64::from_str_radix(a, 16).ok());
+    let symbol = parts.next();
+    let (Some(flag), Some(addr), Some(symbol)) = (flag, addr, symbol) else {
+        return Err(ProtoError::new(format!("bad frame token {token:?}")));
+    };
+    let (module, function) = symbol
+        .split_once('!')
+        .ok_or_else(|| ProtoError::new(format!("frame symbol {symbol:?} lacks `!`")))?;
+    Ok(StackFrame::new(module, function, Va(addr), flag == "1"))
+}
+
+// -------------------------------------------------------------- commands
+
+/// A parsed client → server command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Introduces the client id that keys this connection's sessions.
+    Hello {
+        /// Client identity (one token, [`valid_name`]).
+        client: String,
+    },
+    /// Opens the `(client, pid)` session against a registry model.
+    Open {
+        /// Process id of the monitored stream.
+        pid: u32,
+        /// Registry model name.
+        model: String,
+    },
+    /// Feeds one event into an open session.
+    Event {
+        /// Session pid.
+        pid: u32,
+        /// The event.
+        event: PartitionedEvent,
+    },
+    /// Drains and closes a session.
+    Close {
+        /// Session pid.
+        pid: u32,
+    },
+    /// Server-wide (`pid` absent) or per-session counters.
+    Stats {
+        /// Session pid, or `None` for server-wide stats.
+        pid: Option<u32>,
+    },
+    /// Hot-reloads a registry model from disk.
+    Reload {
+        /// Registry model name.
+        model: String,
+    },
+    /// Asks the daemon to drain every session and exit.
+    Shutdown,
+    /// Ends the connection (open sessions are drained and closed).
+    Bye,
+}
+
+impl Command {
+    /// Serializes the command as one protocol line (no newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            Command::Hello { client } => format!("HELLO {client}"),
+            Command::Open { pid, model } => format!("OPEN pid={pid} model={model}"),
+            Command::Event { pid, event } => format!("EVENT pid={pid} {}", encode_event(event)),
+            Command::Close { pid } => format!("CLOSE pid={pid}"),
+            Command::Stats { pid: Some(pid) } => format!("STATS pid={pid}"),
+            Command::Stats { pid: None } => "STATS".to_owned(),
+            Command::Reload { model } => format!("RELOAD model={model}"),
+            Command::Shutdown => "SHUTDOWN".to_owned(),
+            Command::Bye => "BYE".to_owned(),
+        }
+    }
+
+    /// Parses one protocol line into a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on an unknown verb or malformed arguments.
+    pub fn parse_line(line: &str) -> Result<Command, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (line, ""),
+        };
+        match verb {
+            "HELLO" => {
+                if !valid_name(rest) {
+                    return Err(ProtoError::new(format!("bad client id {rest:?}")));
+                }
+                Ok(Command::Hello { client: rest.to_owned() })
+            }
+            "OPEN" => {
+                let pid = field_u32(rest, "pid")?;
+                let model = field_str(rest, "model")?;
+                if !valid_name(&model) {
+                    return Err(ProtoError::new(format!("bad model name {model:?}")));
+                }
+                Ok(Command::Open { pid, model })
+            }
+            "EVENT" => {
+                let (pid_token, body) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtoError::new("EVENT needs pid=<pid> and a body"))?;
+                let pid = field_u32(pid_token, "pid")?;
+                Ok(Command::Event { pid, event: decode_event(body)? })
+            }
+            "CLOSE" => Ok(Command::Close { pid: field_u32(rest, "pid")? }),
+            "STATS" => {
+                if rest.is_empty() {
+                    Ok(Command::Stats { pid: None })
+                } else {
+                    Ok(Command::Stats { pid: Some(field_u32(rest, "pid")?) })
+                }
+            }
+            "RELOAD" => {
+                let model = field_str(rest, "model")?;
+                if !valid_name(&model) {
+                    return Err(ProtoError::new(format!("bad model name {model:?}")));
+                }
+                Ok(Command::Reload { model })
+            }
+            "SHUTDOWN" if rest.is_empty() => Ok(Command::Shutdown),
+            "BYE" if rest.is_empty() => Ok(Command::Bye),
+            _ => Err(ProtoError::new(format!("unknown command {verb:?}"))),
+        }
+    }
+}
+
+fn field_str(rest: &str, key: &str) -> Result<String, ProtoError> {
+    rest.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .map(str::to_owned)
+        .ok_or_else(|| ProtoError::new(format!("missing {key}=")))
+}
+
+fn field_u32(rest: &str, key: &str) -> Result<u32, ProtoError> {
+    field_str(rest, key)?.parse().map_err(|_| ProtoError::new(format!("bad {key}= value")))
+}
+
+// --------------------------------------------------------------- replies
+
+/// A parsed server → client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Command acknowledged; detail is free-form.
+    Ok {
+        /// Free-form single-line detail.
+        detail: String,
+    },
+    /// Command failed; `family` names the error class (`proto`, `parse`,
+    /// `model`, `data`, `io`) so clients can report it.
+    Err {
+        /// Error family token.
+        family: String,
+        /// One-line message.
+        message: String,
+    },
+    /// The event was accepted but the session queue was full: the
+    /// *oldest* queued event was shed to make room.
+    Busy {
+        /// Session pid.
+        pid: u32,
+        /// Total events shed by this session so far.
+        shed: u64,
+    },
+    /// An asynchronous verdict from an open session.
+    Verdict {
+        /// Session pid.
+        pid: u32,
+        /// The verdict.
+        verdict: Verdict,
+    },
+}
+
+impl Reply {
+    /// Whether this reply acknowledges a command (everything except the
+    /// asynchronous `VERDICT` push).
+    #[must_use]
+    pub fn is_ack(&self) -> bool {
+        !matches!(self, Reply::Verdict { .. })
+    }
+
+    /// Serializes the reply as one protocol line (no newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            Reply::Ok { detail } if detail.is_empty() => "OK".to_owned(),
+            Reply::Ok { detail } => format!("OK {detail}"),
+            Reply::Err { family, message } => format!("ERR {family} {message}"),
+            Reply::Busy { pid, shed } => format!("BUSY pid={pid} shed={shed}"),
+            Reply::Verdict { pid, verdict } => {
+                format!("VERDICT pid={pid} {}", verdict.to_line())
+            }
+        }
+    }
+
+    /// Parses one protocol line into a reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on an unknown verb or malformed body.
+    pub fn parse_line(line: &str) -> Result<Reply, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (line, ""),
+        };
+        match verb {
+            "OK" => Ok(Reply::Ok { detail: rest.to_owned() }),
+            "ERR" => {
+                let (family, message) = rest.split_once(' ').map_or((rest, ""), |(f, m)| (f, m));
+                if family.is_empty() {
+                    return Err(ProtoError::new("ERR needs a family token"));
+                }
+                Ok(Reply::Err { family: family.to_owned(), message: message.to_owned() })
+            }
+            "BUSY" => Ok(Reply::Busy {
+                pid: field_u32(rest, "pid")?,
+                shed: field_str(rest, "shed")?
+                    .parse()
+                    .map_err(|_| ProtoError::new("bad shed= value"))?,
+            }),
+            "VERDICT" => {
+                let (pid_token, body) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtoError::new("VERDICT needs pid=<pid> and a body"))?;
+                let verdict = Verdict::parse_line(body)
+                    .ok_or_else(|| ProtoError::new(format!("bad verdict body {body:?}")))?;
+                Ok(Reply::Verdict { pid: field_u32(pid_token, "pid")?, verdict })
+            }
+            _ => Err(ProtoError::new(format!("unknown reply {verb:?}"))),
+        }
+    }
+}
+
+/// The `ERR` family token for a [`LeapsError`], mirroring the CLI's
+/// exit-code families.
+#[must_use]
+pub fn error_family(e: &LeapsError) -> &'static str {
+    match e {
+        LeapsError::Parse(_) => "parse",
+        LeapsError::Model(_) => "model",
+        LeapsError::Data(_) => "data",
+        LeapsError::Io { .. } => "io",
+        LeapsError::Protocol { .. } => "proto",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> PartitionedEvent {
+        PartitionedEvent {
+            num: 42,
+            etype: EventType::TcpSend,
+            tid: 7,
+            app_stack: vec![
+                StackFrame::new("vim", "main", Va(0x1_4000_1080), true),
+                StackFrame::new("", "anon_0x7f", Va(0x7f00_0000), true),
+            ],
+            system_stack: vec![StackFrame::new("tcpip", "TcpSendData", Va(0xfff8_0002), false)],
+            truth: Some(Provenance::Malicious),
+        }
+    }
+
+    #[test]
+    fn event_round_trips_exactly() {
+        let event = sample_event();
+        let line = encode_event(&event);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_event(&line).unwrap(), event);
+
+        let empty = PartitionedEvent {
+            num: 0,
+            etype: EventType::FileRead,
+            tid: 0,
+            app_stack: Vec::new(),
+            system_stack: Vec::new(),
+            truth: None,
+        };
+        assert_eq!(decode_event(&encode_event(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn event_decode_rejects_damage() {
+        let line = encode_event(&sample_event());
+        assert!(decode_event(&line.replace("num=42", "num=x")).is_err());
+        assert!(decode_event(&line.replace("type=TcpSend", "type=Nope")).is_err());
+        assert!(decode_event(&line.replace("src=malicious", "src=evil")).is_err());
+        assert!(decode_event("num=1 type=TcpSend tid=0 src=- app=-").is_err(), "missing sys");
+        assert!(decode_event(&format!("{line} zz=1")).is_err(), "unknown field");
+        assert!(decode_event(&line.replace("@1,", "@2,")).is_err(), "bad in-app flag");
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let commands = [
+            Command::Hello { client: "host-17.ci".to_owned() },
+            Command::Open { pid: 1476, model: "vim_wsvm".to_owned() },
+            Command::Event { pid: 1476, event: sample_event() },
+            Command::Close { pid: 1476 },
+            Command::Stats { pid: None },
+            Command::Stats { pid: Some(9) },
+            Command::Reload { model: "vim_wsvm".to_owned() },
+            Command::Shutdown,
+            Command::Bye,
+        ];
+        for cmd in &commands {
+            let line = cmd.to_line();
+            assert_eq!(Command::parse_line(&line).as_ref(), Ok(cmd), "round-trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn command_parse_rejects_damage() {
+        assert!(Command::parse_line("NOPE").is_err());
+        assert!(Command::parse_line("HELLO two tokens").is_err());
+        assert!(Command::parse_line("HELLO ../etc").is_err());
+        assert!(Command::parse_line("OPEN pid=3").is_err(), "missing model");
+        assert!(Command::parse_line("OPEN pid=3 model=.hidden").is_err());
+        assert!(Command::parse_line("OPEN pid=3 model=a/b").is_err(), "path separator");
+        assert!(Command::parse_line("EVENT pid=3").is_err(), "missing body");
+        assert!(Command::parse_line("SHUTDOWN now").is_err());
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let verdict = Verdict { last_event: 9, benign: false, score: Some(-0.25), degraded: true };
+        let replies = [
+            Reply::Ok { detail: String::new() },
+            Reply::Ok { detail: "open pid=3 model=m".to_owned() },
+            Reply::Err { family: "model".to_owned(), message: "missing header".to_owned() },
+            Reply::Busy { pid: 3, shed: 17 },
+            Reply::Verdict { pid: 3, verdict },
+        ];
+        for reply in &replies {
+            let line = reply.to_line();
+            assert_eq!(Reply::parse_line(&line).as_ref(), Ok(reply), "round-trip of {line:?}");
+        }
+        assert!(Reply::parse_line("VERDICT pid=3 num=x").is_err());
+        assert!(Reply::parse_line("WHAT 1").is_err());
+    }
+
+    #[test]
+    fn names_validate() {
+        assert!(valid_name("vim_wsvm-2.model"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".."));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+    }
+}

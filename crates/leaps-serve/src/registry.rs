@@ -1,0 +1,331 @@
+//! The model registry: named classifiers loaded on demand from a model
+//! directory, cached under a byte cap with LRU eviction, hot-reloadable.
+//!
+//! A registry maps a model *name* to `<dir>/<name>.model` (the
+//! `leaps_core::persist` text format written by `leaps train`). Loads
+//! are cached; the cache is bounded by a configurable byte cap using the
+//! **on-disk size** of each model file as its memory-cost proxy (the
+//! text format is within a small constant factor of the in-memory
+//! model). When the cap is exceeded, least-recently-used entries are
+//! evicted — except the entry just loaded, so a single oversized model
+//! is still served, just never retained alongside others.
+//!
+//! Eviction only drops the cache entry: sessions opened earlier keep
+//! their `Arc<Classifier>` alive until they close. Likewise
+//! [`Registry::reload`] swaps the cached copy for newly-opened sessions
+//! without disturbing running ones.
+
+use crate::proto::valid_name;
+use leaps_core::error::LeapsError;
+use leaps_core::persist::load_classifier;
+use leaps_core::pipeline::Classifier;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Registry counters (monotonic except `loaded`/`cached_bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Models currently cached.
+    pub loaded: usize,
+    /// Total on-disk bytes of the cached models.
+    pub cached_bytes: u64,
+    /// Cache misses that read a model from disk.
+    pub loads: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Entries evicted to honour the byte cap.
+    pub evictions: u64,
+}
+
+struct Entry {
+    classifier: Arc<Classifier>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    loads: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, LRU-bounded cache of named classifiers backed by a
+/// model directory.
+pub struct Registry {
+    dir: PathBuf,
+    cap_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Creates a registry over `dir` with a cache cap of `cap_bytes`.
+    ///
+    /// The directory is not scanned up front: models load lazily on
+    /// first use, so a registry over a huge model farm starts instantly.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, cap_bytes: u64) -> Registry {
+        Registry {
+            dir: dir.into(),
+            cap_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                loads: 0,
+                hits: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The backing model directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, LeapsError> {
+        if !valid_name(name) {
+            return Err(LeapsError::protocol(format!("bad model name {name:?}")));
+        }
+        Ok(self.dir.join(format!("{name}.model")))
+    }
+
+    fn load_from_disk(&self, name: &str) -> Result<(Arc<Classifier>, u64), LeapsError> {
+        let path = self.path_of(name)?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| LeapsError::io(path.display().to_string(), &e))?;
+        let classifier = load_classifier(&text).map_err(LeapsError::from)?;
+        Ok((Arc::new(classifier), text.len() as u64))
+    }
+
+    /// Fetches `name`, loading `<dir>/<name>.model` on a cache miss and
+    /// evicting least-recently-used entries down to the byte cap.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] for an invalid name, [`LeapsError::Io`]
+    /// if the file cannot be read, [`LeapsError::Model`] if it does not
+    /// parse.
+    pub fn get(&self, name: &str) -> Result<Arc<Classifier>, LeapsError> {
+        {
+            let mut guard = self.inner.lock().expect("registry lock");
+            let inner = &mut *guard;
+            inner.tick += 1;
+            if let Some(entry) = inner.entries.get_mut(name) {
+                entry.last_used = inner.tick;
+                inner.hits += 1;
+                return Ok(Arc::clone(&entry.classifier));
+            }
+        }
+        // Read and parse outside the lock: a slow disk load must not
+        // stall sessions opening already-cached models.
+        let (classifier, bytes) = self.load_from_disk(name)?;
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.loads += 1;
+        inner.entries.insert(
+            name.to_owned(),
+            Entry { classifier: Arc::clone(&classifier), bytes, last_used: tick },
+        );
+        self.evict_over_cap(&mut inner, name);
+        Ok(classifier)
+    }
+
+    /// Evicts LRU entries until the cache fits the cap, never evicting
+    /// `keep` (the entry that triggered the eviction).
+    fn evict_over_cap(&self, inner: &mut Inner, keep: &str) {
+        loop {
+            let total: u64 = inner.entries.values().map(|e| e.bytes).sum();
+            if total <= self.cap_bytes {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                return; // only `keep` remains; an oversized model is served uncached
+            };
+            inner.entries.remove(&victim);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Hot-reloads `name` from disk, replacing the cached copy.
+    ///
+    /// If the model is not cached this is a no-op (the next
+    /// [`Registry::get`] reads the current file anyway). If the reload
+    /// fails, the stale cached copy is dropped — a registry never keeps
+    /// serving a model its backing file can no longer produce.
+    ///
+    /// # Errors
+    ///
+    /// Same families as [`Registry::get`].
+    pub fn reload(&self, name: &str) -> Result<(), LeapsError> {
+        let cached = self.inner.lock().expect("registry lock").entries.contains_key(name);
+        if !cached {
+            // Validate the name even for uncached models.
+            self.path_of(name)?;
+            return Ok(());
+        }
+        match self.load_from_disk(name) {
+            Ok((classifier, bytes)) => {
+                let mut inner = self.inner.lock().expect("registry lock");
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.loads += 1;
+                inner.entries.insert(name.to_owned(), Entry { classifier, bytes, last_used: tick });
+                self.evict_over_cap(&mut inner, name);
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.lock().expect("registry lock").entries.remove(name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock");
+        RegistryStats {
+            loaded: inner.entries.len(),
+            cached_bytes: inner.entries.values().map(|e| e.bytes).sum(),
+            loads: inner.loads,
+            hits: inner.hits,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("dir", &self.dir)
+            .field("cap_bytes", &self.cap_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaps_cgraph::classify::CallGraphClassifier;
+    use leaps_cgraph::graph::CallGraph;
+    use leaps_core::persist::save_classifier;
+    use leaps_core::pipeline::Classifier;
+
+    /// A tiny call-graph classifier whose serialized size grows with
+    /// `edges` — enough to exercise load/evict without training.
+    fn tiny_model(edges: usize) -> Classifier {
+        let edge_list: Vec<(String, String)> =
+            (0..edges).map(|i| (format!("m!f{i}"), format!("m!f{}", i + 1))).collect();
+        let bcg = CallGraph::from_parts(edge_list, Vec::new());
+        let mcg = CallGraph::from_parts(Vec::new(), Vec::new());
+        Classifier::CGraph(CallGraphClassifier::from_parts(bcg, mcg))
+    }
+
+    fn write_model(dir: &Path, name: &str, edges: usize) -> u64 {
+        let text = save_classifier(&tiny_model(edges));
+        let path = dir.join(format!("{name}.model"));
+        std::fs::write(&path, &text).unwrap();
+        text.len() as u64
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("leaps-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_caches_and_counts_hits() {
+        let dir = temp_dir("hits");
+        write_model(&dir, "a", 4);
+        let registry = Registry::new(&dir, 1 << 20);
+        let first = registry.get("a").unwrap();
+        let second = registry.get("a").unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must return the cached Arc");
+        let stats = registry.stats();
+        assert_eq!((stats.loads, stats.hits, stats.loaded), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_names_and_missing_files() {
+        let dir = temp_dir("bad");
+        let registry = Registry::new(&dir, 1 << 20);
+        assert_eq!(registry.get("../etc/passwd").unwrap_err().exit_code(), 7);
+        assert_eq!(registry.get("absent").unwrap_err().exit_code(), 6);
+        std::fs::write(dir.join("garbage.model"), "not a model").unwrap();
+        assert_eq!(registry.get("garbage").unwrap_err().exit_code(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_cap() {
+        let dir = temp_dir("lru");
+        let a = write_model(&dir, "a", 8);
+        let b = write_model(&dir, "b", 8);
+        let c = write_model(&dir, "c", 8);
+        assert_eq!(a, b);
+        // Cap fits exactly two of the three models.
+        let registry = Registry::new(&dir, a + b + c / 2);
+        registry.get("a").unwrap();
+        registry.get("b").unwrap();
+        registry.get("a").unwrap(); // refresh a: b is now the LRU entry
+        let held = registry.get("c").unwrap(); // evicts b
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.loaded, 2);
+        // b reloads from disk (a fresh load, not a hit)...
+        let loads_before = stats.loads;
+        registry.get("b").unwrap();
+        assert_eq!(registry.stats().loads, loads_before + 1);
+        // ...while the evicted-but-held Arc stays usable.
+        drop(held);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_model_is_served_but_not_retained_with_others() {
+        let dir = temp_dir("oversize");
+        write_model(&dir, "big", 64);
+        let registry = Registry::new(&dir, 1); // cap smaller than any model
+        registry.get("big").unwrap();
+        assert_eq!(registry.stats().loaded, 1, "sole entry survives");
+        write_model(&dir, "other", 4);
+        registry.get("other").unwrap();
+        assert_eq!(registry.stats().loaded, 1, "cap forces a single entry");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_swaps_the_cached_copy() {
+        let dir = temp_dir("reload");
+        write_model(&dir, "m", 2);
+        let registry = Registry::new(&dir, 1 << 20);
+        let old = registry.get("m").unwrap();
+        write_model(&dir, "m", 6);
+        registry.reload("m").unwrap();
+        let new = registry.get("m").unwrap();
+        assert!(!Arc::ptr_eq(&old, &new), "reload must produce a fresh classifier");
+        // Reload of an uncached model validates the name but reads nothing.
+        registry.reload("never-loaded").unwrap();
+        assert_eq!(registry.reload("../x").unwrap_err().exit_code(), 7);
+        // A reload that fails drops the stale entry.
+        std::fs::write(dir.join("m.model"), "garbage").unwrap();
+        assert!(registry.reload("m").is_err());
+        assert_eq!(registry.stats().loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

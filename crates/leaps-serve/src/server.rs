@@ -1,0 +1,290 @@
+//! The transport-independent server core: a model [`Registry`], a table
+//! of [`Session`]s, and a [`Pool`] of workers draining session queues.
+//!
+//! The socket daemon (`crate::daemon`) is a thin line-protocol shell
+//! around this type; embedders (tests, benchmarks, other services) drive
+//! it directly with [`Server::open`] / [`Server::submit`] /
+//! [`Server::close`].
+
+use crate::registry::{Registry, RegistryStats};
+use crate::session::{drain, Session, SessionKey, SessionReport, Submit, VerdictSink};
+use leaps_core::error::LeapsError;
+use leaps_core::stream::StreamDetector;
+use leaps_par::pool::Pool;
+use leaps_trace::partition::PartitionedEvent;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding `<name>.model` files.
+    pub models_dir: PathBuf,
+    /// Model-cache byte cap (LRU eviction above it). Default 64 MiB.
+    pub cache_cap_bytes: u64,
+    /// Bounded per-session queue depth; a full queue sheds its oldest
+    /// event per submit. Default 1024.
+    pub queue_cap: usize,
+    /// Worker threads draining session queues; 0 means the `leaps-par`
+    /// thread policy (`--threads` / `LEAPS_THREADS` / cores).
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// Defaults over a model directory.
+    #[must_use]
+    pub fn new(models_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            models_dir: models_dir.into(),
+            cache_cap_bytes: 64 << 20,
+            queue_cap: 1024,
+            workers: 0,
+        }
+    }
+}
+
+/// Server-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions currently open.
+    pub sessions: usize,
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Registry counters.
+    pub registry: RegistryStats,
+    /// Sessions opened over the server's lifetime.
+    pub opened: u64,
+    /// Sessions closed over the server's lifetime.
+    pub closed: u64,
+}
+
+/// A multi-session streaming detection server.
+///
+/// Thread-safe: every method takes `&self`; connection threads,
+/// embedders and pool workers share one `Arc<Server>`.
+pub struct Server {
+    registry: Registry,
+    sessions: Mutex<HashMap<SessionKey, Arc<Session>>>,
+    pool: Pool,
+    queue_cap: usize,
+    next_shard: AtomicUsize,
+    shutting_down: AtomicBool,
+    opened: AtomicUsize,
+    closed: AtomicUsize,
+}
+
+impl Server {
+    /// Builds a server: spawns the worker pool and opens the registry.
+    #[must_use]
+    pub fn new(config: &ServerConfig) -> Server {
+        let pool = if config.workers == 0 {
+            Pool::with_default_threads()
+        } else {
+            Pool::new(config.workers)
+        };
+        Server {
+            registry: Registry::new(&config.models_dir, config.cache_cap_bytes),
+            sessions: Mutex::new(HashMap::new()),
+            pool,
+            queue_cap: config.queue_cap.max(1),
+            next_shard: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            opened: AtomicUsize::new(0),
+            closed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The model registry (for `RELOAD` and stats).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Marks the server as shutting down: new opens are refused while
+    /// existing sessions keep draining. Transports use this to stop
+    /// accepting before [`Server::close_all`].
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Server::begin_shutdown`] has been called.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn session(&self, client: &str, pid: u32) -> Result<Arc<Session>, LeapsError> {
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .get(&(client.to_owned(), pid))
+            .cloned()
+            .ok_or_else(|| LeapsError::protocol(format!("no session ({client:?}, {pid})")))
+    }
+
+    /// Opens session `(client, pid)` against registry model `model`,
+    /// delivering its verdicts to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the session already exists or the
+    /// server is shutting down; registry families if the model fails to
+    /// load.
+    pub fn open(
+        &self,
+        client: &str,
+        pid: u32,
+        model: &str,
+        sink: Arc<dyn VerdictSink>,
+    ) -> Result<(), LeapsError> {
+        if self.is_shutting_down() {
+            return Err(LeapsError::protocol("server is shutting down"));
+        }
+        let classifier = self.registry.get(model)?;
+        let mut sessions = self.sessions.lock().expect("session table lock");
+        let key: SessionKey = (client.to_owned(), pid);
+        if sessions.contains_key(&key) {
+            return Err(LeapsError::protocol(format!("session ({client:?}, {pid}) already open")));
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        let detector = StreamDetector::new((*classifier).clone());
+        sessions.insert(key, Arc::new(Session::new(pid, model.to_owned(), shard, detector, sink)));
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Submits one event to session `(client, pid)`.
+    ///
+    /// Never blocks on detection work: the event is queued (shedding the
+    /// oldest queued event if the queue is full) and a drain job is
+    /// scheduled on the session's pool shard if none is in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the session does not exist or is
+    /// closing.
+    pub fn submit(
+        &self,
+        client: &str,
+        pid: u32,
+        event: PartitionedEvent,
+    ) -> Result<Submit, LeapsError> {
+        let session = self.session(client, pid)?;
+        let (outcome, schedule) = {
+            let mut state = session.state.lock().expect("session state lock");
+            if state.closing {
+                return Err(LeapsError::protocol(format!(
+                    "session ({client:?}, {pid}) is closing"
+                )));
+            }
+            state.submitted += 1;
+            let outcome = if state.queue.len() >= self.queue_cap {
+                state.queue.pop_front();
+                state.shed += 1;
+                Submit::Busy { shed: state.shed }
+            } else {
+                Submit::Accepted { queued: state.queue.len() + 1 }
+            };
+            state.queue.push_back(event);
+            let schedule = !state.scheduled;
+            state.scheduled = true;
+            (outcome, schedule)
+        };
+        if schedule {
+            let worker_session = Arc::clone(&session);
+            self.pool.submit(session.shard, move || drain(&worker_session));
+        }
+        Ok(outcome)
+    }
+
+    /// Drains and closes session `(client, pid)`, returning its final
+    /// counters. Blocks until every queued event has been scored and
+    /// every verdict delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the session does not exist or another
+    /// closer is already draining it.
+    pub fn close(&self, client: &str, pid: u32) -> Result<SessionReport, LeapsError> {
+        let session = self.session(client, pid)?;
+        {
+            let mut state = session.state.lock().expect("session state lock");
+            if state.closing {
+                return Err(LeapsError::protocol(format!(
+                    "session ({client:?}, {pid}) is already closing"
+                )));
+            }
+            state.closing = true;
+            // Queue non-empty implies a drain job is scheduled, so
+            // waiting on `scheduled` alone is sound; re-check both.
+            while state.scheduled || !state.queue.is_empty() {
+                state = session.idle.wait(state).expect("session idle wait");
+            }
+        }
+        self.sessions.lock().expect("session table lock").remove(&(client.to_owned(), pid));
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        Ok(session.report())
+    }
+
+    /// Closes every session of `client` (connection teardown), returning
+    /// the per-pid reports.
+    pub fn close_client(&self, client: &str) -> Vec<(u32, SessionReport)> {
+        let pids: Vec<u32> = {
+            let sessions = self.sessions.lock().expect("session table lock");
+            sessions.keys().filter(|(c, _)| c == client).map(|&(_, pid)| pid).collect()
+        };
+        pids.into_iter()
+            .filter_map(|pid| self.close(client, pid).ok().map(|report| (pid, report)))
+            .collect()
+    }
+
+    /// Drains and closes every open session (graceful shutdown),
+    /// returning the final reports.
+    pub fn close_all(&self) -> Vec<(SessionKey, SessionReport)> {
+        let keys: Vec<SessionKey> =
+            self.sessions.lock().expect("session table lock").keys().cloned().collect();
+        keys.into_iter()
+            .filter_map(|(client, pid)| {
+                self.close(&client, pid).ok().map(|report| ((client, pid), report))
+            })
+            .collect()
+    }
+
+    /// Per-session counters without closing the session.
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the session does not exist.
+    pub fn session_stats(&self, client: &str, pid: u32) -> Result<SessionReport, LeapsError> {
+        Ok(self.session(client, pid)?.report())
+    }
+
+    /// Hot-reloads a registry model (see [`Registry::reload`]).
+    ///
+    /// # Errors
+    ///
+    /// Registry families.
+    pub fn reload(&self, model: &str) -> Result<(), LeapsError> {
+        self.registry.reload(model)
+    }
+
+    /// Server-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            sessions: self.sessions.lock().expect("session table lock").len(),
+            workers: self.pool.threads(),
+            registry: self.registry.stats(),
+            opened: self.opened.load(Ordering::Relaxed) as u64,
+            closed: self.closed.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("stats", &self.stats()).finish()
+    }
+}

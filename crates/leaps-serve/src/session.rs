@@ -1,0 +1,208 @@
+//! Per-session state: a bounded event queue feeding one
+//! [`StreamDetector`], with load shedding, a verdict sink, and a drain
+//! loop run on pool workers.
+//!
+//! # Ordering and determinism
+//!
+//! A session has at most **one** drain job scheduled at any time (the
+//! `scheduled` flag below), so its events are scored strictly in
+//! submission order and its verdict sequence is bit-identical to feeding
+//! the same events through a standalone [`StreamDetector`]. Fairness
+//! across sessions comes from draining in bounded batches: a flooding
+//! session yields the worker back to its shard after each batch.
+//!
+//! # Backpressure and shedding
+//!
+//! The queue is bounded. When a submit finds it full, the **oldest**
+//! queued event is shed (counted) and the new event queued — the
+//! detector keeps seeing the freshest telemetry and the submitter gets a
+//! `BUSY` outcome, while the accept path never blocks on a slow session.
+//! Shedding manifests downstream as a sequence gap, so affected verdicts
+//! carry the `degraded` flag like any other telemetry loss.
+
+use leaps_core::stream::{StreamDetector, StreamStats, Verdict};
+use leaps_trace::partition::PartitionedEvent;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sessions are keyed by `(client, pid)`: one monitored process of one
+/// connected client.
+pub type SessionKey = (String, u32);
+
+/// Where a session's verdicts go, called by pool workers in verdict
+/// order.
+pub trait VerdictSink: Send + Sync {
+    /// Delivers one verdict of session `pid`.
+    fn deliver(&self, pid: u32, verdict: &Verdict);
+}
+
+/// A [`VerdictSink`] that buffers verdicts in memory — the in-process
+/// deployment shape (tests, benchmarks, embedding).
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    verdicts: Mutex<Vec<Verdict>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Takes every buffered verdict, leaving the buffer empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<Verdict> {
+        std::mem::take(&mut *self.verdicts.lock().expect("buffer sink lock"))
+    }
+
+    /// Number of buffered verdicts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("buffer sink lock").len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl VerdictSink for BufferSink {
+    fn deliver(&self, _pid: u32, verdict: &Verdict) {
+        self.verdicts.lock().expect("buffer sink lock").push(verdict.clone());
+    }
+}
+
+/// Outcome of submitting one event to a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// Queued; `queued` is the depth after this event.
+    Accepted {
+        /// Queue depth including this event.
+        queued: usize,
+    },
+    /// The queue was full: the oldest queued event was shed to make room
+    /// for this one.
+    Busy {
+        /// Total events this session has shed so far.
+        shed: u64,
+    },
+}
+
+/// Counters of one session, as reported by `STATS` and `CLOSE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Model the session was opened against.
+    pub model: String,
+    /// Events submitted (accepted + shed).
+    pub submitted: u64,
+    /// Events shed by backpressure.
+    pub shed: u64,
+    /// Verdicts delivered to the sink.
+    pub verdicts: u64,
+    /// Events currently queued (always 0 in a `CLOSE` report).
+    pub queued: usize,
+    /// The detector's telemetry-quality counters.
+    pub stream: StreamStats,
+}
+
+pub(crate) struct QueueState {
+    pub(crate) queue: VecDeque<PartitionedEvent>,
+    pub(crate) scheduled: bool,
+    pub(crate) closing: bool,
+    pub(crate) shed: u64,
+    pub(crate) submitted: u64,
+    pub(crate) verdicts: u64,
+}
+
+/// One open session. Shared between the submitting connection thread and
+/// the pool worker draining it.
+pub struct Session {
+    pub(crate) pid: u32,
+    pub(crate) model: String,
+    /// Stable shard key: pins the session's drain jobs to one pool
+    /// worker queue.
+    pub(crate) shard: usize,
+    pub(crate) state: Mutex<QueueState>,
+    /// Signalled by the drain loop when the queue runs dry.
+    pub(crate) idle: Condvar,
+    pub(crate) detector: Mutex<StreamDetector>,
+    pub(crate) sink: Arc<dyn VerdictSink>,
+}
+
+/// Max events scored per drain batch before re-checking the queue —
+/// bounds how long one flooding session can hold a worker.
+pub(crate) const DRAIN_BATCH: usize = 256;
+
+impl Session {
+    pub(crate) fn new(
+        pid: u32,
+        model: String,
+        shard: usize,
+        detector: StreamDetector,
+        sink: Arc<dyn VerdictSink>,
+    ) -> Session {
+        Session {
+            pid,
+            model,
+            shard,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                scheduled: false,
+                closing: false,
+                shed: 0,
+                submitted: 0,
+                verdicts: 0,
+            }),
+            idle: Condvar::new(),
+            detector: Mutex::new(detector),
+            sink,
+        }
+    }
+
+    /// Snapshot of the session's counters.
+    pub(crate) fn report(&self) -> SessionReport {
+        let state = self.state.lock().expect("session state lock");
+        let stream = self.detector.lock().expect("session detector lock").stats();
+        SessionReport {
+            model: self.model.clone(),
+            submitted: state.submitted,
+            shed: state.shed,
+            verdicts: state.verdicts,
+            queued: state.queue.len(),
+            stream,
+        }
+    }
+}
+
+/// The drain loop run on a pool worker: repeatedly takes a bounded batch
+/// off the queue, scores it, and delivers the verdicts — until the queue
+/// is empty, at which point it clears `scheduled` and wakes closers.
+pub(crate) fn drain(session: &Session) {
+    let mut batch: Vec<PartitionedEvent> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    loop {
+        {
+            let mut state = session.state.lock().expect("session state lock");
+            if state.queue.is_empty() {
+                state.scheduled = false;
+                session.idle.notify_all();
+                return;
+            }
+            let take = state.queue.len().min(DRAIN_BATCH);
+            batch.extend(state.queue.drain(..take));
+        }
+        // Score and deliver outside the queue lock: submits (and sheds)
+        // proceed while the detector works or a slow sink blocks.
+        let mut detector = session.detector.lock().expect("session detector lock");
+        verdicts.clear();
+        detector.push_all_into(batch.drain(..), &mut verdicts);
+        drop(detector);
+        for verdict in &verdicts {
+            session.sink.deliver(session.pid, verdict);
+        }
+        session.state.lock().expect("session state lock").verdicts += verdicts.len() as u64;
+    }
+}

@@ -1,0 +1,267 @@
+//! Service-level tests over a cheap call-graph model: session lifecycle,
+//! deterministic load shedding with `BUSY` outcomes, accept-path
+//! liveness while a session floods, and the socket daemon end-to-end on
+//! both transports.
+
+use leaps_cgraph::classify::CallGraphClassifier;
+use leaps_cgraph::graph::CallGraph;
+use leaps_core::persist::save_classifier;
+use leaps_core::pipeline::Classifier;
+use leaps_core::stream::Verdict;
+use leaps_etw::event::{EventType, StackFrame};
+use leaps_etw::Va;
+use leaps_serve::{
+    BufferSink, Client, Command, Endpoint, Reply, Server, ServerConfig, Submit, VerdictSink,
+};
+use leaps_trace::partition::PartitionedEvent;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// A benign/malicious pair of invocation chains and the matching
+/// call-graph classifier: `sys!a → sys!b` is benign, `sys!x → sys!y`
+/// malicious-only.
+fn tiny_classifier() -> Classifier {
+    let chain_b = vec!["sys!a".to_owned(), "sys!b".to_owned()];
+    let chain_m = vec!["sys!x".to_owned(), "sys!y".to_owned()];
+    let bcg = CallGraph::from_parts([("sys!a".to_owned(), "sys!b".to_owned())], [chain_b.clone()]);
+    let mcg = CallGraph::from_parts(
+        [("sys!a".to_owned(), "sys!b".to_owned()), ("sys!x".to_owned(), "sys!y".to_owned())],
+        [chain_b, chain_m],
+    );
+    Classifier::CGraph(CallGraphClassifier::from_parts(bcg, mcg))
+}
+
+fn event(num: u64, benign: bool) -> PartitionedEvent {
+    let (m1, f1, m2, f2) = if benign { ("sys", "a", "sys", "b") } else { ("sys", "x", "sys", "y") };
+    PartitionedEvent {
+        num,
+        etype: EventType::FileRead,
+        tid: 1,
+        app_stack: vec![StackFrame::new("app", "main", Va(0x400000 + num), true)],
+        system_stack: vec![
+            StackFrame::new(m1, f1, Va(0x7000_0000 + num), false),
+            StackFrame::new(m2, f2, Va(0x7000_1000 + num), false),
+        ],
+        truth: None,
+    }
+}
+
+fn models_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("leaps-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("tiny.model"), save_classifier(&tiny_classifier())).unwrap();
+    dir
+}
+
+fn config(tag: &str) -> ServerConfig {
+    ServerConfig { workers: 2, ..ServerConfig::new(models_dir(tag)) }
+}
+
+#[test]
+fn session_lifecycle_and_verdict_equivalence() {
+    let server = Server::new(&config("lifecycle"));
+    let sinks: Vec<Arc<BufferSink>> = (0..3).map(|_| Arc::new(BufferSink::new())).collect();
+    for (pid, sink) in sinks.iter().enumerate() {
+        let sink: Arc<dyn VerdictSink> = Arc::clone(sink) as Arc<dyn VerdictSink>;
+        server.open("cli", pid as u32, "tiny", sink).unwrap();
+    }
+    assert_eq!(server.stats().sessions, 3);
+    // Double-open and unknown sessions are protocol errors.
+    assert_eq!(
+        server.open("cli", 0, "tiny", Arc::new(BufferSink::new())).unwrap_err().exit_code(),
+        7
+    );
+    assert_eq!(server.submit("cli", 99, event(1, true)).unwrap_err().exit_code(), 7);
+
+    // Interleave three per-session streams (session i sees events where
+    // num % 3 == i, with a malicious run inside session 1).
+    let per_session: Vec<Vec<PartitionedEvent>> = (0..3u64)
+        .map(|i| (0..60).map(|n| event(3 * n + i, !(i == 1 && (20..30).contains(&n)))).collect())
+        .collect();
+    for n in 0..60 {
+        for (pid, events) in per_session.iter().enumerate() {
+            assert!(matches!(
+                server.submit("cli", pid as u32, events[n].clone()).unwrap(),
+                Submit::Accepted { .. }
+            ));
+        }
+    }
+    for (pid, (sink, events)) in sinks.iter().zip(&per_session).enumerate() {
+        let report = server.close("cli", pid as u32).unwrap();
+        assert_eq!(report.submitted, 60);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.verdicts, 60, "call-graph model scores per event");
+        // Bit-identical to a standalone detector over the same order.
+        let mut standalone = leaps_core::stream::StreamDetector::new(tiny_classifier());
+        let expected: Vec<Verdict> = standalone.push_all(events.iter().cloned());
+        assert_eq!(sink.take(), expected);
+    }
+    assert_eq!(server.stats().sessions, 0);
+    assert_eq!(server.close("cli", 0).unwrap_err().exit_code(), 7, "close is terminal");
+}
+
+/// A sink whose first delivery parks until released — makes queue
+/// overflow deterministic without sleeps.
+struct GateSink {
+    entered: Sender<()>,
+    release: Mutex<Receiver<()>>,
+    gated: Mutex<bool>,
+    inner: BufferSink,
+}
+
+impl VerdictSink for GateSink {
+    fn deliver(&self, pid: u32, verdict: &Verdict) {
+        let mut gated = self.gated.lock().unwrap();
+        if *gated {
+            *gated = false;
+            self.entered.send(()).unwrap();
+            self.release.lock().unwrap().recv().unwrap();
+        }
+        drop(gated);
+        self.inner.deliver(pid, verdict);
+    }
+}
+
+#[test]
+fn full_queue_sheds_oldest_and_reports_busy_without_blocking() {
+    let cfg = ServerConfig { workers: 2, queue_cap: 2, ..ServerConfig::new(models_dir("shed")) };
+    let server = Server::new(&cfg);
+    let (entered_tx, entered_rx) = channel();
+    let (release_tx, release_rx) = channel();
+    let sink = Arc::new(GateSink {
+        entered: entered_tx,
+        release: Mutex::new(release_rx),
+        gated: Mutex::new(true),
+        inner: BufferSink::new(),
+    });
+    server.open("cli", 1, "tiny", Arc::clone(&sink) as Arc<dyn VerdictSink>).unwrap();
+
+    // Event 0 is drained immediately; its delivery parks the worker.
+    assert!(matches!(server.submit("cli", 1, event(0, true)).unwrap(), Submit::Accepted { .. }));
+    entered_rx.recv().unwrap();
+
+    // With the worker parked, fill the queue (cap 2) and overflow it.
+    assert_eq!(server.submit("cli", 1, event(1, true)).unwrap(), Submit::Accepted { queued: 1 });
+    assert_eq!(server.submit("cli", 1, event(2, true)).unwrap(), Submit::Accepted { queued: 2 });
+    assert_eq!(server.submit("cli", 1, event(3, true)).unwrap(), Submit::Busy { shed: 1 });
+    assert_eq!(server.submit("cli", 1, event(4, true)).unwrap(), Submit::Busy { shed: 2 });
+
+    // While that session floods, a second session on the other worker
+    // opens, scores and closes — the accept path never stalls. Waiting
+    // for the tiny queue to drain between submits keeps this session's
+    // own backpressure out of the picture.
+    let other = Arc::new(BufferSink::new());
+    server.open("cli", 2, "tiny", Arc::clone(&other) as Arc<dyn VerdictSink>).unwrap();
+    for n in 0..5 {
+        assert!(matches!(
+            server.submit("cli", 2, event(n, true)).unwrap(),
+            Submit::Accepted { .. }
+        ));
+        while server.session_stats("cli", 2).unwrap().queued > 0 {
+            std::thread::yield_now();
+        }
+    }
+    let report = server.close("cli", 2).unwrap();
+    assert_eq!((report.verdicts, report.shed), (5, 0));
+
+    release_tx.send(()).unwrap();
+    let report = server.close("cli", 1).unwrap();
+    assert_eq!(report.submitted, 5);
+    assert_eq!(report.shed, 2, "events 1 and 2 were shed as oldest");
+    assert_eq!(report.verdicts, 3, "events 0, 3, 4 were scored");
+    let nums: Vec<u64> = sink.inner.take().iter().map(|v| v.last_event).collect();
+    assert_eq!(nums, vec![0, 3, 4]);
+    assert!(report.stream.gaps > 0, "shedding surfaces as sequence gaps");
+}
+
+#[test]
+fn daemon_speaks_the_protocol_over_tcp_and_shuts_down_gracefully() {
+    let server = Arc::new(Server::new(&config("tcp")));
+    let bound = Endpoint::Tcp("127.0.0.1:0".to_owned()).bind().unwrap();
+    let endpoint = bound.endpoint().clone();
+    let daemon_server = Arc::clone(&server);
+    let daemon = std::thread::spawn(move || bound.run(&daemon_server).unwrap());
+
+    let mut verdicts: Vec<(u32, Verdict)> = Vec::new();
+    let mut client = Client::connect(&endpoint).unwrap();
+    // State machine: HELLO is mandatory and unique.
+    let ack = client.request(&Command::Open { pid: 7, model: "tiny".into() }, &mut verdicts);
+    assert!(matches!(ack.unwrap(), Reply::Err { family, .. } if family == "proto"));
+    let detail =
+        client.expect_ok(&Command::Hello { client: "itest".into() }, &mut verdicts).unwrap();
+    assert!(detail.contains("leaps-serve v1"), "{detail}");
+
+    // Unknown model → ERR io (file not found), connection stays usable.
+    let ack = client.request(&Command::Open { pid: 7, model: "absent".into() }, &mut verdicts);
+    assert!(matches!(ack.unwrap(), Reply::Err { family, .. } if family == "io"));
+
+    client.expect_ok(&Command::Open { pid: 7, model: "tiny".into() }, &mut verdicts).unwrap();
+    for n in 0..10 {
+        let ack = client
+            .request(&Command::Event { pid: 7, event: event(n, n % 2 == 0) }, &mut verdicts)
+            .unwrap();
+        assert!(ack.is_ack());
+    }
+    let detail = client.expect_ok(&Command::Close { pid: 7 }, &mut verdicts).unwrap();
+    assert!(detail.contains("submitted=10"), "{detail}");
+    assert_eq!(verdicts.len(), 10, "all verdicts delivered by close");
+    assert!(verdicts.iter().all(|(pid, _)| *pid == 7));
+    let benign: Vec<bool> = verdicts.iter().map(|(_, v)| v.benign).collect();
+    let expected: Vec<bool> = (0..10).map(|n| n % 2 == 0).collect();
+    assert_eq!(benign, expected);
+
+    let detail = client.expect_ok(&Command::Stats { pid: None }, &mut verdicts).unwrap();
+    assert!(detail.contains("sessions=0"), "{detail}");
+    client.expect_ok(&Command::Reload { model: "tiny".into() }, &mut verdicts).unwrap();
+    client.expect_ok(&Command::Shutdown, &mut verdicts).unwrap();
+    drop(client);
+    let drained = daemon.join().unwrap();
+    assert_eq!(drained, 0, "no sessions left open at shutdown");
+}
+
+#[cfg(unix)]
+#[test]
+fn daemon_drains_abandoned_sessions_on_unix_socket() {
+    let dir = models_dir("unix");
+    let server = Arc::new(Server::new(&ServerConfig { workers: 1, ..ServerConfig::new(&dir) }));
+    let socket = dir.join("serve.sock");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let bound = endpoint.bind().unwrap();
+    let daemon_server = Arc::clone(&server);
+    let daemon = std::thread::spawn(move || bound.run(&daemon_server).unwrap());
+
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint).unwrap();
+    client.expect_ok(&Command::Hello { client: "a".into() }, &mut verdicts).unwrap();
+    client.expect_ok(&Command::Open { pid: 1, model: "tiny".into() }, &mut verdicts).unwrap();
+    for n in 0..4 {
+        client.request(&Command::Event { pid: 1, event: event(n, true) }, &mut verdicts).unwrap();
+    }
+    // Disconnect without CLOSE: the connection teardown drains and
+    // closes the abandoned session.
+    drop(client);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().closed < 1 {
+        assert!(std::time::Instant::now() < deadline, "abandoned session never drained");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // An embedder session opened directly on the shared server (no
+    // connection owns it) is drained by the shutdown path instead.
+    let embedded = Arc::new(BufferSink::new());
+    server.open("embed", 9, "tiny", Arc::clone(&embedded) as Arc<dyn VerdictSink>).unwrap();
+    for n in 0..3 {
+        server.submit("embed", 9, event(n, true)).unwrap();
+    }
+
+    let mut client2 = Client::connect(&endpoint).unwrap();
+    client2.expect_ok(&Command::Hello { client: "b".into() }, &mut verdicts).unwrap();
+    client2.expect_ok(&Command::Shutdown, &mut verdicts).unwrap();
+    drop(client2);
+    let drained = daemon.join().unwrap();
+    assert_eq!(drained, 1, "the embedder session drained at shutdown");
+    assert_eq!(embedded.len(), 3, "its verdicts were delivered before exit");
+    assert!(!socket.exists(), "socket file removed on shutdown");
+}

@@ -1,0 +1,83 @@
+//! Drive a live `leaps-serve` daemon end-to-end, in one process.
+//!
+//! Trains a WSVM on a controlled-environment dataset, saves it into a
+//! model directory, boots the detection daemon on a socket, and then
+//! acts as a monitoring client: `HELLO`, `OPEN` a session against the
+//! saved model, stream an infected process's events, read the verdicts
+//! back, and shut the daemon down gracefully.
+//!
+//! ```text
+//! cargo run --release -p leaps --example serve_session
+//! ```
+
+use leaps::core::config::PipelineConfig;
+use leaps::core::dataset::Dataset;
+use leaps::core::persist::save_classifier;
+use leaps::core::pipeline::{train_classifier, Method};
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::serve::{BoundDaemon, Client, Command, Endpoint, Server, ServerConfig};
+use std::sync::Arc;
+
+fn endpoint_for(dir: &std::path::Path) -> Endpoint {
+    #[cfg(unix)]
+    return Endpoint::Unix(dir.join("leaps.sock"));
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Endpoint::Tcp("127.0.0.1:0".to_owned())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::by_name("vim_reverse_tcp").expect("known dataset");
+    let params = GenParams::small();
+
+    // Offline: train on controlled-environment logs and persist the
+    // model where the daemon will look for it.
+    let training = Dataset::materialize(scenario, &params, 11)?;
+    let (train, _) = training.split_benign(0.5, 11);
+    println!("training WSVM on {}...", scenario.name());
+    let classifier =
+        train_classifier(Method::Wsvm, &train, &training.mixed, &PipelineConfig::fast(), 11);
+    let dir = std::env::temp_dir().join(format!("leaps-serve-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join("vim.model"), save_classifier(&classifier))?;
+
+    // Boot the daemon. Binding before spawning the accept loop means the
+    // endpoint (including a TCP port chosen by the OS) is ready to dial.
+    let server = Arc::new(Server::new(&ServerConfig::new(&dir)));
+    let bound: BoundDaemon = endpoint_for(&dir).bind()?;
+    let endpoint = bound.endpoint().clone();
+    println!("daemon listening on {endpoint}");
+    let daemon_server = Arc::clone(&server);
+    let daemon = std::thread::spawn(move || bound.run(&daemon_server));
+
+    // Online: a fresh infected run streams through one session.
+    let production = Dataset::materialize(scenario, &params, 12)?;
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    let hello = client.expect_ok(&Command::Hello { client: "example".into() }, &mut verdicts)?;
+    println!("{hello}");
+    client.expect_ok(&Command::Open { pid: 4242, model: "vim".into() }, &mut verdicts)?;
+    for event in &production.mixed {
+        let ack =
+            client.request(&Command::Event { pid: 4242, event: event.clone() }, &mut verdicts)?;
+        assert!(ack.is_ack());
+    }
+    let report = client.expect_ok(&Command::Close { pid: 4242 }, &mut verdicts)?;
+    let alerts = verdicts.iter().filter(|(_, v)| !v.benign).count();
+    println!(
+        "session over: {} events -> {} verdicts, {alerts} flagged malicious",
+        production.mixed.len(),
+        verdicts.len()
+    );
+    println!("{report}");
+
+    // Graceful shutdown: the daemon drains and the thread returns.
+    client.expect_ok(&Command::Shutdown, &mut verdicts)?;
+    drop(client);
+    let drained = daemon.join().expect("daemon thread")?;
+    println!("daemon exited cleanly ({drained} sessions drained at shutdown)");
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Service/standalone equivalence: N interleaved sessions through an
+//! in-process `leaps_serve::Server` must produce **bit-identical**
+//! per-session verdict sequences — scores, flags and degraded markers —
+//! to N standalone `StreamDetector`s fed the same events in the same
+//! order, including sessions whose telemetry was damaged by
+//! `leaps-faults` injection.
+
+use leaps::core::config::PipelineConfig;
+use leaps::core::persist::{load_classifier, save_classifier};
+use leaps::core::pipeline::{try_train_classifier, Classifier, Method};
+use leaps::core::stream::{StreamDetector, Verdict};
+use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::faults::inject::inject;
+use leaps::faults::plan::FaultPlan;
+use leaps::serve::{BufferSink, Server, ServerConfig, Submit, VerdictSink};
+use leaps::trace::parser::{parse_log, parse_log_lenient};
+use leaps::trace::partition::{partition_events, PartitionedEvent};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SESSIONS: usize = 8;
+
+fn events_of(raw: &str) -> Vec<PartitionedEvent> {
+    partition_events(&parse_log(raw).expect("scenario logs parse").events)
+}
+
+fn train(method: Method, benign: &[PartitionedEvent], mixed: &[PartitionedEvent]) -> Classifier {
+    try_train_classifier(method, benign, mixed, &PipelineConfig::fast(), 7)
+        .expect("training succeeds on scenario data")
+}
+
+/// Per-session event streams: clean mixed/malicious slices plus
+/// fault-injected variants recovered leniently (sequence gaps and damage
+/// that must surface as degraded verdicts on both sides).
+fn session_streams(scenario: &Scenario) -> Vec<Vec<PartitionedEvent>> {
+    let logs = scenario.generate(&GenParams::small(), 0x5e55);
+    let mut streams = Vec::new();
+    for i in 0..SESSIONS {
+        let raw = if i % 2 == 0 { &logs.mixed } else { &logs.malicious };
+        let events = if i % 3 == 2 {
+            // Damaged telemetry path: drop/corrupt records, recover
+            // leniently — exactly what a degraded producer would ship.
+            let (faulted, stats) = inject(raw, &FaultPlan::uniform(0.08), 11 + i as u64);
+            assert!(stats.total_faults() > 0, "injection plan must bite");
+            partition_events(&parse_log_lenient(&faulted).events)
+        } else {
+            events_of(raw)
+        };
+        assert!(!events.is_empty());
+        streams.push(events);
+    }
+    streams
+}
+
+#[test]
+fn interleaved_sessions_match_standalone_detectors_bit_for_bit() {
+    let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+    let logs = scenario.generate(&GenParams::small(), 0x1ea5);
+    let benign = events_of(&logs.benign);
+    let mixed = events_of(&logs.mixed);
+
+    // Two real trained models in the registry directory: sessions
+    // alternate between the windowed WSVM and the per-event call-graph
+    // model, so both verdict shapes cross the service.
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("leaps-serve-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, method) in [("wsvm", Method::Wsvm), ("cgraph", Method::CGraph)] {
+        let text = save_classifier(&train(method, &benign, &mixed));
+        std::fs::write(dir.join(format!("{name}.model")), text).unwrap();
+    }
+
+    let streams = session_streams(&scenario);
+    let server = Server::new(&ServerConfig {
+        queue_cap: 1 << 20, // no shedding: this test is about equivalence
+        workers: 4,
+        ..ServerConfig::new(&dir)
+    });
+    let sinks: Vec<Arc<BufferSink>> = (0..SESSIONS).map(|_| Arc::new(BufferSink::new())).collect();
+    let model_of = |i: usize| if i.is_multiple_of(2) { "wsvm" } else { "cgraph" };
+    for (i, sink) in sinks.iter().enumerate() {
+        let sink = Arc::clone(sink) as Arc<dyn VerdictSink>;
+        server.open("equiv", i as u32, model_of(i), sink).unwrap();
+    }
+
+    // Round-robin interleaving: one event per session per round, so the
+    // worker pool always has concurrent sessions in flight.
+    let longest = streams.iter().map(Vec::len).max().unwrap();
+    for n in 0..longest {
+        for (i, stream) in streams.iter().enumerate() {
+            if let Some(event) = stream.get(n) {
+                let outcome = server.submit("equiv", i as u32, event.clone()).unwrap();
+                assert!(matches!(outcome, Submit::Accepted { .. }), "queue_cap rules out BUSY");
+            }
+        }
+    }
+
+    let mut degraded_sessions = 0;
+    for (i, (sink, stream)) in sinks.iter().zip(&streams).enumerate() {
+        let report = server.close("equiv", i as u32).unwrap();
+        assert_eq!(report.submitted, stream.len() as u64);
+        assert_eq!(report.shed, 0);
+
+        // The standalone detector loads the same persisted model file —
+        // the service must not change a single bit of any verdict.
+        let text = std::fs::read_to_string(dir.join(format!("{}.model", model_of(i)))).unwrap();
+        let mut standalone = StreamDetector::new(load_classifier(&text).unwrap());
+        let expected: Vec<Verdict> = standalone.push_all(stream.iter().cloned());
+        let got = sink.take();
+        assert_eq!(got, expected, "session {i} diverged from standalone");
+        assert_eq!(report.verdicts, expected.len() as u64);
+        assert_eq!(report.stream, standalone.stats(), "telemetry counters diverged");
+        if got.iter().any(|v| v.degraded) {
+            degraded_sessions += 1;
+        }
+    }
+    assert!(
+        degraded_sessions > 0,
+        "fault-injected sessions must exercise the degraded-verdict path"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
