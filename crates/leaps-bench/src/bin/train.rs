@@ -1,0 +1,197 @@
+//! Wall-time benchmark for the two training stages parallelized on top
+//! of `leaps_par` after the SMO/CV/pairwise fan-out: UPGMA dendrogram
+//! merging (nearest-neighbor cache vs the retired O(n³) full rescan,
+//! serial vs pool) and Baum–Welch HMM training (per-sequence E-step
+//! fan-out, serial vs pool). Every timed run is checked bit-identical
+//! against the serial reference before its time is reported.
+//!
+//! Writes `results/BENCH_train.json` (override the path with
+//! `LEAPS_BENCH_OUT`) and prints the same numbers to stdout.
+//!
+//! ```text
+//! cargo run -p leaps-bench --release --bin train
+//! ```
+//!
+//! Sizes are overridable for CI smoke runs:
+//! `LEAPS_UPGMA_SIZES=24,48` (leaf counts, default `64,256,1024`) and
+//! `LEAPS_HMM_SEQS=2,4` (sequence counts, default `8,32,128`).
+
+use leaps::cluster::dissim::DistanceMatrix;
+use leaps::cluster::hier::{Dendrogram, Linkage};
+use leaps::core::par;
+use leaps::etw::rng::SimRng;
+use leaps::hmm::hmm::{Hmm, HmmParams};
+use std::time::Instant;
+
+const REPS: usize = 3;
+const HMM_SEQ_LEN: usize = 64;
+const HMM_SYMBOLS: usize = 12;
+
+/// Best-of-`REPS` wall time of `f`, in seconds.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn sizes_from_env(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
+        Ok(s) => s
+            .split(',')
+            .map(|tok| tok.trim().parse().unwrap_or_else(|_| panic!("bad {var} entry {tok:?}")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Deterministic pseudo-random distance matrix (condensed form).
+fn synthetic_dm(n: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = SimRng::new(seed);
+    let data: Vec<f64> = (0..n * (n - 1) / 2).map(|_| rng.f64()).collect();
+    DistanceMatrix::from_condensed(n, data)
+}
+
+struct UpgmaResult {
+    n: usize,
+    rescan_s: f64,
+    cache_serial_s: f64,
+    cache_parallel_s: f64,
+}
+
+impl UpgmaResult {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"n\": {}, \"rescan_s\": {:.6}, \"cache_serial_s\": {:.6}, \
+             \"cache_parallel_s\": {:.6}, \"cache_speedup_vs_rescan\": {:.3}, \
+             \"parallel_speedup\": {:.3}}}",
+            self.n,
+            self.rescan_s,
+            self.cache_serial_s,
+            self.cache_parallel_s,
+            self.rescan_s / self.cache_serial_s.max(1e-12),
+            self.cache_serial_s / self.cache_parallel_s.max(1e-12),
+        )
+    }
+}
+
+fn bench_upgma(n: usize, threads: usize) -> UpgmaResult {
+    let dm = synthetic_dm(n, 0x5eed ^ n as u64);
+    // Correctness gate: the cached build must equal the rescan oracle.
+    par::set_thread_override(Some(threads));
+    let cached = Dendrogram::build(&dm, Linkage::Average);
+    par::set_thread_override(None);
+    assert_eq!(cached, Dendrogram::build_rescan(&dm, Linkage::Average), "n = {n}");
+
+    par::set_thread_override(Some(1));
+    // The rescan baseline is O(n³); one rep is plenty at large n.
+    let t = Instant::now();
+    let _ = Dendrogram::build_rescan(&dm, Linkage::Average);
+    let rescan_s = t.elapsed().as_secs_f64();
+    let cache_serial_s = best_secs(|| {
+        let _ = Dendrogram::build(&dm, Linkage::Average);
+    });
+    par::set_thread_override(Some(threads));
+    let cache_parallel_s = best_secs(|| {
+        let _ = Dendrogram::build(&dm, Linkage::Average);
+    });
+    par::set_thread_override(None);
+    let r = UpgmaResult { n, rescan_s, cache_serial_s, cache_parallel_s };
+    println!(
+        "upgma n={:<5} rescan {:>8.3}s   cache-serial {:>8.3}s ({:>6.1}x)   \
+         cache-parallel {:>8.3}s ({:>5.2}x)",
+        r.n,
+        r.rescan_s,
+        r.cache_serial_s,
+        r.rescan_s / r.cache_serial_s.max(1e-12),
+        r.cache_parallel_s,
+        r.cache_serial_s / r.cache_parallel_s.max(1e-12),
+    );
+    r
+}
+
+struct BaumWelchResult {
+    sequences: usize,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl BaumWelchResult {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"sequences\": {}, \"seq_len\": {HMM_SEQ_LEN}, \"serial_s\": {:.6}, \
+             \"parallel_s\": {:.6}, \"speedup\": {:.3}}}",
+            self.sequences,
+            self.serial_s,
+            self.parallel_s,
+            self.serial_s / self.parallel_s.max(1e-12),
+        )
+    }
+}
+
+fn bench_baum_welch(count: usize, threads: usize) -> BaumWelchResult {
+    let mut rng = SimRng::new(0xbe11 ^ count as u64);
+    let seqs: Vec<Vec<usize>> =
+        (0..count).map(|_| (0..HMM_SEQ_LEN).map(|_| rng.below(HMM_SYMBOLS)).collect()).collect();
+    let params = HmmParams { iterations: 10, ..HmmParams::default() };
+
+    par::set_thread_override(Some(1));
+    let reference = Hmm::train(&seqs, HMM_SYMBOLS, &params);
+    let serial_s = best_secs(|| {
+        let _ = Hmm::train(&seqs, HMM_SYMBOLS, &params);
+    });
+    par::set_thread_override(Some(threads));
+    // Correctness gate: pooled training must be bit-identical to serial.
+    assert_eq!(reference, Hmm::train(&seqs, HMM_SYMBOLS, &params), "count = {count}");
+    let parallel_s = best_secs(|| {
+        let _ = Hmm::train(&seqs, HMM_SYMBOLS, &params);
+    });
+    par::set_thread_override(None);
+    let r = BaumWelchResult { sequences: count, serial_s, parallel_s };
+    println!(
+        "baum-welch seqs={:<4} serial {:>8.3}s   parallel {:>8.3}s   speedup {:>5.2}x",
+        r.sequences,
+        r.serial_s,
+        r.parallel_s,
+        r.serial_s / r.parallel_s.max(1e-12),
+    );
+    r
+}
+
+fn main() {
+    let threads = par::thread_count();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "train-stage benchmark: {threads} worker threads on {cores} cores vs serial \
+         (best of {REPS})"
+    );
+    if cores < 2 {
+        println!("note: single-core runner — expect parallel speedup ~1.0x");
+    }
+
+    let upgma_sizes = sizes_from_env("LEAPS_UPGMA_SIZES", &[64, 256, 1024]);
+    let hmm_seqs = sizes_from_env("LEAPS_HMM_SEQS", &[8, 32, 128]);
+
+    let upgma: Vec<UpgmaResult> = upgma_sizes.iter().map(|&n| bench_upgma(n, threads)).collect();
+    let baum_welch: Vec<BaumWelchResult> =
+        hmm_seqs.iter().map(|&c| bench_baum_welch(c, threads)).collect();
+
+    let out =
+        std::env::var("LEAPS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_train.json".to_owned());
+    let upgma_json: Vec<String> = upgma.iter().map(UpgmaResult::json).collect();
+    let bw_json: Vec<String> = baum_welch.iter().map(BaumWelchResult::json).collect();
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"cores\": {},\n  \"reps\": {},\n  \"upgma\": [\n{}\n  ],\n  \
+         \"baum_welch\": [\n{}\n  ]\n}}\n",
+        threads,
+        cores,
+        REPS,
+        upgma_json.join(",\n"),
+        bw_json.join(",\n")
+    );
+    std::fs::write(&out, json).expect("writing benchmark output");
+    println!("wrote {out}");
+}

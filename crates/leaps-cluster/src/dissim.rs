@@ -94,6 +94,31 @@ impl DistanceMatrix {
         DistanceMatrix { n, data }
     }
 
+    /// Builds a matrix directly from its condensed upper triangle
+    /// (row-major `(i, j)` entries with `i < j`; see the `data` field
+    /// docs for the exact layout).
+    ///
+    /// Unlike [`DistanceMatrix::from_sets`] and
+    /// [`DistanceMatrix::from_full`], entries are taken **as-is**:
+    /// non-finite values are permitted. This is the constructor for
+    /// dissimilarities carried out of degraded or fault-injected
+    /// telemetry — `Dendrogram::build` orders any NaN entry
+    /// deterministically *after* every finite distance instead of
+    /// panicking on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * (n - 1) / 2`.
+    #[must_use]
+    pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * n.saturating_sub(1) / 2,
+            "condensed length must be n*(n-1)/2 for n = {n}"
+        );
+        DistanceMatrix { n, data }
+    }
+
     /// Tolerance for the diagonal and symmetry checks of
     /// [`DistanceMatrix::from_full`]: upstream arithmetic legitimately
     /// produces `-0.0` or O(1e-17) rounding residue on the diagonal.
@@ -104,7 +129,9 @@ impl DistanceMatrix {
     /// # Panics
     ///
     /// Panics if `full` is not square/symmetric with a zero diagonal
-    /// (both checked to within [`Self::FULL_MATRIX_EPS`]).
+    /// (both checked to within [`Self::FULL_MATRIX_EPS`]), or if any
+    /// entry is non-finite — use [`DistanceMatrix::from_condensed`] to
+    /// carry non-finite dissimilarities deliberately.
     #[must_use]
     #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
     pub fn from_full(full: &[Vec<f64>]) -> Self {
@@ -116,6 +143,13 @@ impl DistanceMatrix {
         let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
+                // Check finiteness first: a NaN would otherwise fail the
+                // symmetry comparison with a misleading message.
+                assert!(
+                    full[i][j].is_finite(),
+                    "non-finite distance {} at ({i},{j}); use from_condensed for that",
+                    full[i][j]
+                );
                 assert!(
                     (full[i][j] - full[j][i]).abs() < 1e-12,
                     "matrix not symmetric at ({i},{j})"
@@ -252,6 +286,31 @@ mod tests {
         let dm = DistanceMatrix::from_sets_parallel(&one, |_, _| unreachable!());
         assert_eq!(dm.len(), 1);
         assert_eq!(dm.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_condensed_roundtrips_and_allows_nan() {
+        let dm = DistanceMatrix::from_condensed(3, vec![0.2, f64::NAN, 0.9]);
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.get(0, 1), 0.2);
+        assert!(dm.get(0, 2).is_nan());
+        assert_eq!(dm.get(2, 1), 0.9);
+        assert_eq!(dm.get(1, 1), 0.0);
+        assert!(DistanceMatrix::from_condensed(0, Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "condensed length")]
+    fn from_condensed_rejects_wrong_length() {
+        let _ = DistanceMatrix::from_condensed(4, vec![0.1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite distance")]
+    fn from_full_rejects_nan_with_clear_message() {
+        // A NaN used to trip the *symmetry* assert (NaN − NaN = NaN)
+        // with a misleading message; it is now rejected explicitly.
+        let _ = DistanceMatrix::from_full(&[vec![0.0, f64::NAN], vec![f64::NAN, 0.0]]);
     }
 
     #[test]

@@ -6,8 +6,35 @@
 //! agglomerative procedure from scratch: start with singleton clusters,
 //! repeatedly merge the closest pair, and update inter-cluster distances
 //! with the linkage-specific Lance–Williams recurrence.
+//!
+//! # Algorithm
+//!
+//! [`Dendrogram::build`] maintains a per-row *nearest-neighbor cache*:
+//! for every active row `i` it remembers the closest active column
+//! `j > i` (smallest distance, smallest `j` on ties). Each merge then
+//! costs one O(active) scan over the cache plus a Lance–Williams row
+//! update, and only the rows whose cached neighbor was touched by the
+//! merge are rescanned — O(n²) expected overall instead of the O(n³)
+//! full rescan. The initial cache build, the row updates and the batch
+//! of rescans fan out across the `leaps_par` pool; all selection logic
+//! runs on the calling thread, so the merge sequence is bit-identical
+//! to the serial path at any thread count. The retired full-rescan
+//! implementation is kept as [`Dendrogram::build_rescan`] and serves as
+//! the test oracle.
+//!
+//! # Non-finite distances
+//!
+//! Distances are compared through a total order that sorts every NaN
+//! *after* every finite value and `+∞` (see `dist_cmp`): a non-finite
+//! dissimilarity — possible when degraded telemetry feeds an upstream
+//! encoder — is merged last (with the usual smallest-index tie-break)
+//! instead of corrupting the closest-pair search. Merges recorded at a
+//! NaN linkage distance are never applied by
+//! [`Dendrogram::cut_at_distance`], so the affected leaves simply stay
+//! in their own clusters.
 
 use crate::dissim::DistanceMatrix;
+use std::cmp::Ordering;
 
 /// Linkage criterion for inter-cluster distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -21,6 +48,46 @@ pub enum Linkage {
     /// Maximum element-pair distance.
     Complete,
 }
+
+impl Linkage {
+    /// Lance–Williams update: distance between the merge of two clusters
+    /// (sizes `size_i`/`size_j`, distances `dik`/`djk` to cluster `k`)
+    /// and cluster `k`.
+    fn update(self, size_i: usize, size_j: usize, dik: f64, djk: f64) -> f64 {
+        match self {
+            Linkage::Average => {
+                (size_i as f64 * dik + size_j as f64 * djk) / (size_i + size_j) as f64
+            }
+            Linkage::Single => dik.min(djk),
+            Linkage::Complete => dik.max(djk),
+        }
+    }
+}
+
+/// Total order on distances: the usual order on finite values and `±∞`,
+/// with every NaN sorted after everything else (and equal to any other
+/// NaN). This is what makes an all-NaN matrix merge deterministically
+/// (smallest indices first) instead of panicking.
+fn dist_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.partial_cmp(&b).expect("neither operand is NaN"),
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (true, true) => Ordering::Equal,
+    }
+}
+
+/// `(distance, column)` pairs ordered by distance first (NaN last), then
+/// by column index — the row-local tie-break of the closest-pair scan.
+fn neighbor_cmp(a: (f64, usize), b: (f64, usize)) -> Ordering {
+    dist_cmp(a.0, b.0).then(a.1.cmp(&b.1))
+}
+
+/// Work-size threshold below which the per-merge fan-outs stay on the
+/// calling thread: the selection math is pure, so serial and pooled
+/// execution are interchangeable, and spawning scoped threads for a few
+/// hundred float ops would only add latency.
+const PAR_WORK_THRESHOLD: usize = 1 << 14;
 
 /// One merge step of the dendrogram. Node ids: leaves are `0..n`, the
 /// cluster created by `merges[k]` has id `n + k` (SciPy convention).
@@ -47,43 +114,82 @@ impl Dendrogram {
     /// Runs agglomerative clustering over the distance matrix.
     ///
     /// Ties are broken toward the smallest pair indices so the result is
-    /// deterministic.
+    /// deterministic, and non-finite distances sort after every finite
+    /// one (see the module docs) — the result is bit-identical to
+    /// [`Dendrogram::build_rescan`] at any `leaps_par` thread count.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
     pub fn build(dm: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
         let n = dm.len();
         if n == 0 {
             return Dendrogram { n_leaves: 0, merges: Vec::new() };
         }
-        // Working distance matrix over active clusters.
-        let mut dist = vec![vec![0.0f64; n]; n];
+        // Working distance matrix over active clusters, dense row-major.
+        let mut dist = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {
-                dist[i][j] = dm.get(i, j);
+                dist[i * n + j] = dm.get(i, j);
             }
         }
         // cluster slot -> (node id, leaf count); None = retired slot.
         let mut clusters: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
         let mut active = n;
-        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut merges = Vec::with_capacity(n - 1);
 
-        while active > 1 {
-            // Find the closest active pair.
-            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
-            for i in 0..n {
-                if clusters[i].is_none() {
+        // Nearest-neighbor cache: nn[i] = (distance, j) minimal over
+        // active columns j > i under `neighbor_cmp`; None when row i is
+        // retired or has no active column after it.
+        let row_nn = |dist: &[f64], clusters: &[Option<(usize, usize)>], i: usize| {
+            let mut best: Option<(f64, usize)> = None;
+            for j in (i + 1)..n {
+                if clusters[j].is_none() {
                     continue;
                 }
-                for j in (i + 1)..n {
-                    if clusters[j].is_none() {
-                        continue;
-                    }
-                    if dist[i][j] < best.2 {
-                        best = (i, j, dist[i][j]);
-                    }
+                let cand = (dist[i * n + j], j);
+                if best.is_none_or(|b| neighbor_cmp(cand, b) == Ordering::Less) {
+                    best = Some(cand);
                 }
             }
-            let (i, j, d) = best;
+            best
+        };
+        let mut nn: Vec<Option<(f64, usize)>> = if n * n >= PAR_WORK_THRESHOLD {
+            leaps_par::par_map_indexed(n, |i| row_nn(&dist, &clusters, i))
+        } else {
+            (0..n).map(|i| row_nn(&dist, &clusters, i)).collect()
+        };
+
+        while active > 1 {
+            // Closest active pair: minimal (distance, i, j) over the
+            // cache — cheap O(n), chunk-parallel for very large n (the
+            // min under a total order is reduction-order independent).
+            let best_of = |offset: usize, rows: &[Option<(f64, usize)>]| {
+                let mut best: Option<(f64, usize, usize)> = None;
+                for (di, entry) in rows.iter().enumerate() {
+                    let Some((d, j)) = *entry else { continue };
+                    let cand = (d, offset + di, j);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bi, _)) => {
+                            dist_cmp(d, bd).then(cand.1.cmp(&bi)) == Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+                best
+            };
+            let best = if n >= PAR_WORK_THRESHOLD {
+                leaps_par::par_chunks(&nn, 4096, best_of).into_iter().flatten().reduce(|a, b| {
+                    if dist_cmp(a.0, b.0).then(a.1.cmp(&b.1)) == Ordering::Greater {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            } else {
+                best_of(0, &nn)
+            };
+            let (d, i, j) = best.expect("at least two active clusters have a closest pair");
             let (id_i, size_i) = clusters[i].expect("active");
             let (id_j, size_j) = clusters[j].expect("active");
             let merged_size = size_i + size_j;
@@ -93,20 +199,129 @@ impl Dendrogram {
                 distance: d,
                 size: merged_size,
             });
-            // Lance–Williams update: new cluster occupies slot i.
+
+            // Lance–Williams update: new cluster occupies slot i. The
+            // updated distances are pure functions of the old row pair,
+            // so they fan out across the pool and are written back in
+            // index order.
+            let ks: Vec<usize> =
+                (0..n).filter(|&k| k != i && k != j && clusters[k].is_some()).collect();
+            let updated: Vec<f64> = if ks.len() >= PAR_WORK_THRESHOLD {
+                leaps_par::par_chunks(&ks, 4096, |_, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&k| linkage.update(size_i, size_j, dist[i * n + k], dist[j * n + k]))
+                        .collect::<Vec<f64>>()
+                })
+                .concat()
+            } else {
+                ks.iter()
+                    .map(|&k| linkage.update(size_i, size_j, dist[i * n + k], dist[j * n + k]))
+                    .collect()
+            };
+            for (&k, &v) in ks.iter().zip(&updated) {
+                dist[i * n + k] = v;
+                dist[k * n + i] = v;
+            }
+            clusters[i] = Some((n + merges.len() - 1, merged_size));
+            clusters[j] = None;
+            nn[j] = None;
+            active -= 1;
+
+            // Invalidate exactly the rows the merge touched. Row i
+            // changed entirely. A row k < i sees one rewritten column
+            // (i): if its cached neighbor was i or the retired j it must
+            // rescan, otherwise the new dist[k][i] can only *join* the
+            // competition, which is a single compare. A row i < k < j
+            // only loses column j; rows k > j see no change at all.
+            let mut stale = vec![i];
+            for k in 0..i {
+                if clusters[k].is_none() {
+                    continue;
+                }
+                match nn[k] {
+                    Some((_, t)) if t == i || t == j => stale.push(k),
+                    Some(old) => {
+                        let cand = (dist[k * n + i], i);
+                        if neighbor_cmp(cand, old) == Ordering::Less {
+                            nn[k] = Some(cand);
+                        }
+                    }
+                    None => stale.push(k),
+                }
+            }
+            for k in (i + 1)..j {
+                if clusters[k].is_some() && nn[k].is_some_and(|(_, t)| t == j) {
+                    stale.push(k);
+                }
+            }
+            let rescanned: Vec<Option<(f64, usize)>> =
+                if stale.len().saturating_mul(n) >= PAR_WORK_THRESHOLD {
+                    leaps_par::par_map(&stale, |&k| row_nn(&dist, &clusters, k))
+                } else {
+                    stale.iter().map(|&k| row_nn(&dist, &clusters, k)).collect()
+                };
+            for (&k, &entry) in stale.iter().zip(&rescanned) {
+                nn[k] = entry;
+            }
+        }
+        Dendrogram { n_leaves: n, merges }
+    }
+
+    /// The retired full-rescan implementation: every merge rescans all
+    /// O(n²) active pairs. Kept (hidden) as the oracle for the
+    /// nearest-neighbor-cache [`Dendrogram::build`] in equivalence tests
+    /// and as the benchmark baseline — do not use it for real workloads.
+    #[doc(hidden)]
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // dense matrix code reads best indexed
+    pub fn build_rescan(dm: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+        let n = dm.len();
+        if n == 0 {
+            return Dendrogram { n_leaves: 0, merges: Vec::new() };
+        }
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i][j] = dm.get(i, j);
+            }
+        }
+        let mut clusters: Vec<Option<(usize, usize)>> = (0..n).map(|i| Some((i, 1))).collect();
+        let mut active = n;
+        let mut merges = Vec::with_capacity(n - 1);
+
+        while active > 1 {
+            // Find the closest active pair (first-encountered minimum =
+            // smallest indices on ties; NaN sorts last via dist_cmp).
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                if clusters[i].is_none() {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if clusters[j].is_none() {
+                        continue;
+                    }
+                    if best.is_none_or(|b| dist_cmp(dist[i][j], b.2) == Ordering::Less) {
+                        best = Some((i, j, dist[i][j]));
+                    }
+                }
+            }
+            let (i, j, d) = best.expect("at least two active clusters");
+            let (id_i, size_i) = clusters[i].expect("active");
+            let (id_j, size_j) = clusters[j].expect("active");
+            let merged_size = size_i + size_j;
+            merges.push(Merge {
+                left: id_i.min(id_j),
+                right: id_i.max(id_j),
+                distance: d,
+                size: merged_size,
+            });
             for k in 0..n {
                 if k == i || k == j || clusters[k].is_none() {
                     continue;
                 }
-                let dik = dist[i][k];
-                let djk = dist[j][k];
-                let updated = match linkage {
-                    Linkage::Average => {
-                        (size_i as f64 * dik + size_j as f64 * djk) / merged_size as f64
-                    }
-                    Linkage::Single => dik.min(djk),
-                    Linkage::Complete => dik.max(djk),
-                };
+                let updated = linkage.update(size_i, size_j, dist[i][k], dist[j][k]);
                 dist[i][k] = updated;
                 dist[k][i] = updated;
             }
@@ -131,7 +346,8 @@ impl Dendrogram {
 
     /// Cuts the dendrogram so that merges with linkage distance
     /// `<= threshold` are applied. Returns a dense cluster label per leaf
-    /// (labels are `0..k` in order of first appearance).
+    /// (labels are `0..k` in order of first appearance). Merges recorded
+    /// at a NaN distance are never applied.
     #[must_use]
     pub fn cut_at_distance(&self, threshold: f64) -> Vec<u32> {
         let applied = self.merges.iter().map(|m| m.distance <= threshold).collect::<Vec<_>>();
@@ -307,5 +523,83 @@ mod tests {
         let labels = d.cut_at_distance(0.0);
         assert_eq!(labels[0], labels[1]);
         assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cache_matches_rescan_on_tie_heavy_matrix() {
+        // Many exactly-equal distances force the smallest-index
+        // tie-break on nearly every merge.
+        let n = 9;
+        let mut full = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = [0.25, 0.5, 0.25, 0.75][(i + j) % 4];
+                full[i][j] = d;
+                full[j][i] = d;
+            }
+        }
+        let dm = DistanceMatrix::from_full(&full);
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let cache = Dendrogram::build(&dm, linkage);
+            let rescan = Dendrogram::build_rescan(&dm, linkage);
+            assert_eq!(cache, rescan, "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn nan_distances_no_longer_panic() {
+        // Regression: before the NaN-last total order, a round in which
+        // every remaining pairwise distance was NaN left the closest-pair
+        // sentinel untouched and `build` panicked indexing
+        // `clusters[usize::MAX]`. Leaves 0..3 are mutually NaN, so after
+        // the finite pairs merge, only NaN distances remain.
+        let n = 4;
+        let data = vec![f64::NAN; n * (n - 1) / 2];
+        let dm = DistanceMatrix::from_condensed(n, data);
+        let d = Dendrogram::build(&dm, Linkage::Average);
+        assert_eq!(d.merges().len(), n - 1);
+        // All-NaN: merges happen in smallest-index order at NaN distance.
+        assert_eq!((d.merges()[0].left, d.merges()[0].right), (0, 1));
+        assert!(d.merges().iter().all(|m| m.distance.is_nan()));
+        // NaN merges are never applied by a distance cut: all singletons.
+        let labels = d.cut_at_distance(f64::INFINITY);
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), n);
+        // Count cuts still work (they ignore distances entirely).
+        assert!(d.cut_at_count(1).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn nan_distances_sort_after_finite_ones() {
+        // 0-1 finite and close, 2 is NaN-distant from everyone: the
+        // finite pair must merge first, the NaN leaf last.
+        let dm = DistanceMatrix::from_condensed(3, vec![0.1, f64::NAN, f64::NAN]);
+        for build in [Dendrogram::build, Dendrogram::build_rescan] {
+            let d = build(&dm, Linkage::Average);
+            assert_eq!((d.merges()[0].left, d.merges()[0].right), (0, 1));
+            assert_eq!(d.merges()[0].distance, 0.1);
+            assert!(d.merges()[1].distance.is_nan());
+            // Cutting at any finite threshold keeps the NaN leaf apart.
+            let labels = d.cut_at_distance(10.0);
+            assert_eq!(labels[0], labels[1]);
+            assert_ne!(labels[0], labels[2]);
+        }
+    }
+
+    #[test]
+    fn partial_nan_matrix_matches_rescan_oracle() {
+        let dm = DistanceMatrix::from_condensed(
+            5,
+            vec![0.3, f64::NAN, 0.6, 0.2, f64::NAN, 0.4, f64::NAN, 0.5, 0.1, f64::NAN],
+        );
+        for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+            let cache = Dendrogram::build(&dm, linkage);
+            let rescan = Dendrogram::build_rescan(&dm, linkage);
+            assert_eq!(cache.merges().len(), rescan.merges().len());
+            for (a, b) in cache.merges().iter().zip(rescan.merges()) {
+                assert_eq!((a.left, a.right, a.size), (b.left, b.right, b.size), "{linkage:?}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{linkage:?}");
+            }
+        }
     }
 }

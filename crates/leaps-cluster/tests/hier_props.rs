@@ -115,3 +115,103 @@ proptest! {
         prop_assert_eq!(labels[0], labels[1]);
     }
 }
+
+/// Strategy: a matrix whose distances come from a 4-value grid, so almost
+/// every merge exercises the smallest-index tie-break.
+fn tied_distance_matrix() -> impl Strategy<Value = DistanceMatrix> {
+    (2usize..=12).prop_flat_map(|n| {
+        prop::collection::vec(prop::sample::select(vec![0.25f64, 0.5, 0.75, 1.0]), n * (n - 1) / 2)
+            .prop_map(move |upper| DistanceMatrix::from_condensed(n, upper))
+    })
+}
+
+/// Strategy: a random matrix with a random subset of entries replaced by
+/// NaN (possibly all of them) — the degraded-telemetry shape that used to
+/// panic inside `Dendrogram::build`.
+fn nan_bearing_matrix() -> impl Strategy<Value = DistanceMatrix> {
+    (2usize..=10).prop_flat_map(|n| {
+        prop::collection::vec((0.0f64..1.0, prop::bool::ANY), n * (n - 1) / 2).prop_map(
+            move |entries| {
+                let data =
+                    entries.into_iter().map(|(d, nan)| if nan { f64::NAN } else { d }).collect();
+                DistanceMatrix::from_condensed(n, data)
+            },
+        )
+    })
+}
+
+/// Merges compared bitwise: NaN distances must match in bit pattern too.
+fn assert_same_merges(a: &Dendrogram, b: &Dendrogram) {
+    assert_eq!(a.n_leaves(), b.n_leaves());
+    assert_eq!(a.merges().len(), b.merges().len());
+    for (x, y) in a.merges().iter().zip(b.merges()) {
+        assert_eq!((x.left, x.right, x.size), (y.left, y.right, y.size));
+        assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The nearest-neighbor-cache `build` is byte-identical to the
+    /// retired full-rescan implementation, merges and cut labels alike.
+    #[test]
+    fn cache_build_matches_rescan_oracle(
+        dm in distance_matrix(),
+        linkage in linkages(),
+        threshold in 0.0f64..1.0,
+        k in 1usize..=14,
+    ) {
+        let cache = Dendrogram::build(&dm, linkage);
+        let rescan = Dendrogram::build_rescan(&dm, linkage);
+        assert_same_merges(&cache, &rescan);
+        prop_assert_eq!(cache.cut_at_distance(threshold), rescan.cut_at_distance(threshold));
+        prop_assert_eq!(cache.cut_at_count(k), rescan.cut_at_count(k));
+    }
+
+    /// Same oracle equivalence on tie-heavy grids, where the
+    /// smallest-index tie-break decides nearly every merge.
+    #[test]
+    fn cache_build_matches_rescan_on_ties(
+        dm in tied_distance_matrix(),
+        linkage in linkages(),
+        threshold in 0.0f64..1.0,
+        k in 1usize..=14,
+    ) {
+        let cache = Dendrogram::build(&dm, linkage);
+        let rescan = Dendrogram::build_rescan(&dm, linkage);
+        assert_same_merges(&cache, &rescan);
+        prop_assert_eq!(cache.cut_at_distance(threshold), rescan.cut_at_distance(threshold));
+        prop_assert_eq!(cache.cut_at_count(k), rescan.cut_at_count(k));
+    }
+
+    /// NaN-bearing matrices never panic, produce a full merge sequence
+    /// with NaNs ordered last, match the rescan oracle, and never apply
+    /// a NaN merge in a distance cut.
+    #[test]
+    fn nan_matrices_build_deterministically(
+        dm in nan_bearing_matrix(),
+        linkage in linkages(),
+        k in 1usize..=12,
+    ) {
+        let n = dm.len();
+        let d = Dendrogram::build(&dm, linkage);
+        prop_assert_eq!(d.merges().len(), n - 1);
+        prop_assert_eq!(d.merges().last().unwrap().size, n);
+        assert_same_merges(&d, &Dendrogram::build_rescan(&dm, linkage));
+        // Count cuts are structural and stay dense.
+        let labels = d.cut_at_count(k);
+        let distinct: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k.min(n));
+        // A NaN-distance merge is never applied: at an infinite
+        // threshold the cluster count still exceeds 1 whenever the final
+        // (all-leaves) merge happened at NaN.
+        let applied = d.cut_at_distance(f64::INFINITY);
+        let groups: std::collections::BTreeSet<u32> = applied.iter().copied().collect();
+        if d.merges().last().unwrap().distance.is_nan() {
+            prop_assert!(groups.len() > 1);
+        }
+        // Rebuilding is deterministic, byte for byte.
+        assert_same_merges(&d, &Dendrogram::build(&dm, linkage));
+    }
+}

@@ -38,9 +38,55 @@ pub struct Hmm {
     b: Vec<f64>,
 }
 
+/// Per-sequence E-step statistics: each training sequence's contribution
+/// to the Baum–Welch accumulators, computed independently of every other
+/// sequence so the E-step can fan out across threads.
+struct SeqStats {
+    pi: Vec<f64>,
+    a_num: Vec<f64>,
+    a_den: Vec<f64>,
+    b_num: Vec<f64>,
+    b_den: Vec<f64>,
+}
+
+impl SeqStats {
+    /// Adds `other` into `self` element-wise. Called on the training
+    /// thread in sequence order, which fixes the floating-point reduction
+    /// order independently of how the E-step was scheduled.
+    fn merge(&mut self, other: &SeqStats) {
+        let add = |acc: &mut [f64], inc: &[f64]| {
+            for (a, x) in acc.iter_mut().zip(inc) {
+                *a += x;
+            }
+        };
+        add(&mut self.pi, &other.pi);
+        add(&mut self.a_num, &other.a_num);
+        add(&mut self.a_den, &other.a_den);
+        add(&mut self.b_num, &other.b_num);
+        add(&mut self.b_den, &other.b_den);
+    }
+}
+
 impl Hmm {
     /// Trains an HMM on `sequences` of observation symbols drawn from
     /// `0..symbols`, with Baum–Welch (multiple-sequence re-estimation).
+    ///
+    /// The E-step (forward/backward plus gamma/xi accumulation) runs per
+    /// sequence and fans out across the `leaps_par` pool; the per-sequence
+    /// statistics are then reduced into the shared accumulators on the
+    /// calling thread **in sequence order**, so the trained model is
+    /// bit-identical at every thread count (`LEAPS_THREADS=1` spawns no
+    /// threads at all and computes the exact same sums).
+    ///
+    /// # Degenerate transition evidence
+    ///
+    /// A sequence of length 1 has no transitions, so it contributes
+    /// nothing to the `A` re-estimation. If **no** sequence has length
+    /// ≥ 2 the transition matrix would silently keep its random
+    /// initialization; instead it is set to the uniform
+    /// (maximum-entropy) distribution and left there — deterministic,
+    /// seed-independent, and irrelevant to scoring (a length-1 sequence
+    /// never consults `A`). π and `B` are still re-estimated normally.
     ///
     /// # Panics
     ///
@@ -68,88 +114,118 @@ impl Hmm {
             a: random_stochastic(&mut rng, n, n).concat(),
             b: random_stochastic(&mut rng, n, symbols).concat(),
         };
+        if !sequences.iter().any(|s| s.len() >= 2) {
+            // No transition is ever observed: fall back to uniform A
+            // (see the method docs) instead of returning the random init.
+            model.a = vec![1.0 / n as f64; n * n];
+        }
 
         for _ in 0..params.iterations {
-            let mut pi_acc = vec![0.0; n];
-            let mut a_num = vec![0.0; n * n];
-            let mut a_den = vec![0.0; n];
-            let mut b_num = vec![0.0; n * symbols];
-            let mut b_den = vec![0.0; n];
-
-            for seq in &sequences {
-                let t_len = seq.len();
-                let (alpha, scales) = model.forward_scaled(seq);
-                let beta = model.backward_scaled(seq, &scales);
-
-                // gamma_t(i) ∝ alpha_t(i) * beta_t(i) (already normalized
-                // per t thanks to the common scaling).
-                for t in 0..t_len {
-                    let mut norm = 0.0;
-                    for i in 0..n {
-                        norm += alpha[t * n + i] * beta[t * n + i];
-                    }
-                    if norm <= 0.0 {
-                        continue;
-                    }
-                    for i in 0..n {
-                        let g = alpha[t * n + i] * beta[t * n + i] / norm;
-                        if t == 0 {
-                            pi_acc[i] += g;
-                        }
-                        b_num[i * symbols + seq[t]] += g;
-                        b_den[i] += g;
-                        if t + 1 < t_len {
-                            a_den[i] += g;
-                        }
-                    }
-                }
-                // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
-                for t in 0..t_len.saturating_sub(1) {
-                    let mut norm = 0.0;
-                    let mut xi = vec![0.0; n * n];
-                    for i in 0..n {
-                        for j in 0..n {
-                            let v = alpha[t * n + i]
-                                * model.a[i * n + j]
-                                * model.b[j * symbols + seq[t + 1]]
-                                * beta[(t + 1) * n + j];
-                            xi[i * n + j] = v;
-                            norm += v;
-                        }
-                    }
-                    if norm <= 0.0 {
-                        continue;
-                    }
-                    for i in 0..n {
-                        for j in 0..n {
-                            a_num[i * n + j] += xi[i * n + j] / norm;
-                        }
-                    }
-                }
+            // E-step: independent per sequence, fanned across threads;
+            // reduced below in sequence order for bit-identical results
+            // at any thread count.
+            let locals = leaps_par::par_map(&sequences, |seq| model.sequence_stats(seq));
+            let mut acc = SeqStats {
+                pi: vec![0.0; n],
+                a_num: vec![0.0; n * n],
+                a_den: vec![0.0; n],
+                b_num: vec![0.0; n * symbols],
+                b_den: vec![0.0; n],
+            };
+            for local in &locals {
+                acc.merge(local);
             }
 
-            // Re-estimate with flooring + renormalization.
-            let total_pi: f64 = pi_acc.iter().sum();
+            // M-step: re-estimate with flooring + renormalization.
+            let total_pi: f64 = acc.pi.iter().sum();
             if total_pi > 0.0 {
                 for i in 0..n {
-                    model.pi[i] = pi_acc[i] / total_pi;
+                    model.pi[i] = acc.pi[i] / total_pi;
                 }
             }
             for i in 0..n {
-                if a_den[i] > 0.0 {
+                if acc.a_den[i] > 0.0 {
                     for j in 0..n {
-                        model.a[i * n + j] = a_num[i * n + j] / a_den[i];
+                        model.a[i * n + j] = acc.a_num[i * n + j] / acc.a_den[i];
                     }
                 }
-                if b_den[i] > 0.0 {
+                if acc.b_den[i] > 0.0 {
                     for m in 0..symbols {
-                        model.b[i * symbols + m] = b_num[i * symbols + m] / b_den[i];
+                        model.b[i * symbols + m] = acc.b_num[i * symbols + m] / acc.b_den[i];
                     }
                 }
             }
             model.apply_floor(params.floor);
         }
         model
+    }
+
+    /// One sequence's Baum–Welch E-step against the current model:
+    /// scaled forward/backward passes plus the gamma/xi accumulation,
+    /// into accumulators local to this sequence. Pure (reads the model,
+    /// writes nothing shared), so invocations for different sequences
+    /// run concurrently without changing any result.
+    #[allow(clippy::needless_range_loop)] // Baum-Welch index arithmetic reads best indexed
+    fn sequence_stats(&self, seq: &[usize]) -> SeqStats {
+        let n = self.states;
+        let symbols = self.symbols;
+        let mut stats = SeqStats {
+            pi: vec![0.0; n],
+            a_num: vec![0.0; n * n],
+            a_den: vec![0.0; n],
+            b_num: vec![0.0; n * symbols],
+            b_den: vec![0.0; n],
+        };
+        let t_len = seq.len();
+        let (alpha, scales) = self.forward_scaled(seq);
+        let beta = self.backward_scaled(seq, &scales);
+
+        // gamma_t(i) ∝ alpha_t(i) * beta_t(i) (already normalized per t
+        // thanks to the common scaling).
+        for t in 0..t_len {
+            let mut norm = 0.0;
+            for i in 0..n {
+                norm += alpha[t * n + i] * beta[t * n + i];
+            }
+            if norm <= 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let g = alpha[t * n + i] * beta[t * n + i] / norm;
+                if t == 0 {
+                    stats.pi[i] += g;
+                }
+                stats.b_num[i * symbols + seq[t]] += g;
+                stats.b_den[i] += g;
+                if t + 1 < t_len {
+                    stats.a_den[i] += g;
+                }
+            }
+        }
+        // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j).
+        let mut xi = vec![0.0; n * n];
+        for t in 0..t_len.saturating_sub(1) {
+            let mut norm = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    let v = alpha[t * n + i]
+                        * self.a[i * n + j]
+                        * self.b[j * symbols + seq[t + 1]]
+                        * beta[(t + 1) * n + j];
+                    xi[i * n + j] = v;
+                    norm += v;
+                }
+            }
+            if norm <= 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    stats.a_num[i * n + j] += xi[i * n + j] / norm;
+                }
+            }
+        }
+        stats
     }
 
     fn apply_floor(&mut self, floor: f64) {
@@ -371,6 +447,45 @@ mod tests {
         // Roughly additive per symbol.
         assert!(ll20 < ll10);
         assert!((ll20 / 2.0 - ll10).abs() < 2.0);
+    }
+
+    #[test]
+    fn length_one_sequences_get_uniform_transitions() {
+        // Regression: with only length-1 sequences no transition is ever
+        // observed (`a_den` stays 0), and `train` used to return the
+        // *random initial* transition matrix silently. The documented
+        // fallback is the uniform distribution — deterministic and
+        // independent of the seed.
+        let seqs = vec![vec![0], vec![1], vec![0], vec![1]];
+        let m1 = Hmm::train(&seqs, 2, &HmmParams { seed: 1, ..HmmParams::default() });
+        let m2 = Hmm::train(&seqs, 2, &HmmParams { seed: 99, ..HmmParams::default() });
+        let n = m1.state_count();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (m1.a[i * n + j] - 1.0 / n as f64).abs() < 1e-12,
+                    "A[{i},{j}] = {} is not uniform",
+                    m1.a[i * n + j]
+                );
+            }
+        }
+        // The fallback does not depend on the random init.
+        assert_eq!(m1.a, m2.a);
+        // π and B are still trained: both symbols appear equally often,
+        // and scoring still works.
+        assert!((m1.pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m1.log_likelihood(&[0]).is_finite());
+    }
+
+    #[test]
+    fn mixed_length_one_and_longer_sequences_still_estimate_transitions() {
+        // One length-1 sequence among real ones must not trigger the
+        // uniform fallback: transitions come from the longer sequences.
+        let seqs = vec![vec![0], alternating(40), vec![1]];
+        let with_short = Hmm::train(&seqs, 2, &HmmParams::default());
+        let uniform = 1.0 / with_short.state_count() as f64;
+        let deviates = with_short.a.iter().any(|&x| (x - uniform).abs() > 1e-6);
+        assert!(deviates, "A stayed uniform despite transition evidence: {:?}", with_short.a);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Parallel/serial equivalence: every `leaps_par` fan-out (kernel
-//! matrix, CV grid, pairwise distances) must be bit-identical to the
-//! serial path at any thread count, including grid-search tie-breaking.
+//! matrix, CV grid, pairwise distances, UPGMA dendrogram merging,
+//! Baum–Welch) must be bit-identical to the serial path at any thread
+//! count, including grid-search and closest-pair tie-breaking.
 
 use leaps::cluster::dissim::{jaccard_dissimilarity, DistanceMatrix};
+use leaps::cluster::hier::{Dendrogram, Linkage};
 use leaps::core::config::PipelineConfig;
 use leaps::core::dataset::Dataset;
 use leaps::core::par;
 use leaps::core::pipeline::{train_classifier, Method};
+use leaps::etw::rng::SimRng;
 use leaps::etw::scenario::{GenParams, Scenario};
+use leaps::hmm::hmm::{Hmm, HmmParams};
 use leaps::svm::cv::GridSearch;
 use leaps::svm::data::{Sample, TrainSet};
 use proptest::prelude::*;
@@ -90,6 +94,133 @@ fn wsvm_training_is_identical_across_thread_counts() {
     let cm1 = with_threads(1, evaluate);
     let cm4 = with_threads(4, evaluate);
     assert_eq!(cm1, cm4);
+}
+
+/// Deterministic pseudo-random distance matrix with quantized values,
+/// so closest-pair ties occur and exercise the smallest-index
+/// tie-break at every thread count.
+fn synthetic_dm(n: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = SimRng::new(seed);
+    let data: Vec<f64> = (0..n * (n - 1) / 2).map(|_| (rng.f64() * 16.0).floor() / 16.0).collect();
+    DistanceMatrix::from_condensed(n, data)
+}
+
+#[test]
+fn dendrogram_merges_identical_across_thread_counts() {
+    let _guard = lock();
+    let dm = synthetic_dm(80, 11);
+    for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+        let serial = with_threads(1, || Dendrogram::build(&dm, linkage));
+        // The retired full-rescan implementation is the oracle.
+        assert_eq!(serial, Dendrogram::build_rescan(&dm, linkage), "{linkage:?} vs oracle");
+        for threads in [2, 4, 8] {
+            let parallel = with_threads(threads, || Dendrogram::build(&dm, linkage));
+            assert_eq!(serial, parallel, "{linkage:?} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn dendrogram_with_nan_distances_identical_across_thread_counts() {
+    let _guard = lock();
+    // Every 5th distance is NaN — the degraded-telemetry shape that
+    // used to panic. Merge distances compare by bit pattern.
+    let mut rng = SimRng::new(3);
+    let n = 40;
+    let data: Vec<f64> =
+        (0..n * (n - 1) / 2).map(|k| if k % 5 == 0 { f64::NAN } else { rng.f64() }).collect();
+    let dm = DistanceMatrix::from_condensed(n, data);
+    let serial = with_threads(1, || Dendrogram::build(&dm, Linkage::Average));
+    assert_eq!(serial.merges().len(), n - 1);
+    for threads in [2, 4, 8] {
+        let parallel = with_threads(threads, || Dendrogram::build(&dm, Linkage::Average));
+        for (a, b) in serial.merges().iter().zip(parallel.merges()) {
+            assert_eq!((a.left, a.right, a.size), (b.left, b.right, b.size));
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{threads} threads");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn dendrogram_build_matches_serial_for_random_matrices(
+        seed in 0u64..1000,
+        n in 2usize..40,
+        threads in 2usize..9,
+    ) {
+        let _guard = lock();
+        let dm = synthetic_dm(n, seed);
+        let serial = with_threads(1, || Dendrogram::build(&dm, Linkage::Average));
+        let parallel = with_threads(threads, || Dendrogram::build(&dm, Linkage::Average));
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial, &Dendrogram::build_rescan(&dm, Linkage::Average));
+    }
+}
+
+/// Deterministic symbol sequences with a state-ish structure, varying
+/// lengths so the per-sequence E-step work is skewed across threads.
+fn synthetic_sequences(count: usize, symbols: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = SimRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let len = 20 + (i * 13) % 40;
+            (0..len).map(|_| rng.below(symbols)).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn hmm_training_identical_across_thread_counts() {
+    let _guard = lock();
+    let seqs = synthetic_sequences(12, 6, 42);
+    let params = HmmParams::default();
+    let serial = with_threads(1, || Hmm::train(&seqs, 6, &params));
+    let (pi1, a1, b1) = serial.parts();
+    for threads in [2, 4, 8] {
+        let parallel = with_threads(threads, || Hmm::train(&seqs, 6, &params));
+        let (pi2, a2, b2) = parallel.parts();
+        for (name, x, y) in [("pi", pi1, pi2), ("a", a1, a2), ("b", b1, b2)] {
+            assert_eq!(x.len(), y.len());
+            for (v, w) in x.iter().zip(y) {
+                assert_eq!(v.to_bits(), w.to_bits(), "{name} diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn hmm_training_matches_serial_for_random_corpora(
+        seed in 0u64..500,
+        count in 1usize..10,
+        symbols in 2usize..8,
+        threads in 2usize..9,
+    ) {
+        let _guard = lock();
+        let seqs = synthetic_sequences(count, symbols, seed);
+        let params = HmmParams { states: 4, iterations: 5, ..HmmParams::default() };
+        let serial = with_threads(1, || Hmm::train(&seqs, symbols, &params));
+        let parallel = with_threads(threads, || Hmm::train(&seqs, symbols, &params));
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn hmm_classifier_verdicts_identical_across_thread_counts() {
+    let _guard = lock();
+    let scenario = Scenario::by_name("vim_reverse_tcp").unwrap();
+    let d = Dataset::materialize(scenario, &GenParams::small(), 21).unwrap();
+    let (train, test) = d.split_benign(0.5, 1);
+    let evaluate = || {
+        train_classifier(Method::Hmm, &train, &d.mixed, &PipelineConfig::fast(), 7)
+            .evaluate(&test, &d.malicious)
+    };
+    let serial = with_threads(1, evaluate);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, with_threads(threads, evaluate), "thread count {threads} diverged");
+    }
 }
 
 #[test]
