@@ -2,7 +2,9 @@
 //! 1–64 concurrent sessions submitting a trained-WSVM workload through
 //! the in-process [`Server`], measuring sustained events/sec, verdict
 //! latency percentiles (submit → sink delivery), and shed/degraded
-//! counts under backpressure.
+//! counts under backpressure. Every session count runs twice — with the
+//! idle-session reaper off and on — to price the reaper's periodic
+//! sessions-map sweep.
 //!
 //! Writes `results/BENCH_serve.json` (override the path with
 //! `LEAPS_BENCH_OUT`) and prints the same numbers to stdout.
@@ -86,6 +88,7 @@ fn session_stream(raw_events: &[PartitionedEvent]) -> Vec<PartitionedEvent> {
 
 struct RunResult {
     sessions: usize,
+    idle_reaper: bool,
     events_per_sec: f64,
     p50_us: f64,
     p95_us: f64,
@@ -98,10 +101,11 @@ struct RunResult {
 impl RunResult {
     fn json(&self) -> String {
         format!(
-            "    {{\"sessions\": {}, \"events_per_sec\": {:.1}, \"p50_us\": {:.1}, \
-             \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \"degraded\": {}, \
-             \"verdicts\": {}}}",
+            "    {{\"sessions\": {}, \"idle_reaper\": {}, \"events_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \
+             \"degraded\": {}, \"verdicts\": {}}}",
             self.sessions,
+            self.idle_reaper,
             self.events_per_sec,
             self.p50_us,
             self.p95_us,
@@ -113,8 +117,22 @@ impl RunResult {
     }
 }
 
-fn run(models_dir: &std::path::Path, stream: &[PartitionedEvent], sessions: usize) -> RunResult {
-    let server = Arc::new(Server::new(&ServerConfig::new(models_dir)));
+/// TTL for the reaper-on runs: far above any real inter-submit gap, so
+/// the sweep runs at its fastest clamped cadence without ever reaping a
+/// benchmark session out from under its submitter.
+const REAPER_TTL: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn run(
+    models_dir: &std::path::Path,
+    stream: &[PartitionedEvent],
+    sessions: usize,
+    idle_reaper: bool,
+) -> RunResult {
+    let server = Arc::new(Server::new(&ServerConfig {
+        idle_ttl: idle_reaper.then_some(REAPER_TTL),
+        ..ServerConfig::new(models_dir)
+    }));
+    let reaper = server.start_reaper();
     let sinks: Vec<Arc<LatencySink>> =
         (0..sessions).map(|_| Arc::new(LatencySink::new(stream.len()))).collect();
     for (pid, sink) in sinks.iter().enumerate() {
@@ -142,6 +160,10 @@ fn run(models_dir: &std::path::Path, stream: &[PartitionedEvent], sessions: usiz
     }
     let reports = server.close_all();
     let elapsed = started.elapsed().as_secs_f64();
+    server.begin_shutdown();
+    if let Some(handle) = reaper {
+        handle.join().expect("reaper thread");
+    }
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut degraded = 0u64;
@@ -155,6 +177,7 @@ fn run(models_dir: &std::path::Path, stream: &[PartitionedEvent], sessions: usiz
     let total_events = (sessions * stream.len()) as f64;
     RunResult {
         sessions,
+        idle_reaper,
         events_per_sec: total_events / elapsed.max(1e-12),
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
@@ -198,13 +221,22 @@ fn main() {
 
     let mut results = Vec::new();
     for sessions in SESSION_COUNTS {
-        let r = run(&dir, &stream, sessions);
-        println!(
-            "{:>3} sessions: {:>9.0} events/s   p50 {:>8.1}us   p95 {:>8.1}us   \
-             p99 {:>8.1}us   shed {:>5}   degraded {:>5}",
-            r.sessions, r.events_per_sec, r.p50_us, r.p95_us, r.p99_us, r.shed, r.degraded
-        );
-        results.push(r);
+        for idle_reaper in [false, true] {
+            let r = run(&dir, &stream, sessions, idle_reaper);
+            println!(
+                "{:>3} sessions (reaper {}): {:>9.0} events/s   p50 {:>8.1}us   \
+                 p95 {:>8.1}us   p99 {:>8.1}us   shed {:>5}   degraded {:>5}",
+                r.sessions,
+                if idle_reaper { "on " } else { "off" },
+                r.events_per_sec,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.shed,
+                r.degraded
+            );
+            results.push(r);
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 

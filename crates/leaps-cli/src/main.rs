@@ -19,7 +19,7 @@ use leaps::cfg::infer::infer_cfg;
 use leaps::core::config::PipelineConfig;
 use leaps::core::error::LeapsError;
 use leaps::core::experiment::Experiment;
-use leaps::core::persist::{load_classifier, save_classifier};
+use leaps::core::persist::{load_classifier_file, save_classifier, save_classifier_to};
 use leaps::core::pipeline::{try_train_classifier, Method};
 use leaps::core::stream::{StreamDetector, Verdict};
 use leaps::etw::scenario::{GenParams, Scenario};
@@ -51,15 +51,23 @@ USAGE:
       Infer the CFG of a raw log and write Graphviz; with --reference,
       highlight nodes absent from the reference log's CFG.
   leaps serve (--socket PATH | --tcp ADDR) --models DIR
-              [--cap-mb N] [--queue N] [--workers N]
+              [--cap-mb N] [--queue N] [--workers N] [--idle-secs N]
       Run the detection daemon: clients open per-process sessions over a
       line protocol and stream events; trained models load on demand
       from DIR (LRU-cached under N MiB), flooded sessions shed load with
-      BUSY instead of stalling others. Stop it with `leaps shutdown`.
+      BUSY instead of stalling others. With --idle-secs N > 0, sessions
+      and connections silent for over N seconds are reaped (default 0 =
+      never). Stop it with `leaps shutdown`.
   leaps submit (--socket PATH | --tcp ADDR) --model NAME --target FILE
                [--pid N] [--client NAME] [--lenient]
       Stream a raw log to a running daemon as one session and print the
       verdicts — the online counterpart of `leaps detect`.
+  leaps health (--socket PATH | --tcp ADDR) [--inject-panic [--shard N]]
+      Probe a running daemon: worker liveness, panic/respawn counts,
+      session/reap counters, registry state and the idle policy — one
+      `health ...` line for supervisors. --inject-panic (daemon started
+      with LEAPS_CHAOS=1 only) crashes one pool job first, to verify
+      supervision end to end.
   leaps shutdown (--socket PATH | --tcp ADDR)
       Ask a running daemon to shut down gracefully (drains all sessions).
 
@@ -137,6 +145,7 @@ fn run(tokens: &[String]) -> Result<(), Failure> {
         "cfg" => cmd_cfg(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
+        "health" => cmd_health(&args),
         "shutdown" => cmd_shutdown(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -266,7 +275,9 @@ fn cmd_train(args: &Args) -> Result<(), Failure> {
     let out = args.required("out")?;
     let classifier = train_from_logs(args)?;
     let text = save_classifier(&classifier);
-    std::fs::write(out, &text).map_err(|e| LeapsError::io(out, &e))?;
+    // Crash-safe: a kill mid-save leaves the old model (or nothing),
+    // never a torn file a later `detect`/`serve` would choke on.
+    save_classifier_to(std::path::Path::new(out), &classifier)?;
     println!("wrote model to {out} ({} lines)", text.lines().count());
     Ok(())
 }
@@ -284,8 +295,7 @@ fn cmd_detect(args: &Args) -> Result<(), Failure> {
                     )));
                 }
             }
-            let text = std::fs::read_to_string(path).map_err(|e| LeapsError::io(path, &e))?;
-            let classifier = load_classifier(&text).map_err(LeapsError::from)?;
+            let classifier = load_classifier_file(std::path::Path::new(path))?;
             println!("loaded model from {path}");
             classifier
         }
@@ -340,26 +350,48 @@ fn cmd_serve(args: &Args) -> Result<(), Failure> {
     if queue == 0 {
         return Err(Failure::usage("--queue must be >= 1"));
     }
+    let idle_secs = args.parse_or("idle-secs", 0u64)?;
     let config = ServerConfig {
         models_dir: models.into(),
         cache_cap_bytes: cap_mb << 20,
         queue_cap: queue,
         workers: args.parse_or("workers", 0usize)?,
+        idle_ttl: (idle_secs > 0).then(|| std::time::Duration::from_secs(idle_secs)),
     };
-    let server = Arc::new(Server::new(&config));
+    let server = Arc::new(Server::try_new(&config)?);
+    let reaper = server.start_reaper();
     let bound = endpoint.bind()?;
+    let idle = if idle_secs == 0 { "off".to_owned() } else { format!("{idle_secs}s") };
     println!(
         "leaps-serve listening on {} (models {models}, {} workers, queue {queue}, \
-         cache {cap_mb} MiB)",
+         cache {cap_mb} MiB, idle TTL {idle})",
         bound.endpoint(),
         server.stats().workers
     );
     let drained = bound.run(&server)?;
+    if let Some(handle) = reaper {
+        let _ = handle.join();
+    }
     let stats = server.stats();
     println!(
-        "leaps-serve shut down: {} sessions served, {drained} drained at shutdown",
-        stats.closed
+        "leaps-serve shut down: {} sessions served ({} reaped idle), \
+         {drained} drained at shutdown, {} worker respawns",
+        stats.closed, stats.reaped, stats.respawns
     );
+    Ok(())
+}
+
+fn cmd_health(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    if args.enabled("inject-panic") {
+        let shard = args.parse_or("shard", 0u32)?;
+        let detail = client.expect_ok(&Command::Panic { shard }, &mut verdicts)?;
+        println!("{detail}");
+    }
+    let detail = client.expect_ok(&Command::Health, &mut verdicts)?;
+    println!("{detail}");
     Ok(())
 }
 

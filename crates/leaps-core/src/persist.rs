@@ -7,7 +7,22 @@
 //! space-separated tokens. Symbols (`module!function`) and set members
 //! never contain whitespace, and floats are written with Rust's `{:?}`
 //! (shortest round-trip representation), so parsing is exact.
+//!
+//! # Crash-safe writes
+//!
+//! [`save_classifier_to`] (and the lower-level [`write_atomic`]) never
+//! expose a half-written model file: the bytes go to a dot-prefixed
+//! temporary in the *same directory* ([`temp_path_for`]), are fsynced,
+//! and only then renamed over the destination — an atomic operation on
+//! POSIX filesystems — followed by a directory fsync so the rename
+//! itself survives power loss. A `SIGKILL` (or crash, or full disk) at
+//! any instant leaves either the complete old file or the complete new
+//! file at the visible path, plus at worst a stale temporary that the
+//! next save of the same path reclaims. Dot-prefixed temporaries are
+//! invisible to the model registry, whose name validation rejects
+//! leading dots.
 
+use crate::error::LeapsError;
 use crate::pipeline::{Classifier, HmmDetector, SvmClassifier};
 use leaps_cgraph::classify::CallGraphClassifier;
 use leaps_cgraph::graph::CallGraph;
@@ -38,6 +53,15 @@ pub enum ModelError {
     },
     /// The file ended before the model was complete.
     Truncated,
+    /// A model error with the offending file named — what path-aware
+    /// loaders ([`load_classifier_file`]) report, so a torn or corrupt
+    /// model file is diagnosed in one line that names the file.
+    InFile {
+        /// The model file that failed to load.
+        path: String,
+        /// The underlying error.
+        inner: Box<ModelError>,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -48,11 +72,19 @@ impl fmt::Display for ModelError {
                 write!(f, "bad model record at line {line}: {reason}")
             }
             ModelError::Truncated => write!(f, "model file ended unexpectedly"),
+            ModelError::InFile { path, inner } => write!(f, "{path}: {inner}"),
         }
     }
 }
 
-impl Error for ModelError {}
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::InFile { inner, .. } => Some(inner),
+            _ => None,
+        }
+    }
+}
 
 /// Serializes a classifier to the text model format.
 #[must_use]
@@ -99,6 +131,90 @@ pub fn load_classifier(text: &str) -> Result<Classifier, ModelError> {
         "hmm" => Ok(Classifier::Hmm(read_hmm(&mut lines)?)),
         other => Err(lines.bad(format!("unknown model kind {other:?}"))),
     }
+}
+
+// ----------------------------------------------------------- file helpers
+
+/// The temporary path [`write_atomic`] stages bytes at before renaming
+/// them over `path`: `.<file-name>.tmp` in the same directory (same
+/// filesystem, so the rename is atomic; dot-prefixed, so registry name
+/// validation never serves it as a model).
+#[must_use]
+pub fn temp_path_for(path: &std::path::Path) -> std::path::PathBuf {
+    let name = path.file_name().map_or_else(|| "model".into(), std::ffi::OsStr::to_os_string);
+    let mut temp_name = std::ffi::OsString::from(".");
+    temp_name.push(name);
+    temp_name.push(".tmp");
+    path.with_file_name(temp_name)
+}
+
+/// Writes `contents` to `path` crash-safely: stage at
+/// [`temp_path_for`]`(path)`, fsync, rename over `path`, fsync the
+/// directory. A crash (including `SIGKILL`) at any point leaves the
+/// visible path either untouched or fully written — never torn. A stale
+/// temporary left by an earlier crash is silently reclaimed.
+///
+/// # Errors
+///
+/// [`LeapsError::Io`] naming the path that failed.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> Result<(), LeapsError> {
+    use std::io::Write;
+    let temp = temp_path_for(path);
+    let io_err =
+        |p: &std::path::Path, e: &std::io::Error| LeapsError::io(p.display().to_string(), e);
+    let result = (|| {
+        let mut file = std::fs::File::create(&temp).map_err(|e| io_err(&temp, &e))?;
+        file.write_all(contents.as_bytes()).map_err(|e| io_err(&temp, &e))?;
+        // The data must be durable *before* the rename publishes it,
+        // or a power cut could leave a fully-renamed empty file.
+        file.sync_all().map_err(|e| io_err(&temp, &e))?;
+        drop(file);
+        std::fs::rename(&temp, path).map_err(|e| io_err(path, &e))?;
+        // Persist the rename itself (the directory entry).
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&temp);
+    }
+    result
+}
+
+/// Saves a classifier to `path` via the crash-safe [`write_atomic`]
+/// protocol — the save `leaps train` and every other model writer
+/// should use, so a kill mid-save never leaves a torn model file.
+///
+/// # Errors
+///
+/// [`LeapsError::Io`] naming the path that failed.
+pub fn save_classifier_to(
+    path: &std::path::Path,
+    classifier: &Classifier,
+) -> Result<(), LeapsError> {
+    write_atomic(path, &save_classifier(classifier))
+}
+
+/// Loads a classifier from a model file, naming the file in every
+/// error: read failures are [`LeapsError::Io`], parse failures are
+/// [`LeapsError::Model`] wrapping [`ModelError::InFile`] — so a torn or
+/// truncated model file is a one-line diagnosis (CLI exit code 4), not
+/// a panic.
+///
+/// # Errors
+///
+/// [`LeapsError::Io`] or [`LeapsError::Model`], both naming `path`.
+pub fn load_classifier_file(path: &std::path::Path) -> Result<Classifier, LeapsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LeapsError::io(path.display().to_string(), &e))?;
+    load_classifier(&text).map_err(|inner| {
+        LeapsError::Model(ModelError::InFile {
+            path: path.display().to_string(),
+            inner: Box::new(inner),
+        })
+    })
 }
 
 // ---------------------------------------------------------------- writing
@@ -643,5 +759,87 @@ mod tests {
         assert!(ModelError::BadHeader.to_string().contains("LEAPS-MODEL"));
         let e = ModelError::BadRecord { line: 3, reason: "x".into() };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("leaps-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn temp_path_is_dot_prefixed_sibling() {
+        let temp = temp_path_for(std::path::Path::new("/models/cgraph.model"));
+        assert_eq!(temp, std::path::Path::new("/models/.cgraph.model.tmp"));
+        // Dot prefix means registry name validation can never serve it.
+        assert!(temp.file_name().unwrap().to_str().unwrap().starts_with('.'));
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_and_reclaims_stale_ones() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("m.model");
+        let temp = temp_path_for(&path);
+
+        // A previous save "killed" mid-write left a stale temp behind.
+        std::fs::write(&temp, "torn garbage").unwrap();
+
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        let original =
+            train_classifier(Method::CGraph, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        save_classifier_to(&path, &original).unwrap();
+
+        assert!(!temp.exists(), "temp file must be consumed by the rename");
+        let loaded = load_classifier_file(&path).unwrap();
+        assert_eq!(save_classifier(&loaded), save_classifier(&original));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_save_never_touches_the_visible_file() {
+        let dir = scratch_dir("interrupted");
+        let path = dir.join("m.model");
+        std::fs::write(&path, "known good").unwrap();
+
+        // Simulate a save killed after staging but before the rename:
+        // only the temp exists alongside the intact old model.
+        std::fs::write(temp_path_for(&path), "half-writ").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "known good");
+
+        // And a save that fails outright (target dir missing) cleans up
+        // its temp and leaves nothing visible.
+        let bad = dir.join("no-such-dir").join("m.model");
+        assert!(write_atomic(&bad, "x").is_err());
+        assert!(!temp_path_for(&bad).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_model_file_is_a_one_line_model_error_naming_the_file() {
+        let dir = scratch_dir("torn");
+        let path = dir.join("torn.model");
+
+        let d = dataset();
+        let (train, _) = d.split_benign(0.5, 7);
+        let original =
+            train_classifier(Method::CGraph, &train, &d.mixed, &PipelineConfig::fast(), 7);
+        let text = save_classifier(&original);
+        // Truncate mid-file: the classic torn write.
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let err = load_classifier_file(&path).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "torn model must be exit-code 4, got {err}");
+        let message = err.to_string();
+        assert!(message.contains("torn.model"), "message must name the file: {message}");
+        assert!(!message.contains('\n'), "diagnosis must be one line: {message:?}");
+
+        // Missing file: exit code 6 (I/O), still naming the path.
+        let missing = dir.join("absent.model");
+        let err = load_classifier_file(&missing).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("absent.model"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,4 +1,5 @@
-//! A persistent, sharded worker pool for long-running services.
+//! A persistent, sharded, **supervised** worker pool for long-running
+//! services.
 //!
 //! The scoped `par_*` helpers in the crate root fan a *batch* out and
 //! join before returning — the right shape for training loops, but not
@@ -16,24 +17,140 @@
 //!   that need backpressure bound their own per-session queues *before*
 //!   submitting (see `leaps-serve`).
 //!
+//! # Supervision
+//!
+//! Every job runs under [`std::panic::catch_unwind`]. A panicking job is
+//! consumed (its panic payload dropped after being counted), and the
+//! worker that ran it **respawns itself**: the dying thread hands the
+//! shard's queue receiver to a freshly spawned replacement and exits, so
+//! the replacement starts with a clean stack and clean thread-locals.
+//! The queue itself lives outside any worker thread, so the jobs behind
+//! the panicking one are preserved and still run in submission order —
+//! FIFO per shard survives the crash. Per-shard `panics`/`respawns`
+//! counters ([`Pool::stats`], [`Pool::shard_panics`]) let a service
+//! surface supervision activity through a health endpoint. If the OS
+//! refuses to spawn a replacement, the surviving thread keeps draining
+//! its shard itself (a panic is then counted without a respawn) — a
+//! shard is never silently abandoned.
+//!
 //! Workers are marked as par workers, so a job that reaches one of the
 //! scoped `par_*` helpers runs it serially instead of spawning a nested
 //! pool.
 
-use std::sync::mpsc::{channel, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed-size pool of long-lived worker threads with per-worker FIFO
-/// queues and shard-keyed routing.
+/// The pool could not be constructed (bad size or the OS refused to
+/// spawn a worker thread).
+#[derive(Debug)]
+pub struct PoolError {
+    message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Supervision counters of a [`Pool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads (one per shard queue). Always live: a worker lost
+    /// to a panic is respawned before the loss is observable.
+    pub workers: usize,
+    /// Jobs that panicked (caught and counted, never propagated).
+    pub panics: u64,
+    /// Workers respawned after a panic. Tracks `panics` except when a
+    /// replacement spawn failed and the surviving thread kept draining.
+    pub respawns: u64,
+}
+
+/// Per-shard supervision state, shared by the pool handle and every
+/// worker generation of that shard. The queue receiver living here —
+/// not in any worker thread — is what preserves per-shard FIFO order
+/// across a respawn.
+struct Shard {
+    index: usize,
+    /// The shard's job queue. Only the shard's single live worker ever
+    /// holds this lock, so it is uncontended; it exists to move the
+    /// receiver between worker generations.
+    queue: Mutex<Receiver<Job>>,
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    /// Join handle of the newest worker generation. A dying worker
+    /// stores its replacement's handle here before exiting, so shutdown
+    /// can chase generations until one exits normally.
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The supervised worker loop: one generation of one shard's worker.
+///
+/// Runs jobs under `catch_unwind`. On a caught panic the generation
+/// retires: it spawns a successor on the same shard state and returns.
+fn worker_loop(shard: &Arc<Shard>) {
+    crate::mark_current_thread_as_worker();
+    loop {
+        // Holding the queue lock while blocked in `recv` is fine: the
+        // only other contender is a successor generation, which by
+        // construction does not exist while this one lives.
+        let job = match lock_unpoisoned(&shard.queue).recv() {
+            Ok(job) => job,
+            Err(_) => return, // every sender dropped: graceful drain end
+        };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shard.panics.fetch_add(1, Ordering::SeqCst);
+            // Count the respawn before the successor exists, so health
+            // probes that observe the successor's work also observe it.
+            shard.respawns.fetch_add(1, Ordering::SeqCst);
+            if respawn(shard) {
+                return; // successor owns the shard from here
+            }
+            // Spawn refused: keep draining on this thread rather than
+            // abandoning the shard's queued jobs.
+            shard.respawns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Spawns the next worker generation for `shard`, recording its handle
+/// for shutdown. Returns false if the OS refused the thread.
+fn respawn(shard: &Arc<Shard>) -> bool {
+    let successor = Arc::clone(shard);
+    let spawned = std::thread::Builder::new()
+        .name(format!("leaps-pool-{}", shard.index))
+        .spawn(move || worker_loop(&successor));
+    match spawned {
+        Ok(handle) => {
+            *lock_unpoisoned(&shard.worker) = Some(handle);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// A fixed-size pool of long-lived, supervised worker threads with
+/// per-worker FIFO queues and shard-keyed routing.
 ///
 /// Dropping the pool (or calling [`Pool::shutdown`]) closes every queue,
 /// lets each worker finish the jobs already submitted, and joins the
-/// threads — a graceful drain, never an abort.
+/// threads — a graceful drain, never an abort. Panicking jobs are caught
+/// and counted (see the module docs); they never take the pool down and
+/// never reorder the jobs queued behind them.
 pub struct Pool {
     senders: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    shards: Vec<Arc<Shard>>,
 }
 
 impl Pool {
@@ -41,27 +158,56 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0` or if the OS refuses to spawn a thread.
+    /// Panics if `threads == 0` or if the OS refuses to spawn a thread;
+    /// services that must survive spawn failure use [`Pool::try_new`].
     #[must_use]
     pub fn new(threads: usize) -> Pool {
-        assert!(threads >= 1, "pool needs at least one worker");
-        let mut senders = Vec::with_capacity(threads);
-        let mut handles = Vec::with_capacity(threads);
-        for i in 0..threads {
-            let (tx, rx) = channel::<Job>();
-            senders.push(tx);
-            let handle = std::thread::Builder::new()
-                .name(format!("leaps-pool-{i}"))
-                .spawn(move || {
-                    crate::mark_current_thread_as_worker();
-                    while let Ok(job) = rx.recv() {
-                        job();
-                    }
-                })
-                .expect("spawning pool worker thread");
-            handles.push(handle);
+        Pool::try_new(threads).expect("spawning pool worker threads")
+    }
+
+    /// Fallible constructor: spawns a pool of exactly `threads` workers,
+    /// reporting rather than panicking when the pool cannot be built.
+    /// Workers spawned before a failure are drained and joined.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError`] if `threads == 0` or the OS refuses a thread.
+    pub fn try_new(threads: usize) -> Result<Pool, PoolError> {
+        if threads == 0 {
+            return Err(PoolError { message: "pool needs at least one worker".to_owned() });
         }
-        Pool { senders, handles }
+        let mut senders = Vec::with_capacity(threads);
+        let mut shards = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let (tx, rx) = channel::<Job>();
+            let shard = Arc::new(Shard {
+                index,
+                queue: Mutex::new(rx),
+                panics: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+                worker: Mutex::new(None),
+            });
+            let worker_shard = Arc::clone(&shard);
+            let spawned = std::thread::Builder::new()
+                .name(format!("leaps-pool-{index}"))
+                .spawn(move || worker_loop(&worker_shard));
+            match spawned {
+                Ok(handle) => {
+                    *lock_unpoisoned(&shard.worker) = Some(handle);
+                    senders.push(tx);
+                    shards.push(shard);
+                }
+                Err(e) => {
+                    // `Pool` drop semantics clean up the partial pool.
+                    drop(tx);
+                    drop(Pool { senders, shards });
+                    return Err(PoolError {
+                        message: format!("spawning pool worker {index}: {e}"),
+                    });
+                }
+            }
+        }
+        Ok(Pool { senders, shards })
     }
 
     /// Spawns a pool sized by the crate's thread policy
@@ -78,18 +224,41 @@ impl Pool {
         self.senders.len()
     }
 
+    /// Supervision counters, aggregated across shards.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.shards.len(),
+            panics: self.shards.iter().map(|s| s.panics.load(Ordering::SeqCst)).sum(),
+            respawns: self.shards.iter().map(|s| s.respawns.load(Ordering::SeqCst)).sum(),
+        }
+    }
+
+    /// Per-shard panic counts (index = `shard % threads`).
+    #[must_use]
+    pub fn shard_panics(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.panics.load(Ordering::SeqCst)).collect()
+    }
+
     /// Submits `job` to the worker owning `shard % threads`.
     ///
     /// Jobs submitted with the same shard key run in submission order;
     /// the call itself never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard queue is disconnected — impossible while
+    /// `self` exists, because the pool itself keeps every receiver
+    /// alive (supervision moves receivers between worker generations,
+    /// it never drops them). A failure here is a bug, not load.
     pub fn submit<F>(&self, shard: usize, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
         let idx = shard % self.senders.len();
-        // The receiver lives until shutdown/drop, so this cannot fail
-        // while `self` exists.
-        let _ = self.senders[idx].send(Box::new(job));
+        self.senders[idx]
+            .send(Box::new(job))
+            .expect("pool shard queue disconnected while the pool exists");
     }
 
     /// Closes the queues, drains every job already submitted and joins
@@ -102,15 +271,28 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        for shard in &self.shards {
+            // Chase worker generations: joining one may reveal a
+            // successor it spawned while we waited.
+            loop {
+                let handle = lock_unpoisoned(&shard.worker).take();
+                match handle {
+                    Some(handle) => {
+                        let _ = handle.join();
+                    }
+                    None => break,
+                }
+            }
         }
     }
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pool").field("threads", &self.threads()).finish()
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -182,5 +364,86 @@ mod tests {
         pool.shutdown();
         let out = out.lock().unwrap();
         assert_eq!(*out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_workers() {
+        let err = Pool::try_new(0).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn panicking_jobs_are_caught_counted_and_fifo_survives() {
+        let pool = Pool::new(2);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        // Interleave panicking jobs between ordered jobs on one shard.
+        for i in 0..50 {
+            let seen = Arc::clone(&seen);
+            pool.submit(4, move || {
+                seen.lock().unwrap().push(i);
+            });
+            if i % 10 == 3 {
+                pool.submit(4, || panic!("injected pool panic (expected in this test)"));
+            }
+        }
+        // The other shard stays untouched by the panics.
+        let other = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let other = Arc::clone(&other);
+            pool.submit(5, move || {
+                other.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let stats_before_drop;
+        {
+            // Wait for the panicked shard to drain by watching the
+            // ordered jobs complete.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while seen.lock().unwrap().len() < 50 {
+                assert!(std::time::Instant::now() < deadline, "shard 4 never drained");
+                std::thread::yield_now();
+            }
+            stats_before_drop = pool.stats();
+        }
+        pool.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, (0..50).collect::<Vec<_>>(), "FIFO must survive respawns");
+        assert_eq!(other.load(Ordering::Relaxed), 20);
+        assert_eq!(stats_before_drop.panics, 5, "every injected panic is counted");
+        assert_eq!(stats_before_drop.respawns, 5, "every panic respawned the worker");
+        assert_eq!(stats_before_drop.workers, 2);
+    }
+
+    #[test]
+    fn panic_as_final_job_still_drains_and_joins() {
+        let pool = Pool::new(1);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let count = Arc::clone(&count);
+            pool.submit(0, move || {
+                count.fetch_add(1, Ordering::Relaxed);
+                if i == 9 {
+                    panic!("final job panics (expected in this test)");
+                }
+            });
+        }
+        // Shutdown must join the respawned generation, not hang.
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn shard_panics_are_reported_per_worker() {
+        let pool = Pool::new(3);
+        pool.submit(1, || panic!("shard 1 panic (expected in this test)"));
+        pool.submit(1, || panic!("shard 1 panic again (expected in this test)"));
+        pool.submit(2, || panic!("shard 2 panic (expected in this test)"));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while pool.stats().panics < 3 {
+            assert!(std::time::Instant::now() < deadline, "panics never surfaced");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.shard_panics(), vec![0, 2, 1]);
+        pool.shutdown();
     }
 }

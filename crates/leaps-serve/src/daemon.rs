@@ -13,19 +13,35 @@
 //! SIGTERM-equivalent): the accept loop stops, connection threads are
 //! joined, every remaining session is drained, and
 //! [`BoundDaemon::run`] returns — the process exits 0.
+//!
+//! # Connection deadlines
+//!
+//! Every connection reads under a short [`CONN_POLL`] deadline rather
+//! than blocking forever. Each timeout tick re-checks two conditions:
+//! shutdown (so `SHUTDOWN` never hangs on an idle-but-connected client —
+//! `run` joins every handler thread) and the server's idle TTL (a client
+//! silent past it is told `ERR proto idle ...` and disconnected, its
+//! sessions drained and closed). Partial lines survive deadline ticks:
+//! bytes already read stay buffered until the newline arrives.
 
+use crate::lock_unpoisoned;
 use crate::proto::{error_family, Command, Reply, PROTOCOL_VERSION};
 use crate::server::Server;
 use crate::session::{SessionReport, VerdictSink};
 use leaps_core::error::LeapsError;
 use leaps_core::stream::Verdict;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Read deadline on daemon connections: the cadence at which an idle
+/// handler thread re-checks shutdown and the idle TTL.
+pub(crate) const CONN_POLL: Duration = Duration::from_millis(200);
 
 /// Where a daemon listens (and a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +79,19 @@ impl Stream {
             #[cfg(unix)]
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Sets the read deadline (`None` blocks forever), either transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
 }
@@ -181,7 +210,7 @@ struct WriterSink {
 impl VerdictSink for WriterSink {
     fn deliver(&self, pid: u32, verdict: &Verdict) {
         let line = Reply::Verdict { pid, verdict: verdict.clone() }.to_line();
-        let mut writer = self.writer.lock().expect("connection writer lock");
+        let mut writer = lock_unpoisoned(&self.writer);
         // A dead connection is detected by the reader side; drop the
         // verdict rather than panicking a pool worker.
         let _ = writeln!(writer, "{line}");
@@ -236,6 +265,30 @@ impl BoundDaemon {
     }
 }
 
+/// Renders the `HEALTH` reply detail: worker liveness, self-healing
+/// counters, session/registry state and the idle policy.
+fn health_fields(server: &Server) -> String {
+    let stats = server.stats();
+    let r = stats.registry;
+    let idle_secs = server.idle_ttl().map_or(0, |ttl| ttl.as_secs());
+    format!(
+        "health workers={} panics={} respawns={} sessions={} opened={} closed={} reaped={} \
+         models={} cached_bytes={} loads={} hits={} evictions={} idle_secs={idle_secs}",
+        stats.workers,
+        stats.panics,
+        stats.respawns,
+        stats.sessions,
+        stats.opened,
+        stats.closed,
+        stats.reaped,
+        r.loaded,
+        r.cached_bytes,
+        r.loads,
+        r.hits,
+        r.evictions
+    )
+}
+
 /// Renders a session report as `key=value` stats tokens.
 fn report_fields(report: &SessionReport) -> String {
     let s = report.stream;
@@ -261,21 +314,56 @@ fn err_reply(e: &LeapsError) -> Reply {
 }
 
 fn write_reply(writer: &Arc<Mutex<Stream>>, reply: &Reply) -> std::io::Result<()> {
-    let mut writer = writer.lock().expect("connection writer lock");
+    let mut writer = lock_unpoisoned(writer);
     writeln!(writer, "{}", reply.to_line())?;
     writer.flush()
 }
 
-/// Drives one connection's command loop until `BYE`, `SHUTDOWN`, EOF or
-/// an I/O error, then closes any sessions the client left open.
+/// Drives one connection's command loop until `BYE`, `SHUTDOWN`, EOF,
+/// an I/O error, shutdown, or the idle TTL expiring, then closes any
+/// sessions the client left open.
+///
+/// Reads run under the [`CONN_POLL`] deadline; a deadline tick is not an
+/// error but a chance to notice shutdown or idleness. `BufReader` keeps
+/// any partially-read line across ticks, so slow writers are never
+/// corrupted, only rechecked.
 fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) {
+    let _ = stream.set_read_timeout(Some(CONN_POLL));
     let Ok(write_half) = stream.try_clone() else { return };
     let writer = Arc::new(Mutex::new(write_half));
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut client: Option<String> = None;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client went away
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Deadline tick: `line` keeps any partial bytes.
+                if server.is_shutting_down() {
+                    break;
+                }
+                if let Some(ttl) = server.idle_ttl() {
+                    if last_activity.elapsed() > ttl {
+                        let _ = write_reply(
+                            &writer,
+                            &Reply::Err {
+                                family: "proto".to_owned(),
+                                message: format!("idle for over {}s, closing", ttl.as_secs_f64()),
+                            },
+                        );
+                        break;
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        last_activity = Instant::now();
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
         let reply = match Command::parse_line(&line) {
@@ -294,6 +382,7 @@ fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) 
                 }
             },
         };
+        line.clear();
         if write_reply(&writer, &reply).is_err() {
             break;
         }
@@ -330,11 +419,27 @@ fn dispatch(
             detail: format!("hello {PROTOCOL_VERSION} workers={}", stats.workers),
         });
     }
+    // Supervisor probes work without a HELLO: an external health checker
+    // should not have to claim a client identity (and session keys).
+    if command == Command::Health {
+        return Dispatch::Reply(Reply::Ok { detail: health_fields(server) });
+    }
+    if let Command::Panic { shard } = command {
+        if std::env::var("LEAPS_CHAOS").as_deref() != Ok("1") {
+            return Dispatch::Reply(proto_err(
+                "PANIC requires the daemon to run with LEAPS_CHAOS=1",
+            ));
+        }
+        server.inject_panic_job(shard as usize);
+        return Dispatch::Reply(Reply::Ok { detail: format!("panic injected shard={shard}") });
+    }
     let Some(client) = client.as_deref() else {
         return Dispatch::Reply(proto_err("HELLO first"));
     };
     match command {
-        Command::Hello { .. } => unreachable!("handled above"),
+        Command::Hello { .. } | Command::Health | Command::Panic { .. } => {
+            unreachable!("handled above")
+        }
         Command::Open { pid, model } => {
             let sink = Arc::new(WriterSink { writer: Arc::clone(writer) });
             match server.open(client, pid, &model, sink) {

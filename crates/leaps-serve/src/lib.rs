@@ -18,7 +18,13 @@
 //! * **bounded per-session queues with backpressure and load
 //!   shedding** — a flooded session answers `BUSY` and sheds its oldest
 //!   events (counted per session) instead of stalling the accept loop,
-//!   and shutdown drains every session gracefully.
+//!   and shutdown drains every session gracefully;
+//! * a **self-healing failure model** — pool workers are supervised
+//!   (a panicking job is caught, counted and the worker respawned with
+//!   its shard queue intact), connections carry read deadlines, idle
+//!   sessions are reaped past a configurable TTL, locks are
+//!   poison-tolerant, and the `HEALTH` command exposes it all to an
+//!   external supervisor (see DESIGN.md §12).
 //!
 //! The [`Server`] core is transport-independent: tests and benchmarks
 //! embed it in-process (see [`BufferSink`]), while the CLI's
@@ -42,3 +48,15 @@ pub use proto::{Command, ProtoError, Reply};
 pub use registry::{Registry, RegistryStats};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use session::{BufferSink, SessionKey, SessionReport, Submit, VerdictSink};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Every lock in this crate guards state that stays consistent across a
+/// panic (counters, queues whose invariants are re-checked by every
+/// drain pass), so a worker that panicked while holding one must not
+/// cascade into aborting connection threads or the daemon itself — the
+/// self-healing contract is that one crashing job costs at most its own
+/// session.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

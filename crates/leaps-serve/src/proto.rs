@@ -11,11 +11,20 @@
 //! EVENT pid=<pid> <event-body>         OK event | BUSY pid=<pid> shed=<n>
 //!                                      VERDICT pid=<pid> <verdict-body>   (async)
 //! STATS [pid=<pid>]                    OK stats <counters>
+//! HEALTH                               OK health <liveness counters>
 //! RELOAD model=<name>                  OK reload ... | ERR ...
 //! CLOSE pid=<pid>                      OK close <final counters>
 //! SHUTDOWN                             OK shutdown
 //! BYE                                  OK bye
+//! PANIC [shard=<n>]                    OK panic ...   (chaos hook, LEAPS_CHAOS=1 only)
 //! ```
+//!
+//! `HEALTH` is the supervisor probe: worker liveness plus the
+//! self-healing counters (`panics`, `respawns`, `reaped`), session and
+//! registry state, and the idle policy (`idle_secs`, `0` = disabled).
+//! `PANIC` deliberately crashes one pool job to exercise supervision;
+//! the daemon refuses it unless it was started with `LEAPS_CHAOS=1` in
+//! the environment.
 //!
 //! Every command receives exactly one acknowledgement (`OK`, `BUSY` or
 //! `ERR`); `VERDICT` lines are pushed asynchronously by pool workers and
@@ -229,10 +238,19 @@ pub enum Command {
         /// Registry model name.
         model: String,
     },
+    /// Probes daemon liveness: worker, panic/respawn, session, reap and
+    /// registry counters plus the idle policy.
+    Health,
     /// Asks the daemon to drain every session and exit.
     Shutdown,
     /// Ends the connection (open sessions are drained and closed).
     Bye,
+    /// Chaos hook: crash one pool job on the given shard. Refused unless
+    /// the daemon runs with `LEAPS_CHAOS=1`.
+    Panic {
+        /// Pool shard to crash a job on (defaults to 0 on the wire).
+        shard: u32,
+    },
 }
 
 impl Command {
@@ -247,8 +265,10 @@ impl Command {
             Command::Stats { pid: Some(pid) } => format!("STATS pid={pid}"),
             Command::Stats { pid: None } => "STATS".to_owned(),
             Command::Reload { model } => format!("RELOAD model={model}"),
+            Command::Health => "HEALTH".to_owned(),
             Command::Shutdown => "SHUTDOWN".to_owned(),
             Command::Bye => "BYE".to_owned(),
+            Command::Panic { shard } => format!("PANIC shard={shard}"),
         }
     }
 
@@ -300,8 +320,13 @@ impl Command {
                 }
                 Ok(Command::Reload { model })
             }
+            "HEALTH" if rest.is_empty() => Ok(Command::Health),
             "SHUTDOWN" if rest.is_empty() => Ok(Command::Shutdown),
             "BYE" if rest.is_empty() => Ok(Command::Bye),
+            "PANIC" => {
+                let shard = if rest.is_empty() { 0 } else { field_u32(rest, "shard")? };
+                Ok(Command::Panic { shard })
+            }
             _ => Err(ProtoError::new(format!("unknown command {verb:?}"))),
         }
     }
@@ -484,8 +509,10 @@ mod tests {
             Command::Stats { pid: None },
             Command::Stats { pid: Some(9) },
             Command::Reload { model: "vim_wsvm".to_owned() },
+            Command::Health,
             Command::Shutdown,
             Command::Bye,
+            Command::Panic { shard: 3 },
         ];
         for cmd in &commands {
             let line = cmd.to_line();
@@ -503,6 +530,9 @@ mod tests {
         assert!(Command::parse_line("OPEN pid=3 model=a/b").is_err(), "path separator");
         assert!(Command::parse_line("EVENT pid=3").is_err(), "missing body");
         assert!(Command::parse_line("SHUTDOWN now").is_err());
+        assert!(Command::parse_line("HEALTH now").is_err());
+        assert!(Command::parse_line("PANIC shard=x").is_err());
+        assert_eq!(Command::parse_line("PANIC"), Ok(Command::Panic { shard: 0 }));
     }
 
     #[test]

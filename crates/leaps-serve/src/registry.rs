@@ -14,14 +14,26 @@
 //! their `Arc<Classifier>` alive until they close. Likewise
 //! [`Registry::reload`] swaps the cached copy for newly-opened sessions
 //! without disturbing running ones.
+//!
+//! # Failure model
+//!
+//! Disk reads retry transient I/O errors (interrupted / timed-out
+//! syscalls) with a short backoff before reporting. A failed
+//! [`Registry::reload`] **keeps the last-known-good cached model**: a
+//! torn file or flaky disk degrades hot reload, never availability —
+//! sessions keep opening against the copy that last parsed. Parse
+//! failures name the backing file (exit-code family 4).
 
+use crate::lock_unpoisoned;
 use crate::proto::valid_name;
 use leaps_core::error::LeapsError;
-use leaps_core::persist::load_classifier;
+use leaps_core::persist::{load_classifier, ModelError};
 use leaps_core::pipeline::Classifier;
 use std::collections::HashMap;
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Registry counters (monotonic except `loaded`/`cached_bytes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,9 +107,13 @@ impl Registry {
 
     fn load_from_disk(&self, name: &str) -> Result<(Arc<Classifier>, u64), LeapsError> {
         let path = self.path_of(name)?;
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| LeapsError::io(path.display().to_string(), &e))?;
-        let classifier = load_classifier(&text).map_err(LeapsError::from)?;
+        let text = read_with_retry(&path)?;
+        let classifier = load_classifier(&text).map_err(|inner| {
+            LeapsError::Model(ModelError::InFile {
+                path: path.display().to_string(),
+                inner: Box::new(inner),
+            })
+        })?;
         Ok((Arc::new(classifier), text.len() as u64))
     }
 
@@ -111,7 +127,7 @@ impl Registry {
     /// parse.
     pub fn get(&self, name: &str) -> Result<Arc<Classifier>, LeapsError> {
         {
-            let mut guard = self.inner.lock().expect("registry lock");
+            let mut guard = lock_unpoisoned(&self.inner);
             let inner = &mut *guard;
             inner.tick += 1;
             if let Some(entry) = inner.entries.get_mut(name) {
@@ -123,7 +139,7 @@ impl Registry {
         // Read and parse outside the lock: a slow disk load must not
         // stall sessions opening already-cached models.
         let (classifier, bytes) = self.load_from_disk(name)?;
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.loads += 1;
@@ -161,40 +177,34 @@ impl Registry {
     ///
     /// If the model is not cached this is a no-op (the next
     /// [`Registry::get`] reads the current file anyway). If the reload
-    /// fails, the stale cached copy is dropped — a registry never keeps
-    /// serving a model its backing file can no longer produce.
+    /// fails, the error is reported but the **last-known-good cached
+    /// copy keeps serving** — a torn model file mid-deploy must degrade
+    /// hot reload, not availability.
     ///
     /// # Errors
     ///
     /// Same families as [`Registry::get`].
     pub fn reload(&self, name: &str) -> Result<(), LeapsError> {
-        let cached = self.inner.lock().expect("registry lock").entries.contains_key(name);
+        let cached = lock_unpoisoned(&self.inner).entries.contains_key(name);
         if !cached {
             // Validate the name even for uncached models.
             self.path_of(name)?;
             return Ok(());
         }
-        match self.load_from_disk(name) {
-            Ok((classifier, bytes)) => {
-                let mut inner = self.inner.lock().expect("registry lock");
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.loads += 1;
-                inner.entries.insert(name.to_owned(), Entry { classifier, bytes, last_used: tick });
-                self.evict_over_cap(&mut inner, name);
-                Ok(())
-            }
-            Err(e) => {
-                self.inner.lock().expect("registry lock").entries.remove(name);
-                Err(e)
-            }
-        }
+        let (classifier, bytes) = self.load_from_disk(name)?;
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.loads += 1;
+        inner.entries.insert(name.to_owned(), Entry { classifier, bytes, last_used: tick });
+        self.evict_over_cap(&mut inner, name);
+        Ok(())
     }
 
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> RegistryStats {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock_unpoisoned(&self.inner);
         RegistryStats {
             loaded: inner.entries.len(),
             cached_bytes: inner.entries.values().map(|e| e.bytes).sum(),
@@ -203,6 +213,32 @@ impl Registry {
             evictions: inner.evictions,
         }
     }
+}
+
+/// Reads a file, retrying transient I/O errors (interrupted or
+/// timed-out syscalls — flaky NFS, pressure-stalled disks) with a short
+/// exponential backoff before giving up. Hard errors (missing file,
+/// permissions) report immediately.
+fn read_with_retry(path: &Path) -> Result<String, LeapsError> {
+    const ATTEMPTS: u32 = 3;
+    let mut backoff = Duration::from_millis(10);
+    for attempt in 1..=ATTEMPTS {
+        match std::fs::read_to_string(path) {
+            Ok(text) => return Ok(text),
+            Err(e)
+                if attempt < ATTEMPTS
+                    && matches!(
+                        e.kind(),
+                        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                    ) =>
+            {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(LeapsError::io(path.display().to_string(), &e)),
+        }
+    }
+    unreachable!("the final attempt either returned or reported")
 }
 
 impl std::fmt::Debug for Registry {
@@ -322,10 +358,15 @@ mod tests {
         // Reload of an uncached model validates the name but reads nothing.
         registry.reload("never-loaded").unwrap();
         assert_eq!(registry.reload("../x").unwrap_err().exit_code(), 7);
-        // A reload that fails drops the stale entry.
+        // A reload that fails reports the torn file (naming it) but
+        // keeps the last-known-good copy serving.
         std::fs::write(dir.join("m.model"), "garbage").unwrap();
-        assert!(registry.reload("m").is_err());
-        assert_eq!(registry.stats().loaded, 0);
+        let err = registry.reload("m").unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("m.model"), "{err}");
+        assert_eq!(registry.stats().loaded, 1, "last-known-good entry must survive");
+        let survivor = registry.get("m").unwrap();
+        assert!(Arc::ptr_eq(&survivor, &new), "survivor must be the pre-failure copy");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

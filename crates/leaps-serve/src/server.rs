@@ -6,6 +6,7 @@
 //! it directly with [`Server::open`] / [`Server::submit`] /
 //! [`Server::close`].
 
+use crate::lock_unpoisoned;
 use crate::registry::{Registry, RegistryStats};
 use crate::session::{drain, Session, SessionKey, SessionReport, Submit, VerdictSink};
 use leaps_core::error::LeapsError;
@@ -15,7 +16,8 @@ use leaps_trace::partition::PartitionedEvent;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::time::Duration;
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -30,6 +32,10 @@ pub struct ServerConfig {
     /// Worker threads draining session queues; 0 means the `leaps-par`
     /// thread policy (`--threads` / `LEAPS_THREADS` / cores).
     pub workers: usize,
+    /// Idle TTL: sessions (and daemon connections) with no activity for
+    /// this long are closed by the reaper / connection handler. `None`
+    /// (the default, CLI `--idle-secs 0`) disables the policy.
+    pub idle_ttl: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -41,6 +47,7 @@ impl ServerConfig {
             cache_cap_bytes: 64 << 20,
             queue_cap: 1024,
             workers: 0,
+            idle_ttl: None,
         }
     }
 }
@@ -58,6 +65,12 @@ pub struct ServerStats {
     pub opened: u64,
     /// Sessions closed over the server's lifetime.
     pub closed: u64,
+    /// Pool jobs that panicked (caught and counted, never fatal).
+    pub panics: u64,
+    /// Pool workers respawned after a panicking job.
+    pub respawns: u64,
+    /// Sessions closed by the idle reaper (included in `closed`).
+    pub reaped: u64,
 }
 
 /// A multi-session streaming detection server.
@@ -69,37 +82,60 @@ pub struct Server {
     sessions: Mutex<HashMap<SessionKey, Arc<Session>>>,
     pool: Pool,
     queue_cap: usize,
+    idle_ttl: Option<Duration>,
     next_shard: AtomicUsize,
     shutting_down: AtomicBool,
     opened: AtomicUsize,
     closed: AtomicUsize,
+    reaped: AtomicUsize,
 }
 
 impl Server {
     /// Builds a server: spawns the worker pool and opens the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker pool cannot be spawned; long-running
+    /// services use [`Server::try_new`].
     #[must_use]
     pub fn new(config: &ServerConfig) -> Server {
-        let pool = if config.workers == 0 {
-            Pool::with_default_threads()
-        } else {
-            Pool::new(config.workers)
-        };
-        Server {
+        Server::try_new(config).expect("spawning server worker pool")
+    }
+
+    /// Fallible constructor: reports rather than panicking when the
+    /// worker pool cannot be spawned (thread exhaustion at startup).
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] if the pool cannot be built.
+    pub fn try_new(config: &ServerConfig) -> Result<Server, LeapsError> {
+        let threads = if config.workers == 0 { leaps_par::thread_count() } else { config.workers };
+        let pool = Pool::try_new(threads)
+            .map_err(|e| LeapsError::protocol(format!("spawning worker pool: {e}")))?;
+        Ok(Server {
             registry: Registry::new(&config.models_dir, config.cache_cap_bytes),
             sessions: Mutex::new(HashMap::new()),
             pool,
             queue_cap: config.queue_cap.max(1),
+            idle_ttl: config.idle_ttl.filter(|ttl| !ttl.is_zero()),
             next_shard: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             opened: AtomicUsize::new(0),
             closed: AtomicUsize::new(0),
-        }
+            reaped: AtomicUsize::new(0),
+        })
     }
 
     /// The model registry (for `RELOAD` and stats).
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The configured idle TTL, if the idle policy is enabled.
+    #[must_use]
+    pub fn idle_ttl(&self) -> Option<Duration> {
+        self.idle_ttl
     }
 
     /// Marks the server as shutting down: new opens are refused while
@@ -116,9 +152,7 @@ impl Server {
     }
 
     fn session(&self, client: &str, pid: u32) -> Result<Arc<Session>, LeapsError> {
-        self.sessions
-            .lock()
-            .expect("session table lock")
+        lock_unpoisoned(&self.sessions)
             .get(&(client.to_owned(), pid))
             .cloned()
             .ok_or_else(|| LeapsError::protocol(format!("no session ({client:?}, {pid})")))
@@ -143,7 +177,7 @@ impl Server {
             return Err(LeapsError::protocol("server is shutting down"));
         }
         let classifier = self.registry.get(model)?;
-        let mut sessions = self.sessions.lock().expect("session table lock");
+        let mut sessions = lock_unpoisoned(&self.sessions);
         let key: SessionKey = (client.to_owned(), pid);
         if sessions.contains_key(&key) {
             return Err(LeapsError::protocol(format!("session ({client:?}, {pid}) already open")));
@@ -173,13 +207,14 @@ impl Server {
     ) -> Result<Submit, LeapsError> {
         let session = self.session(client, pid)?;
         let (outcome, schedule) = {
-            let mut state = session.state.lock().expect("session state lock");
+            let mut state = lock_unpoisoned(&session.state);
             if state.closing {
                 return Err(LeapsError::protocol(format!(
                     "session ({client:?}, {pid}) is closing"
                 )));
             }
             state.submitted += 1;
+            state.last_activity = std::time::Instant::now();
             let outcome = if state.queue.len() >= self.queue_cap {
                 state.queue.pop_front();
                 state.shed += 1;
@@ -210,20 +245,26 @@ impl Server {
     pub fn close(&self, client: &str, pid: u32) -> Result<SessionReport, LeapsError> {
         let session = self.session(client, pid)?;
         {
-            let mut state = session.state.lock().expect("session state lock");
+            let mut state = lock_unpoisoned(&session.state);
             if state.closing {
                 return Err(LeapsError::protocol(format!(
                     "session ({client:?}, {pid}) is already closing"
                 )));
             }
             state.closing = true;
-            // Queue non-empty implies a drain job is scheduled, so
-            // waiting on `scheduled` alone is sound; re-check both.
             while state.scheduled || !state.queue.is_empty() {
-                state = session.idle.wait(state).expect("session idle wait");
+                // A drain job that panicked cleared `scheduled` with the
+                // queue non-empty; reschedule so the leftovers are still
+                // scored and this wait terminates.
+                if !state.scheduled && !state.queue.is_empty() {
+                    state.scheduled = true;
+                    let worker_session = Arc::clone(&session);
+                    self.pool.submit(session.shard, move || drain(&worker_session));
+                }
+                state = session.idle.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         }
-        self.sessions.lock().expect("session table lock").remove(&(client.to_owned(), pid));
+        lock_unpoisoned(&self.sessions).remove(&(client.to_owned(), pid));
         self.closed.fetch_add(1, Ordering::Relaxed);
         Ok(session.report())
     }
@@ -232,7 +273,7 @@ impl Server {
     /// the per-pid reports.
     pub fn close_client(&self, client: &str) -> Vec<(u32, SessionReport)> {
         let pids: Vec<u32> = {
-            let sessions = self.sessions.lock().expect("session table lock");
+            let sessions = lock_unpoisoned(&self.sessions);
             sessions.keys().filter(|(c, _)| c == client).map(|&(_, pid)| pid).collect()
         };
         pids.into_iter()
@@ -243,8 +284,7 @@ impl Server {
     /// Drains and closes every open session (graceful shutdown),
     /// returning the final reports.
     pub fn close_all(&self) -> Vec<(SessionKey, SessionReport)> {
-        let keys: Vec<SessionKey> =
-            self.sessions.lock().expect("session table lock").keys().cloned().collect();
+        let keys: Vec<SessionKey> = lock_unpoisoned(&self.sessions).keys().cloned().collect();
         keys.into_iter()
             .filter_map(|(client, pid)| {
                 self.close(&client, pid).ok().map(|report| ((client, pid), report))
@@ -273,13 +313,77 @@ impl Server {
     /// Server-wide counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
+        let pool = self.pool.stats();
         ServerStats {
-            sessions: self.sessions.lock().expect("session table lock").len(),
-            workers: self.pool.threads(),
+            sessions: lock_unpoisoned(&self.sessions).len(),
+            workers: pool.workers,
             registry: self.registry.stats(),
             opened: self.opened.load(Ordering::Relaxed) as u64,
             closed: self.closed.load(Ordering::Relaxed) as u64,
+            panics: pool.panics,
+            respawns: pool.respawns,
+            reaped: self.reaped.load(Ordering::Relaxed) as u64,
         }
+    }
+
+    /// Closes every session idle past `ttl` (no submit since), returning
+    /// how many were reaped. Freed sessions release their queue budget
+    /// and detector immediately; a client touching a reaped session gets
+    /// the ordinary "no session" protocol error.
+    pub fn reap_idle(&self, ttl: Duration) -> usize {
+        let victims: Vec<SessionKey> = {
+            let sessions = lock_unpoisoned(&self.sessions);
+            sessions
+                .iter()
+                .filter(|(_, session)| {
+                    let state = lock_unpoisoned(&session.state);
+                    !state.closing && state.last_activity.elapsed() > ttl
+                })
+                .map(|(key, _)| key.clone())
+                .collect()
+        };
+        let mut reaped = 0;
+        for (client, pid) in victims {
+            // Racing closers are fine: close() refuses a second closer.
+            if self.close(&client, pid).is_ok() {
+                reaped += 1;
+            }
+        }
+        self.reaped.fetch_add(reaped, Ordering::Relaxed);
+        reaped
+    }
+
+    /// Starts the idle-session reaper thread, if an idle TTL is
+    /// configured. The thread holds only a [`Weak`] reference and polls
+    /// at a fraction of the TTL, so it exits on its own when the server
+    /// is dropped or [`Server::begin_shutdown`] is called — joining the
+    /// returned handle is optional tidiness, not a liveness requirement.
+    #[must_use]
+    pub fn start_reaper(self: &Arc<Server>) -> Option<std::thread::JoinHandle<()>> {
+        let ttl = self.idle_ttl?;
+        let poll = (ttl / 2).clamp(Duration::from_millis(10), Duration::from_millis(500));
+        let weak: Weak<Server> = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("leaps-reaper".to_owned())
+            .spawn(move || loop {
+                std::thread::sleep(poll);
+                let Some(server) = weak.upgrade() else { return };
+                if server.is_shutting_down() {
+                    return;
+                }
+                let _ = server.reap_idle(ttl);
+            })
+            .expect("spawning reaper thread");
+        Some(handle)
+    }
+
+    /// Chaos hook: submits a job to pool shard `shard` that panics
+    /// immediately. Used by the `PANIC` protocol command (gated behind
+    /// `LEAPS_CHAOS=1`) and tests to prove the supervision invariant:
+    /// the worker respawns, queued session drains still run in order,
+    /// and `HEALTH` reports the panic/respawn.
+    pub fn inject_panic_job(&self, shard: usize) {
+        self.pool.submit(shard, || panic!("injected panic (chaos hook)"));
     }
 }
 

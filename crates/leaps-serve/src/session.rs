@@ -20,10 +20,12 @@
 //! Shedding manifests downstream as a sequence gap, so affected verdicts
 //! carry the `degraded` flag like any other telemetry loss.
 
+use crate::lock_unpoisoned;
 use leaps_core::stream::{StreamDetector, StreamStats, Verdict};
 use leaps_trace::partition::PartitionedEvent;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Sessions are keyed by `(client, pid)`: one monitored process of one
 /// connected client.
@@ -53,13 +55,13 @@ impl BufferSink {
     /// Takes every buffered verdict, leaving the buffer empty.
     #[must_use]
     pub fn take(&self) -> Vec<Verdict> {
-        std::mem::take(&mut *self.verdicts.lock().expect("buffer sink lock"))
+        std::mem::take(&mut *lock_unpoisoned(&self.verdicts))
     }
 
     /// Number of buffered verdicts.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.verdicts.lock().expect("buffer sink lock").len()
+        lock_unpoisoned(&self.verdicts).len()
     }
 
     /// Whether the buffer is empty.
@@ -71,7 +73,7 @@ impl BufferSink {
 
 impl VerdictSink for BufferSink {
     fn deliver(&self, _pid: u32, verdict: &Verdict) {
-        self.verdicts.lock().expect("buffer sink lock").push(verdict.clone());
+        lock_unpoisoned(&self.verdicts).push(verdict.clone());
     }
 }
 
@@ -115,6 +117,8 @@ pub(crate) struct QueueState {
     pub(crate) shed: u64,
     pub(crate) submitted: u64,
     pub(crate) verdicts: u64,
+    /// Last submit (or open) — read by the idle reaper.
+    pub(crate) last_activity: Instant,
 }
 
 /// One open session. Shared between the submitting connection thread and
@@ -155,6 +159,7 @@ impl Session {
                 shed: 0,
                 submitted: 0,
                 verdicts: 0,
+                last_activity: Instant::now(),
             }),
             idle: Condvar::new(),
             detector: Mutex::new(detector),
@@ -164,8 +169,8 @@ impl Session {
 
     /// Snapshot of the session's counters.
     pub(crate) fn report(&self) -> SessionReport {
-        let state = self.state.lock().expect("session state lock");
-        let stream = self.detector.lock().expect("session detector lock").stats();
+        let state = lock_unpoisoned(&self.state);
+        let stream = lock_unpoisoned(&self.detector).stats();
         SessionReport {
             model: self.model.clone(),
             submitted: state.submitted,
@@ -180,12 +185,30 @@ impl Session {
 /// The drain loop run on a pool worker: repeatedly takes a bounded batch
 /// off the queue, scores it, and delivers the verdicts — until the queue
 /// is empty, at which point it clears `scheduled` and wakes closers.
+///
+/// Panic-safe: if scoring or a sink panics, a guard clears `scheduled`
+/// and wakes closers on the way out, so the session never wedges with a
+/// drain marked in flight that will never finish. The next submit (or a
+/// waiting [`Server::close`](crate::Server::close)) reschedules the
+/// drain for whatever is still queued.
 pub(crate) fn drain(session: &Session) {
+    /// Disarmed on the normal exit path (which clears `scheduled`
+    /// itself, under the same lock that observed an empty queue).
+    struct PanicGuard<'a>(&'a Session);
+    impl Drop for PanicGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                lock_unpoisoned(&self.0.state).scheduled = false;
+                self.0.idle.notify_all();
+            }
+        }
+    }
+    let _guard = PanicGuard(session);
     let mut batch: Vec<PartitionedEvent> = Vec::new();
     let mut verdicts: Vec<Verdict> = Vec::new();
     loop {
         {
-            let mut state = session.state.lock().expect("session state lock");
+            let mut state = lock_unpoisoned(&session.state);
             if state.queue.is_empty() {
                 state.scheduled = false;
                 session.idle.notify_all();
@@ -196,13 +219,13 @@ pub(crate) fn drain(session: &Session) {
         }
         // Score and deliver outside the queue lock: submits (and sheds)
         // proceed while the detector works or a slow sink blocks.
-        let mut detector = session.detector.lock().expect("session detector lock");
+        let mut detector = lock_unpoisoned(&session.detector);
         verdicts.clear();
         detector.push_all_into(batch.drain(..), &mut verdicts);
         drop(detector);
         for verdict in &verdicts {
             session.sink.deliver(session.pid, verdict);
         }
-        session.state.lock().expect("session state lock").verdicts += verdicts.len() as u64;
+        lock_unpoisoned(&session.state).verdicts += verdicts.len() as u64;
     }
 }
