@@ -12,9 +12,15 @@
 //! ```text
 //! cargo run -p leaps-bench --release --bin case_studies
 //! ```
+//!
+//! Runs as a supervised sweep: honours `LEAPS_DEADLINE_SECS`,
+//! `LEAPS_SWEEP_MANIFEST`, `LEAPS_RESUME` and `LEAPS_CHAOS_CELL`; a
+//! failed cell is reported in place of its metrics row.
 
+use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
-use leaps_bench::{fmt3, harness_experiment};
+use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use std::process::ExitCode;
 
 const CASES: [(&str, &str); 3] = [
     ("Case Study I", "winscp_reverse_tcp"),
@@ -22,28 +28,40 @@ const CASES: [(&str, &str); 3] = [
     ("Case Study III", "putty_reverse_https_online"),
 ];
 
-fn main() {
+fn main() -> ExitCode {
     let experiment = harness_experiment();
-    for (title, name) in CASES {
-        let scenario = Scenario::by_name(name).expect("known dataset");
+    let scenarios: Vec<Scenario> =
+        CASES.iter().map(|(_, name)| Scenario::by_name(name).expect("known dataset")).collect();
+    let report = match experiment.run_sweep(&scenarios, &Method::ALL, &sweep_options_from_env()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    for ((title, name), cells) in CASES.iter().zip(report.cells.chunks(Method::ALL.len())) {
         println!("{title} — {name} ({} runs)", experiment.runs);
         println!(
             "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
             "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
         );
-        for (method, m) in
-            experiment.run_all_methods(scenario).expect("dataset generation/parsing failed")
-        {
-            println!(
-                "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
-                method.label(),
-                fmt3(m.acc),
-                fmt3(m.ppv),
-                fmt3(m.tpr),
-                fmt3(m.tnr),
-                fmt3(m.npv),
-            );
+        for cell in cells {
+            match cell.outcome.metrics() {
+                Some(m) => println!(
+                    "  {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                    cell.method.label(),
+                    fmt3(m.acc),
+                    fmt3(m.ppv),
+                    fmt3(m.tpr),
+                    fmt3(m.tnr),
+                    fmt3(m.npv),
+                ),
+                None => {
+                    println!("  {:<8} {}", cell.method.label(), cell_status(&cell.outcome));
+                }
+            }
         }
         println!();
     }
+    sweep_exit(&report)
 }

@@ -4,14 +4,19 @@
 //! ```text
 //! cargo run -p leaps-bench --release --bin fig6
 //! ```
+//!
+//! Runs as a supervised sweep: honours `LEAPS_DEADLINE_SECS`,
+//! `LEAPS_SWEEP_MANIFEST`, `LEAPS_RESUME` and `LEAPS_CHAOS_CELL`; failed
+//! cells are reported in place and the rest of the figure still renders.
 
+use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
 use leaps_bench::chart::grouped_bars;
-use leaps_bench::{fmt3, harness_experiment};
+use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let experiment = harness_experiment();
-    let mut acc_groups: Vec<(String, Vec<f64>)> = Vec::new();
     println!(
         "FIGURE 6: LEAPS (WSVM) vs System-level Call Graph and SVM — \
          Offline Infection ({} runs)",
@@ -21,23 +26,44 @@ fn main() {
         "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
         "Dataset", "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
-    for scenario in Scenario::offline() {
-        let results =
-            experiment.run_all_methods(scenario).expect("dataset generation/parsing failed");
-        acc_groups.push((scenario.name(), results.iter().map(|(_, m)| m.acc).collect()));
-        for (method, metrics) in results {
-            println!(
-                "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
-                scenario.name(),
-                method.label(),
-                fmt3(metrics.acc),
-                fmt3(metrics.ppv),
-                fmt3(metrics.tpr),
-                fmt3(metrics.tnr),
-                fmt3(metrics.npv),
-            );
+    let scenarios = Scenario::offline();
+    let report = match experiment.run_sweep(&scenarios, &Method::ALL, &sweep_options_from_env()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    let mut acc_groups: Vec<(String, Vec<f64>)> = Vec::new();
+    for (scenario, cells) in scenarios.iter().zip(report.cells.chunks(Method::ALL.len())) {
+        // Chart only fully-completed dataset groups.
+        if let Some(accs) =
+            cells.iter().map(|c| c.outcome.metrics().map(|m| m.acc)).collect::<Option<Vec<f64>>>()
+        {
+            acc_groups.push((scenario.name(), accs));
+        }
+        for cell in cells {
+            match cell.outcome.metrics() {
+                Some(m) => println!(
+                    "{:<28} {:<8} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                    cell.scenario,
+                    cell.method.label(),
+                    fmt3(m.acc),
+                    fmt3(m.ppv),
+                    fmt3(m.tpr),
+                    fmt3(m.tnr),
+                    fmt3(m.npv),
+                ),
+                None => println!(
+                    "{:<28} {:<8} {}",
+                    cell.scenario,
+                    cell.method.label(),
+                    cell_status(&cell.outcome)
+                ),
+            }
         }
         println!();
     }
     println!("{}", grouped_bars("ACC", &acc_groups, &["CGraph", "SVM", "WSVM"]));
+    sweep_exit(&report)
 }

@@ -5,13 +5,18 @@
 //! cargo run -p leaps-bench --release --bin table1
 //! ```
 //!
-//! Env overrides: `LEAPS_RUNS`, `LEAPS_SEED`, `LEAPS_EVENTS`.
+//! Env overrides: `LEAPS_RUNS`, `LEAPS_SEED`, `LEAPS_EVENTS`, plus the
+//! sweep supervision vars (`LEAPS_DEADLINE_SECS`, `LEAPS_SWEEP_MANIFEST`,
+//! `LEAPS_RESUME`, `LEAPS_CHAOS_CELL`). A cell that errors, panics or
+//! misses the deadline is reported in place; the rest of the table is
+//! still produced (exit code 8/9 classifies the incident).
 
 use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
-use leaps_bench::{fmt3, harness_experiment};
+use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let experiment = harness_experiment();
     println!(
         "TABLE I: Evaluation Results of LEAPS on Camouflaged Attacks \
@@ -22,19 +27,36 @@ fn main() {
         "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
         "Name", "Attack Method", "Application", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
-    for scenario in Scenario::table1() {
-        let metrics =
-            experiment.run(scenario, Method::Wsvm).expect("dataset generation/parsing failed");
-        println!(
-            "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
-            scenario.name(),
-            scenario.method.label(),
-            scenario.app.name(),
-            fmt3(metrics.acc),
-            fmt3(metrics.ppv),
-            fmt3(metrics.tpr),
-            fmt3(metrics.tnr),
-            fmt3(metrics.npv),
-        );
+    let scenarios = Scenario::table1();
+    let report = match experiment.run_sweep(&scenarios, &[Method::Wsvm], &sweep_options_from_env())
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    for (scenario, cell) in scenarios.iter().zip(&report.cells) {
+        match cell.outcome.metrics() {
+            Some(m) => println!(
+                "{:<32} {:<18} {:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                scenario.name(),
+                scenario.method.label(),
+                scenario.app.name(),
+                fmt3(m.acc),
+                fmt3(m.ppv),
+                fmt3(m.tpr),
+                fmt3(m.tnr),
+                fmt3(m.npv),
+            ),
+            None => println!(
+                "{:<32} {:<18} {:<12} {}",
+                scenario.name(),
+                scenario.method.label(),
+                scenario.app.name(),
+                cell_status(&cell.outcome)
+            ),
+        }
     }
+    sweep_exit(&report)
 }

@@ -13,13 +13,27 @@
 //! ```
 //!
 //! Sizes are overridable for CI smoke runs:
-//! `LEAPS_UPGMA_SIZES=24,48` (leaf counts, default `64,256,1024`) and
-//! `LEAPS_HMM_SEQS=2,4` (sequence counts, default `8,32,128`).
+//! `LEAPS_UPGMA_SIZES=24,48` (leaf counts, default `64,256,1024`),
+//! `LEAPS_HMM_SEQS=2,4` (sequence counts, default `8,32,128`) and
+//! `LEAPS_CKPT_EVENTS=600` (events/log for the checkpoint-overhead
+//! section, default `2000`).
+//!
+//! The checkpoint section times a full WSVM pipeline train with
+//! checkpointing off vs on (atomic CV/SMO state writes every 50
+//! optimizer passes), after asserting the two produce byte-identical
+//! models.
 
 use leaps::cluster::dissim::DistanceMatrix;
 use leaps::cluster::hier::{Dendrogram, Linkage};
+use leaps::core::config::PipelineConfig;
+use leaps::core::dataset::Dataset;
 use leaps::core::par;
+use leaps::core::persist::save_classifier;
+use leaps::core::pipeline::{
+    try_train_classifier, try_train_classifier_checkpointed, CheckpointSpec, Method, TrainRun,
+};
 use leaps::etw::rng::SimRng;
+use leaps::etw::scenario::{GenParams, Scenario};
 use leaps::hmm::hmm::{Hmm, HmmParams};
 use std::time::Instant;
 
@@ -161,6 +175,83 @@ fn bench_baum_welch(count: usize, threads: usize) -> BaumWelchResult {
     r
 }
 
+struct CheckpointResult {
+    events: usize,
+    off_s: f64,
+    on_s: f64,
+}
+
+impl CheckpointResult {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"events\": {}, \"checkpoint_off_s\": {:.6}, \"checkpoint_on_s\": {:.6}, \
+             \"overhead_pct\": {:.2}}}",
+            self.events,
+            self.off_s,
+            self.on_s,
+            100.0 * (self.on_s - self.off_s) / self.off_s.max(1e-12),
+        )
+    }
+}
+
+/// Times a full WSVM pipeline train with checkpointing off vs on.
+fn bench_checkpoint(events: usize) -> CheckpointResult {
+    const SEED: u64 = 0xc4e0;
+    let scenario = Scenario::by_name("vim_reverse_tcp").expect("known dataset");
+    let params = GenParams {
+        benign_events: events,
+        mixed_events: events,
+        malicious_events: events / 2,
+        benign_ratio: 0.5,
+    };
+    let ds = Dataset::materialize(scenario, &params, SEED).expect("dataset generation");
+    let (benign_train, _) = ds.split_benign(0.5, SEED);
+    let config = PipelineConfig::fast();
+    let dir = std::env::temp_dir().join(format!("leaps-bench-ckpt-{}", std::process::id()));
+    // Checkpoint aggressively (every 50 SMO passes) so the overhead
+    // number reflects real write traffic, not an idle hook.
+    let spec = CheckpointSpec { every: 50, ..CheckpointSpec::new(dir.clone()) };
+    let train_plain = || {
+        try_train_classifier(Method::Wsvm, &benign_train, &ds.mixed, &config, SEED)
+            .expect("training")
+    };
+    let train_checkpointed = || match try_train_classifier_checkpointed(
+        Method::Wsvm,
+        &benign_train,
+        &ds.mixed,
+        &config,
+        SEED,
+        &spec,
+    )
+    .expect("checkpointed training")
+    {
+        TrainRun::Done(classifier) => *classifier,
+        TrainRun::Paused { .. } => unreachable!("no deadline configured"),
+    };
+    // Correctness gate: checkpointing must not change the model.
+    assert_eq!(
+        save_classifier(&train_plain()),
+        save_classifier(&train_checkpointed()),
+        "events = {events}"
+    );
+    let off_s = best_secs(|| {
+        let _ = train_plain();
+    });
+    let on_s = best_secs(|| {
+        let _ = train_checkpointed();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let r = CheckpointResult { events, off_s, on_s };
+    println!(
+        "checkpoint events={:<5} off {:>8.3}s   on {:>8.3}s   overhead {:>5.1}%",
+        r.events,
+        r.off_s,
+        r.on_s,
+        100.0 * (r.on_s - r.off_s) / r.off_s.max(1e-12),
+    );
+    r
+}
+
 fn main() {
     let threads = par::thread_count();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -174,23 +265,28 @@ fn main() {
 
     let upgma_sizes = sizes_from_env("LEAPS_UPGMA_SIZES", &[64, 256, 1024]);
     let hmm_seqs = sizes_from_env("LEAPS_HMM_SEQS", &[8, 32, 128]);
+    let ckpt_events = sizes_from_env("LEAPS_CKPT_EVENTS", &[2000]);
 
     let upgma: Vec<UpgmaResult> = upgma_sizes.iter().map(|&n| bench_upgma(n, threads)).collect();
     let baum_welch: Vec<BaumWelchResult> =
         hmm_seqs.iter().map(|&c| bench_baum_welch(c, threads)).collect();
+    let checkpoint: Vec<CheckpointResult> =
+        ckpt_events.iter().map(|&e| bench_checkpoint(e)).collect();
 
     let out =
         std::env::var("LEAPS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_train.json".to_owned());
     let upgma_json: Vec<String> = upgma.iter().map(UpgmaResult::json).collect();
     let bw_json: Vec<String> = baum_welch.iter().map(BaumWelchResult::json).collect();
+    let ckpt_json: Vec<String> = checkpoint.iter().map(CheckpointResult::json).collect();
     let json = format!(
         "{{\n  \"threads\": {},\n  \"cores\": {},\n  \"reps\": {},\n  \"upgma\": [\n{}\n  ],\n  \
-         \"baum_welch\": [\n{}\n  ]\n}}\n",
+         \"baum_welch\": [\n{}\n  ],\n  \"checkpoint\": [\n{}\n  ]\n}}\n",
         threads,
         cores,
         REPS,
         upgma_json.join(",\n"),
-        bw_json.join(",\n")
+        bw_json.join(",\n"),
+        ckpt_json.join(",\n")
     );
     std::fs::write(&out, json).expect("writing benchmark output");
     println!("wrote {out}");

@@ -15,11 +15,21 @@
 //! Environment overrides honoured by the binaries:
 //! `LEAPS_RUNS` (averaging runs, default 10), `LEAPS_SEED` (master seed),
 //! `LEAPS_EVENTS` (events per log, default 6000 benign/mixed).
+//!
+//! The sweep binaries (`table1`, `fig6`, `fig7`, `case_studies`) run
+//! under per-cell supervision ([`Experiment::run_sweep`]) and honour
+//! four more: `LEAPS_DEADLINE_SECS` (wall-clock budget; remaining cells
+//! are recorded as `deadline`, exit code 8), `LEAPS_SWEEP_MANIFEST`
+//! (manifest path, rewritten atomically after every cell),
+//! `LEAPS_RESUME=1` (skip cells the manifest records as ok) and
+//! `LEAPS_CHAOS_CELL=scenario:METHOD` (fault injection: that cell's
+//! first run panics — the harness must still finish the rest and exit 9).
 
 pub mod chart;
 
-use leaps::core::experiment::Experiment;
+use leaps::core::experiment::{CellOutcome, Experiment, SweepOptions, SweepReport};
 use leaps::etw::scenario::GenParams;
+use std::process::ExitCode;
 
 /// Builds the experiment configuration used by the harness binaries,
 /// honouring the `LEAPS_*` environment overrides.
@@ -39,6 +49,60 @@ pub fn harness_experiment() -> Experiment {
         seed,
         ..Experiment::default()
     }
+}
+
+/// Builds the sweep supervision options from the `LEAPS_DEADLINE_SECS`,
+/// `LEAPS_SWEEP_MANIFEST`, `LEAPS_RESUME` and `LEAPS_CHAOS_CELL`
+/// environment variables.
+#[must_use]
+pub fn sweep_options_from_env() -> SweepOptions {
+    SweepOptions {
+        deadline_secs: std::env::var("LEAPS_DEADLINE_SECS").ok().and_then(|v| v.parse().ok()),
+        manifest: std::env::var("LEAPS_SWEEP_MANIFEST").ok().map(std::path::PathBuf::from),
+        resume: env_flag("LEAPS_RESUME"),
+        chaos_cell: std::env::var("LEAPS_CHAOS_CELL").ok(),
+    }
+}
+
+/// Whether a boolean env var is set to a truthy value (`1`/`true`/`yes`).
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("yes"))
+}
+
+/// One-line status for a sweep cell that did not complete: the tag plus
+/// the captured error/panic message.
+#[must_use]
+pub fn cell_status(outcome: &CellOutcome) -> String {
+    match outcome {
+        CellOutcome::Ok(_) => "ok".to_owned(),
+        CellOutcome::Error(msg) => format!("ERROR: {msg}"),
+        CellOutcome::Panicked(msg) => format!("PANICKED: {msg}"),
+        CellOutcome::Deadline => "DEADLINE: not run (budget expired)".to_owned(),
+    }
+}
+
+/// Prints the sweep summary to stderr and converts the report into the
+/// process exit code: 0 all ok, 8 deadline-bounded, 9 failed cells.
+#[must_use]
+pub fn sweep_exit(report: &SweepReport) -> ExitCode {
+    let (ok, errors, panics, deadlines) = report.counts();
+    for cell in &report.cells {
+        if !matches!(cell.outcome, CellOutcome::Ok(_)) {
+            eprintln!(
+                "sweep cell {}:{} -> {}",
+                cell.scenario,
+                cell.method.label(),
+                cell_status(&cell.outcome)
+            );
+        }
+    }
+    eprintln!(
+        "sweep: {} cells — {ok} ok, {errors} error, {panics} panicked, {deadlines} deadline",
+        report.cells.len()
+    );
+    ExitCode::from(report.exit_code())
 }
 
 /// Reads a `usize` env var with a default.
@@ -80,5 +144,22 @@ mod tests {
         let e = harness_experiment();
         assert!(e.runs >= 1);
         assert!(e.gen.benign_events >= 100);
+    }
+
+    #[test]
+    fn sweep_options_default_to_unsupervised() {
+        // (Assumes the LEAPS_* vars are unset in the test environment.)
+        let o = sweep_options_from_env();
+        assert_eq!(o.deadline_secs, None);
+        assert_eq!(o.manifest, None);
+        assert!(!o.resume);
+        assert_eq!(o.chaos_cell, None);
+        assert!(!env_flag("LEAPS_NO_SUCH_VAR"));
+    }
+
+    #[test]
+    fn cell_status_captures_messages() {
+        assert_eq!(cell_status(&CellOutcome::Error("boom".into())), "ERROR: boom");
+        assert!(cell_status(&CellOutcome::Deadline).starts_with("DEADLINE"));
     }
 }

@@ -20,7 +20,9 @@ use leaps::core::config::PipelineConfig;
 use leaps::core::error::LeapsError;
 use leaps::core::experiment::Experiment;
 use leaps::core::persist::{load_classifier_file, save_classifier, save_classifier_to};
-use leaps::core::pipeline::{try_train_classifier, Method};
+use leaps::core::pipeline::{
+    try_train_classifier, try_train_classifier_checkpointed, CheckpointSpec, Method, TrainRun,
+};
 use leaps::core::stream::{StreamDetector, Verdict};
 use leaps::etw::scenario::{GenParams, Scenario};
 use leaps::serve::{Client, Command, Endpoint, Reply, Server, ServerConfig};
@@ -42,7 +44,16 @@ USAGE:
       Train and evaluate on a scenario; prints ACC/PPV/TPR/TNR/NPV.
   leaps train --benign FILE --mixed FILE --out MODEL
               [--method cgraph|svm|wsvm|hmm] [--seed S] [--lenient]
+              [--checkpoint-dir DIR [--resume] [--deadline-secs N]
+               [--checkpoint-every K]]
       Train a classifier from a benign and a mixed raw log and save it.
+      With --checkpoint-dir, training state (CV grid cells, SMO alphas,
+      Baum-Welch parameters) is checkpointed atomically to DIR every K
+      optimizer passes (default 200), and --deadline-secs pauses at the
+      next checkpoint once the budget expires (exit code 8, model not
+      written). --resume continues from DIR's checkpoints and produces a
+      model byte-identical to an uninterrupted run; checkpoints from a
+      different method/seed/input are rejected.
   leaps detect --target FILE (--model MODEL | --benign FILE --mixed FILE)
                [--method cgraph|svm|wsvm|hmm] [--seed S] [--lenient]
       Stream-detect over a target log with a saved model (or train
@@ -85,7 +96,9 @@ GLOBAL OPTIONS:
 EXIT CODES:
   0 success   2 usage error   3 parse error   4 model error
   5 data error (too little/degenerate data)   6 I/O error
-  7 network/protocol error
+  7 network/protocol error   8 deadline expired (resumable checkpoint
+  saved; rerun with --resume)   9 sweep finished with failed cells
+  (experiment harnesses only; partial results were written)
 ";
 
 /// A terminal CLI failure: one stderr line plus a process exit code.
@@ -271,9 +284,64 @@ fn train_from_logs(args: &Args) -> Result<leaps::core::pipeline::Classifier, Fai
     Ok(classifier)
 }
 
+/// The checkpointed training path of `leaps train --checkpoint-dir`.
+fn train_checkpointed(
+    args: &Args,
+    dir: &str,
+) -> Result<leaps::core::pipeline::Classifier, Failure> {
+    let lenient = args.enabled("lenient");
+    let benign = load_log(args.required("benign")?, lenient)?;
+    let mixed = load_log(args.required("mixed")?, lenient)?;
+    let method = method_of(args)?;
+    let seed = args.parse_or("seed", 0x1ea5u64)?;
+    let every = args.parse_or("checkpoint-every", 200usize)?;
+    if every == 0 {
+        return Err(Failure::usage("--checkpoint-every must be >= 1"));
+    }
+    let spec = CheckpointSpec {
+        resume: args.enabled("resume"),
+        every,
+        deadline: args
+            .parse_opt::<u64>("deadline-secs")?
+            .map(|secs| std::time::Instant::now() + std::time::Duration::from_secs(secs)),
+        ..CheckpointSpec::new(dir)
+    };
+    println!(
+        "training {} on {} benign + {} mixed events (checkpoints in {dir}{})...",
+        method.label(),
+        benign.len(),
+        mixed.len(),
+        if spec.resume { ", resuming" } else { "" }
+    );
+    let run = try_train_classifier_checkpointed(
+        method,
+        &benign,
+        &mixed,
+        &PipelineConfig::default(),
+        seed,
+        &spec,
+    )?;
+    match run {
+        TrainRun::Done(classifier) => Ok(*classifier),
+        TrainRun::Paused { stage, progress } => Err(LeapsError::deadline(format!(
+            "training {} (checkpointed {stage} at progress {progress})",
+            method.label()
+        ))
+        .into()),
+    }
+}
+
 fn cmd_train(args: &Args) -> Result<(), Failure> {
     let out = args.required("out")?;
-    let classifier = train_from_logs(args)?;
+    for flag in ["resume", "deadline-secs", "checkpoint-every"] {
+        if args.get(flag).is_some() && args.get("checkpoint-dir").is_none() {
+            return Err(Failure::usage(format!("--{flag} requires --checkpoint-dir")));
+        }
+    }
+    let classifier = match args.get("checkpoint-dir") {
+        Some(dir) => train_checkpointed(args, dir)?,
+        None => train_from_logs(args)?,
+    };
     let text = save_classifier(&classifier);
     // Crash-safe: a kill mid-save leaves the old model (or nothing),
     // never a torn file a later `detect`/`serve` would choke on.

@@ -73,6 +73,14 @@ pub enum LeapsError {
         /// What went wrong, in one line.
         message: String,
     },
+    /// A wall-clock deadline expired before the operation finished. Not
+    /// a failure of the work itself: checkpointed training pauses at the
+    /// deadline with its state saved, so a `--resume` run picks up where
+    /// it stopped.
+    Deadline {
+        /// What was interrupted (e.g. "training wsvm").
+        what: String,
+    },
 }
 
 impl LeapsError {
@@ -88,10 +96,16 @@ impl LeapsError {
         LeapsError::Protocol { message: message.into() }
     }
 
+    /// Wraps a deadline expiry, naming what was interrupted.
+    #[must_use]
+    pub fn deadline(what: impl Into<String>) -> LeapsError {
+        LeapsError::Deadline { what: what.into() }
+    }
+
     /// The process exit code for this error family: parse errors exit 3,
     /// model errors 4, data errors 5, I/O errors 6, network/protocol
-    /// errors 7. (2 is reserved for command-line usage errors, 1 for
-    /// internal failures.)
+    /// errors 7, deadline expiry 8. (2 is reserved for command-line
+    /// usage errors, 1 for internal failures.)
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -100,6 +114,7 @@ impl LeapsError {
             LeapsError::Data(_) => 5,
             LeapsError::Io { .. } => 6,
             LeapsError::Protocol { .. } => 7,
+            LeapsError::Deadline { .. } => 8,
         }
     }
 }
@@ -112,6 +127,9 @@ impl fmt::Display for LeapsError {
             LeapsError::Data(e) => write!(f, "data error: {e}"),
             LeapsError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
             LeapsError::Protocol { message } => write!(f, "protocol error: {message}"),
+            LeapsError::Deadline { what } => {
+                write!(f, "deadline exceeded: {what} paused at a checkpoint; rerun with --resume")
+            }
         }
     }
 }
@@ -122,7 +140,9 @@ impl Error for LeapsError {
             LeapsError::Parse(e) => Some(e),
             LeapsError::Model(e) => Some(e),
             LeapsError::Data(e) => Some(e),
-            LeapsError::Io { .. } | LeapsError::Protocol { .. } => None,
+            LeapsError::Io { .. } | LeapsError::Protocol { .. } | LeapsError::Deadline { .. } => {
+                None
+            }
         }
     }
 }
@@ -163,6 +183,7 @@ mod tests {
             LeapsError::Data(DataError::EmptyLog { role: "benign" }),
             LeapsError::Io { path: "x".into(), message: "denied".into() },
             LeapsError::protocol("connection refused"),
+            LeapsError::deadline("training wsvm"),
         ];
         let codes: Vec<u8> = errors.iter().map(LeapsError::exit_code).collect();
         let mut unique = codes.clone();
@@ -185,6 +206,9 @@ mod tests {
         let e = LeapsError::protocol("session (cli, 4) already open");
         assert!(e.to_string().starts_with("protocol error:"), "{e}");
         assert_eq!(e.exit_code(), 7);
+        let e = LeapsError::deadline("training wsvm");
+        assert!(e.to_string().contains("--resume"), "{e}");
+        assert_eq!(e.exit_code(), 8);
     }
 
     #[test]

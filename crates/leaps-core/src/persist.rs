@@ -30,9 +30,11 @@ use leaps_cluster::assign::ClusterAssigner;
 use leaps_cluster::features::{CutRule, FeatureEncoder, PreprocessConfig};
 use leaps_cluster::hier::Linkage;
 use leaps_hmm::classify::{HmmClassifier, SymbolTable};
-use leaps_hmm::hmm::Hmm;
+use leaps_hmm::hmm::{Hmm, HmmState};
+use leaps_svm::cv::CvState;
 use leaps_svm::kernel::Kernel;
 use leaps_svm::model::SvmModel;
+use leaps_svm::smo::SmoState;
 use std::error::Error;
 use std::fmt;
 
@@ -215,6 +217,382 @@ pub fn load_classifier_file(path: &std::path::Path) -> Result<Classifier, LeapsE
             inner: Box::new(inner),
         })
     })
+}
+
+// ------------------------------------------------------------ checkpoints
+
+/// Magic first line of a checkpoint file.
+pub const CKPT_HEADER: &str = "# LEAPS-CKPT v1";
+
+/// A versioned training checkpoint: the resumable state of one training
+/// stage, staged to disk with [`write_atomic`] so a kill at any instant
+/// leaves either the previous checkpoint or the new one — never a torn
+/// file.
+///
+/// The envelope is stage-agnostic (`LEAPS-CKPT v1`: stage tag,
+/// configuration fingerprint, progress counter, RNG state, payload
+/// records, `end` marker); the stage-specific payloads are produced and
+/// consumed by the converter pairs [`smo_checkpoint`]/[`smo_state`],
+/// [`cv_checkpoint`]/[`cv_state`] and [`hmm_checkpoint`]/[`hmm_state`].
+/// Floats are written with `{:?}` (shortest round-trip representation),
+/// so a state loaded back is bit-identical to the one saved — the
+/// foundation of the resume-determinism guarantee (DESIGN.md §13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Which training stage wrote it (`smo`, `cv`, `hmm`).
+    pub stage: String,
+    /// [`fingerprint64`] of the run configuration (method, seed, input
+    /// sizes, hyper-parameters). A resume whose configuration disagrees
+    /// is rejected instead of silently diverging.
+    pub fingerprint: u64,
+    /// Stage-defined progress counter (SMO iterations, completed CV
+    /// cells, Baum–Welch iterations).
+    pub progress: u64,
+    /// The generator state the stage's stochastic choices derive from
+    /// (captured via `SimRng::state`); stages whose randomness is fully
+    /// re-derived from the seed store the seed-expanded state.
+    pub rng: [u64; 4],
+    /// Stage-defined payload records (single lines, no newlines).
+    pub payload: Vec<String>,
+}
+
+/// FNV-1a over a list of string parts, with a separator step between
+/// parts so `["ab", "c"]` and `["a", "bc"]` fingerprint differently.
+/// Used to fingerprint a training configuration into [`Checkpoint`].
+#[must_use]
+pub fn fingerprint64(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |byte: u64| {
+        h ^= byte;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for part in parts {
+        for &b in part.as_bytes() {
+            step(u64::from(b));
+        }
+        step(0x100); // out-of-band separator
+    }
+    h
+}
+
+/// Serializes a checkpoint to the text format.
+#[must_use]
+pub fn save_checkpoint(ckpt: &Checkpoint) -> String {
+    let mut out = String::new();
+    out.push_str(CKPT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("stage {}\n", ckpt.stage));
+    out.push_str(&format!("fingerprint {}\n", ckpt.fingerprint));
+    out.push_str(&format!("progress {}\n", ckpt.progress));
+    let [r0, r1, r2, r3] = ckpt.rng;
+    out.push_str(&format!("rng {r0} {r1} {r2} {r3}\n"));
+    out.push_str(&format!("payload {}\n", ckpt.payload.len()));
+    for record in &ckpt.payload {
+        out.push_str(&format!("p {record}\n"));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a checkpoint from the text format.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] on malformed input, including a missing `end`
+/// marker (a truncation the atomic write protocol makes unreachable in
+/// practice, but hand-edited or foreign files get a diagnosis).
+pub fn load_checkpoint(text: &str) -> Result<Checkpoint, ModelError> {
+    let mut lines = Lines::new(text);
+    if lines.next_line() != Some(CKPT_HEADER) {
+        return Err(ModelError::BadHeader);
+    }
+    let stage = lines.expect_prefixed("stage")?.to_owned();
+    let fingerprint = {
+        let rest = lines.expect_prefixed("fingerprint")?;
+        lines.parse(rest, "fingerprint")?
+    };
+    let progress = {
+        let rest = lines.expect_prefixed("progress")?;
+        lines.parse(rest, "progress")?
+    };
+    let rng = {
+        let rest = lines.expect_prefixed("rng")?;
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        let [a, b, c, d] = words.as_slice() else {
+            return Err(lines.bad("rng needs 4 words".into()));
+        };
+        [
+            lines.parse(a, "rng word")?,
+            lines.parse(b, "rng word")?,
+            lines.parse(c, "rng word")?,
+            lines.parse(d, "rng word")?,
+        ]
+    };
+    let n: usize = {
+        let rest = lines.expect_prefixed("payload")?;
+        lines.parse_count(rest, "payload count")?
+    };
+    let mut payload = Vec::with_capacity(n);
+    for _ in 0..n {
+        payload.push(lines.expect_prefixed("p")?.to_owned());
+    }
+    match lines.next_line() {
+        Some("end") => Ok(Checkpoint { stage, fingerprint, progress, rng, payload }),
+        Some(other) => Err(lines.bad(format!("expected `end`, got {other:?}"))),
+        None => Err(ModelError::Truncated),
+    }
+}
+
+/// Saves a checkpoint to `path` via the crash-safe [`write_atomic`]
+/// protocol.
+///
+/// # Errors
+///
+/// [`LeapsError::Io`] naming the path that failed.
+pub fn save_checkpoint_to(path: &std::path::Path, ckpt: &Checkpoint) -> Result<(), LeapsError> {
+    write_atomic(path, &save_checkpoint(ckpt))
+}
+
+/// Loads a checkpoint from a file, naming the file in every error (like
+/// [`load_classifier_file`]).
+///
+/// # Errors
+///
+/// [`LeapsError::Io`] or [`LeapsError::Model`], both naming `path`.
+pub fn load_checkpoint_file(path: &std::path::Path) -> Result<Checkpoint, LeapsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LeapsError::io(path.display().to_string(), &e))?;
+    load_checkpoint(&text).map_err(|inner| {
+        LeapsError::Model(ModelError::InFile {
+            path: path.display().to_string(),
+            inner: Box::new(inner),
+        })
+    })
+}
+
+/// Checks a loaded checkpoint against the stage and configuration
+/// fingerprint the caller is about to resume: a mismatch means the
+/// checkpoint belongs to a *different* run (other method, seed, data or
+/// hyper-parameters) and resuming from it would silently diverge.
+///
+/// # Errors
+///
+/// [`ModelError::BadRecord`] describing the mismatch.
+pub fn verify_checkpoint(
+    ckpt: &Checkpoint,
+    stage: &str,
+    fingerprint: u64,
+) -> Result<(), ModelError> {
+    if ckpt.stage != stage {
+        return Err(ModelError::BadRecord {
+            line: 2,
+            reason: format!("checkpoint stage {:?} does not match {stage:?}", ckpt.stage),
+        });
+    }
+    if ckpt.fingerprint != fingerprint {
+        return Err(ModelError::BadRecord {
+            line: 3,
+            reason: format!(
+                "checkpoint fingerprint {} does not match this run's {fingerprint} \
+                 (different method, seed, data or hyper-parameters)",
+                ckpt.fingerprint
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn float_record(tag: &str, values: &[f64]) -> String {
+    let mut line = String::from(tag);
+    for v in values {
+        line.push_str(&format!(" {v:?}"));
+    }
+    line
+}
+
+/// 1-based line number of payload record `index` in the checkpoint file
+/// (header, stage, fingerprint, progress, rng, payload-count precede).
+fn payload_line_no(index: usize) -> usize {
+    7 + index
+}
+
+fn payload_record<'a>(
+    ckpt: &'a Checkpoint,
+    index: usize,
+    tag: &str,
+) -> Result<&'a str, ModelError> {
+    let record = ckpt.payload.get(index).ok_or(ModelError::Truncated)?;
+    if record == tag {
+        return Ok("");
+    }
+    record.strip_prefix(tag).and_then(|r| r.strip_prefix(' ')).ok_or_else(|| {
+        ModelError::BadRecord {
+            line: payload_line_no(index),
+            reason: format!("expected `{tag} ...`, got {record:?}"),
+        }
+    })
+}
+
+fn payload_floats(ckpt: &Checkpoint, index: usize, tag: &str) -> Result<Vec<f64>, ModelError> {
+    payload_record(ckpt, index, tag)?
+        .split_whitespace()
+        .map(|v| {
+            v.parse().map_err(|_| ModelError::BadRecord {
+                line: payload_line_no(index),
+                reason: format!("invalid {tag} value: {v:?}"),
+            })
+        })
+        .collect()
+}
+
+/// Packs an SMO solver state ([`SmoState`]) into a checkpoint. SMO is
+/// fully deterministic, so `rng` is the seed-expanded generator state of
+/// the pipeline run (recorded, never consumed).
+#[must_use]
+pub fn smo_checkpoint(state: &SmoState, fingerprint: u64, rng: [u64; 4]) -> Checkpoint {
+    Checkpoint {
+        stage: "smo".into(),
+        fingerprint,
+        progress: state.iterations as u64,
+        rng,
+        payload: vec![float_record("alpha", &state.alpha), float_record("grad", &state.grad)],
+    }
+}
+
+/// Unpacks an SMO checkpoint back into a resumable [`SmoState`].
+///
+/// # Errors
+///
+/// [`ModelError`] if the checkpoint is not a well-formed `smo` stage.
+pub fn smo_state(ckpt: &Checkpoint) -> Result<SmoState, ModelError> {
+    verify_checkpoint(ckpt, "smo", ckpt.fingerprint)?;
+    let alpha = payload_floats(ckpt, 0, "alpha")?;
+    let grad = payload_floats(ckpt, 1, "grad")?;
+    if alpha.len() != grad.len() || alpha.is_empty() {
+        return Err(ModelError::BadRecord {
+            line: payload_line_no(1),
+            reason: format!("alpha/grad length mismatch ({} vs {})", alpha.len(), grad.len()),
+        });
+    }
+    Ok(SmoState { alpha, grad, iterations: ckpt.progress as usize })
+}
+
+/// Packs a CV grid-search state ([`CvState`]) into a checkpoint. Cell
+/// scores that are `None` (empty/degenerate folds) are encoded as `-`.
+#[must_use]
+pub fn cv_checkpoint(state: &CvState, fingerprint: u64, rng: [u64; 4]) -> Checkpoint {
+    let mut record = String::from("scores");
+    for score in &state.scores {
+        match score {
+            Some(v) => record.push_str(&format!(" {v:?}")),
+            None => record.push_str(" -"),
+        }
+    }
+    Checkpoint {
+        stage: "cv".into(),
+        fingerprint,
+        progress: state.scores.len() as u64,
+        rng,
+        payload: vec![record],
+    }
+}
+
+/// Unpacks a CV checkpoint back into a resumable [`CvState`].
+///
+/// # Errors
+///
+/// [`ModelError`] if the checkpoint is not a well-formed `cv` stage.
+pub fn cv_state(ckpt: &Checkpoint) -> Result<CvState, ModelError> {
+    verify_checkpoint(ckpt, "cv", ckpt.fingerprint)?;
+    let scores: Result<Vec<Option<f64>>, ModelError> = payload_record(ckpt, 0, "scores")?
+        .split_whitespace()
+        .map(|v| {
+            if v == "-" {
+                Ok(None)
+            } else {
+                v.parse().map(Some).map_err(|_| ModelError::BadRecord {
+                    line: payload_line_no(0),
+                    reason: format!("invalid score: {v:?}"),
+                })
+            }
+        })
+        .collect();
+    let scores = scores?;
+    if scores.len() as u64 != ckpt.progress {
+        return Err(ModelError::BadRecord {
+            line: payload_line_no(0),
+            reason: format!("{} scores but progress says {}", scores.len(), ckpt.progress),
+        });
+    }
+    Ok(CvState { scores })
+}
+
+/// Packs a Baum–Welch state ([`HmmState`]) into a checkpoint; the RNG
+/// state is the one the state itself carries (captured right after the
+/// random π/A/B initialization).
+#[must_use]
+pub fn hmm_checkpoint(state: &HmmState, fingerprint: u64) -> Checkpoint {
+    Checkpoint {
+        stage: "hmm".into(),
+        fingerprint,
+        progress: state.iteration as u64,
+        rng: state.rng,
+        payload: vec![
+            format!("dims {} {}", state.states, state.symbols),
+            float_record("pi", &state.pi),
+            float_record("a", &state.a),
+            float_record("b", &state.b),
+        ],
+    }
+}
+
+/// Unpacks a Baum–Welch checkpoint back into a resumable [`HmmState`].
+///
+/// # Errors
+///
+/// [`ModelError`] if the checkpoint is not a well-formed `hmm` stage
+/// (wrong matrix dimensions, all-zero RNG state, …).
+pub fn hmm_state(ckpt: &Checkpoint) -> Result<HmmState, ModelError> {
+    verify_checkpoint(ckpt, "hmm", ckpt.fingerprint)?;
+    let dims = payload_record(ckpt, 0, "dims")?;
+    let words: Vec<&str> = dims.split_whitespace().collect();
+    let bad = |index: usize, reason: String| ModelError::BadRecord {
+        line: payload_line_no(index),
+        reason,
+    };
+    let [states, symbols] = words.as_slice() else {
+        return Err(bad(0, "dims needs 2 words".into()));
+    };
+    let parse_dim = |token: &str| -> Result<usize, ModelError> {
+        let n: usize =
+            token.parse().map_err(|_| bad(0, format!("invalid dimension: {token:?}")))?;
+        const MAX_DIM: usize = 1 << 12;
+        if n == 0 || n > MAX_DIM {
+            return Err(bad(0, format!("implausible dimension {n}")));
+        }
+        Ok(n)
+    };
+    let states = parse_dim(states)?;
+    let symbols = parse_dim(symbols)?;
+    let pi = payload_floats(ckpt, 1, "pi")?;
+    let a = payload_floats(ckpt, 2, "a")?;
+    let b = payload_floats(ckpt, 3, "b")?;
+    for (index, (name, values, expected)) in
+        [("pi", &pi, states), ("a", &a, states * states), ("b", &b, states * symbols)]
+            .into_iter()
+            .enumerate()
+    {
+        if values.len() != expected {
+            return Err(bad(
+                index + 1,
+                format!("{name} has {} values, expected {expected}", values.len()),
+            ));
+        }
+    }
+    if ckpt.rng.iter().all(|&w| w == 0) {
+        return Err(bad(0, "all-zero RNG state".into()));
+    }
+    Ok(HmmState { iteration: ckpt.progress as usize, states, symbols, pi, a, b, rng: ckpt.rng })
 }
 
 // ---------------------------------------------------------------- writing
@@ -759,6 +1137,114 @@ mod tests {
         assert!(ModelError::BadHeader.to_string().contains("LEAPS-MODEL"));
         let e = ModelError::BadRecord { line: 3, reason: "x".into() };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn smo_checkpoint_roundtrips() {
+        let state = SmoState {
+            alpha: vec![0.0, 0.125, 7.5e-3],
+            grad: vec![-1.0, 0.333_333_333_333_333_3, 2.0],
+            iterations: 42,
+        };
+        let fp = fingerprint64(&["wsvm", "7", "smo"]);
+        let ckpt = smo_checkpoint(&state, fp, [1, 2, 3, 4]);
+        let loaded = load_checkpoint(&save_checkpoint(&ckpt)).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(smo_state(&loaded).unwrap(), state);
+    }
+
+    #[test]
+    fn cv_checkpoint_roundtrips_including_none_cells() {
+        let state = CvState { scores: vec![Some(0.875), None, Some(1.0 / 3.0)] };
+        let ckpt = cv_checkpoint(&state, 9, [5, 6, 7, 8]);
+        let loaded = load_checkpoint(&save_checkpoint(&ckpt)).unwrap();
+        assert_eq!(cv_state(&loaded).unwrap(), state);
+    }
+
+    #[test]
+    fn hmm_checkpoint_roundtrips() {
+        let state = HmmState {
+            iteration: 3,
+            states: 2,
+            symbols: 3,
+            pi: vec![0.25, 0.75],
+            a: vec![0.5, 0.5, 0.1, 0.9],
+            b: vec![0.2, 0.3, 0.5, 0.6, 0.3, 0.1],
+            rng: [9, 8, 7, 6],
+        };
+        let ckpt = hmm_checkpoint(&state, 11);
+        let loaded = load_checkpoint(&save_checkpoint(&ckpt)).unwrap();
+        assert_eq!(hmm_state(&loaded).unwrap(), state);
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_mismatch_is_rejected() {
+        let state = CvState { scores: vec![Some(0.5)] };
+        let ckpt = cv_checkpoint(&state, fingerprint64(&["wsvm", "seed 7"]), [1, 0, 0, 0]);
+        assert!(verify_checkpoint(&ckpt, "cv", ckpt.fingerprint).is_ok());
+        let err = verify_checkpoint(&ckpt, "cv", fingerprint64(&["wsvm", "seed 8"])).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        let err = verify_checkpoint(&ckpt, "smo", ckpt.fingerprint).unwrap_err();
+        assert!(err.to_string().contains("stage"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_diagnosed_not_panicking() {
+        assert!(matches!(load_checkpoint(""), Err(ModelError::BadHeader)));
+        assert!(matches!(load_checkpoint("# LEAPS-CKPT v1\n"), Err(ModelError::Truncated)));
+        let good = save_checkpoint(&hmm_checkpoint(
+            &HmmState {
+                iteration: 1,
+                states: 2,
+                symbols: 2,
+                pi: vec![0.5, 0.5],
+                a: vec![0.5; 4],
+                b: vec![0.5; 4],
+                rng: [1, 2, 3, 4],
+            },
+            5,
+        ));
+        // Missing `end` marker.
+        let no_end = good.trim_end().trim_end_matches("end").to_owned();
+        assert!(load_checkpoint(&no_end).is_err());
+        // Any single-line deletion must error, never panic.
+        for victim in 0..good.lines().count() {
+            let mutated: Vec<&str> =
+                good.lines().enumerate().filter(|(i, _)| *i != victim).map(|(_, l)| l).collect();
+            assert!(load_checkpoint(&mutated.join("\n")).is_err(), "line {victim}");
+        }
+        // Wrong matrix dimensions in an otherwise valid envelope.
+        let ckpt = load_checkpoint(&good).unwrap();
+        let mut bad_dims = ckpt.clone();
+        bad_dims.payload[0] = "dims 3 2".into();
+        assert!(hmm_state(&bad_dims).is_err());
+        // All-zero RNG state.
+        let mut zero_rng = ckpt;
+        zero_rng.rng = [0; 4];
+        let err = hmm_state(&zero_rng).unwrap_err();
+        assert!(err.to_string().contains("all-zero"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_separates_parts() {
+        assert_ne!(fingerprint64(&["ab", "c"]), fingerprint64(&["a", "bc"]));
+        assert_ne!(fingerprint64(&[]), fingerprint64(&[""]));
+        assert_eq!(fingerprint64(&["x", "y"]), fingerprint64(&["x", "y"]));
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_is_atomic() {
+        let dir = scratch_dir("ckpt");
+        let path = dir.join("smo.ckpt");
+        let state = SmoState { alpha: vec![0.5], grad: vec![-0.5], iterations: 1 };
+        let ckpt = smo_checkpoint(&state, 3, [1, 1, 1, 1]);
+        save_checkpoint_to(&path, &ckpt).unwrap();
+        assert!(!temp_path_for(&path).exists());
+        assert_eq!(load_checkpoint_file(&path).unwrap(), ckpt);
+        // A missing checkpoint is an I/O error naming the path.
+        let err = load_checkpoint_file(&dir.join("absent.ckpt")).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     fn scratch_dir(tag: &str) -> std::path::PathBuf {

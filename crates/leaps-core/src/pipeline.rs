@@ -21,8 +21,12 @@
 //! construction.
 
 use crate::config::{PipelineConfig, WeightMode, WeightPolarity};
-use crate::error::DataError;
+use crate::error::{DataError, LeapsError};
 use crate::metrics::ConfusionMatrix;
+use crate::persist::{
+    cv_checkpoint, cv_state, fingerprint64, hmm_checkpoint, hmm_state, load_checkpoint_file,
+    save_checkpoint_to, smo_checkpoint, smo_state, verify_checkpoint, Checkpoint, ModelError,
+};
 use leaps_cfg::infer::infer_cfg;
 use leaps_cfg::weight::assess_weights;
 use leaps_cgraph::classify::{CallGraphClassifier, Decision};
@@ -34,8 +38,10 @@ use leaps_svm::cv::{GridSearch, Scoring};
 use leaps_svm::data::{Sample, TrainSet};
 use leaps_svm::kernel::Kernel;
 use leaps_svm::model::SvmModel;
-use leaps_svm::smo::{train as smo_train, SmoParams};
+use leaps_svm::smo::{train as smo_train, train_resumable as smo_train_resumable, SmoParams};
 use leaps_trace::partition::PartitionedEvent;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// The detection methods: the three the paper compares in Figures 6 and
 /// 7, plus the HMM sequence model it names as future work (Section VI-B).
@@ -67,6 +73,12 @@ impl Method {
             Method::Wsvm => "WSVM",
             Method::Hmm => "HMM",
         }
+    }
+
+    /// Parses a method from its display label (case-insensitive).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Method> {
+        Method::EXTENDED.into_iter().find(|m| m.label().eq_ignore_ascii_case(label))
     }
 }
 
@@ -209,12 +221,18 @@ pub fn try_train_classifier(
 /// short enough that the mixed log yields many sequences.
 const HMM_TRAIN_CHUNK: usize = 50;
 
-fn train_hmm(
+/// Output of [`hmm_prelude`]: fitted encoder, interned symbol table and
+/// the benign/mixed symbol streams.
+type HmmPrelude = (FeatureEncoder, SymbolTable<(u32, u32, u32)>, Vec<usize>, Vec<usize>);
+
+/// The deterministic prefix of HMM training: encoder fit + symbol
+/// interning. Shared between the plain and checkpointed paths so both
+/// feed the exact same symbol streams into Baum–Welch.
+fn hmm_prelude(
     benign_train: &[PartitionedEvent],
     mixed: &[PartitionedEvent],
     config: &PipelineConfig,
-    seed: u64,
-) -> HmmDetector {
+) -> HmmPrelude {
     let mut fit_events: Vec<&PartitionedEvent> = benign_train.iter().collect();
     fit_events.extend(mixed.iter());
     let encoder = FeatureEncoder::fit(&fit_events, config.preprocess);
@@ -223,6 +241,16 @@ fn train_hmm(
     let benign_symbols: Vec<usize> =
         benign_train.iter().map(|e| table.intern(encoder.tuple(e))).collect();
     let mixed_symbols: Vec<usize> = mixed.iter().map(|e| table.intern(encoder.tuple(e))).collect();
+    (encoder, table, benign_symbols, mixed_symbols)
+}
+
+fn train_hmm(
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+) -> HmmDetector {
+    let (encoder, table, benign_symbols, mixed_symbols) = hmm_prelude(benign_train, mixed, config);
     let clf = HmmClassifier::fit(
         &benign_symbols,
         &mixed_symbols,
@@ -233,13 +261,18 @@ fn train_hmm(
     HmmDetector { clf, encoder, table }
 }
 
-fn train_svm_family(
+/// The deterministic prefix of SVM-family training: encoder fit, CFG
+/// weights, coalesced/sampled training set, and grid construction
+/// (steps 1–4 of the module docs, everything before the long-running CV
+/// and SMO stages). Pure function of its arguments — the checkpointed
+/// path recomputes it on resume and lands in the exact same state.
+fn svm_prelude(
     method: Method,
     benign_train: &[PartitionedEvent],
     mixed: &[PartitionedEvent],
     config: &PipelineConfig,
     seed: u64,
-) -> Result<SvmClassifier, DataError> {
+) -> Result<(FeatureEncoder, TrainSet, GridSearch), DataError> {
     // 1. Fit the feature encoder on everything available at training time.
     let mut fit_events: Vec<&PartitionedEvent> = benign_train.iter().collect();
     fit_events.extend(mixed.iter());
@@ -303,7 +336,7 @@ fn train_svm_family(
     }
     let train_set = TrainSet::new(samples).map_err(DataError::Degenerate)?;
 
-    // 4. Tune (λ, σ²) and train the final model on the full training set.
+    // 4. The (λ, σ²) tuning grid; running it is the caller's job.
     let grid = GridSearch {
         lambdas: config.tuning.lambdas.clone(),
         sigma2s: config.tuning.sigma2s.clone(),
@@ -311,6 +344,18 @@ fn train_svm_family(
         seed,
         scoring: Scoring::WeightedBalanced,
     };
+    Ok((encoder, train_set, grid))
+}
+
+fn train_svm_family(
+    method: Method,
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+) -> Result<SvmClassifier, DataError> {
+    let (encoder, train_set, grid) = svm_prelude(method, benign_train, mixed, config, seed)?;
+    // 5. Tune (λ, σ²) and train the final model on the full training set.
     let best = grid.run(&train_set);
     let model = smo_train(
         &train_set,
@@ -318,6 +363,298 @@ fn train_svm_family(
         &SmoParams { lambda: best.lambda, ..Default::default() },
     );
     Ok(SvmClassifier { model, encoder, tuned: (best.lambda, best.sigma2) })
+}
+
+// ------------------------------------------------- checkpointed training
+
+/// Checkpointing configuration for [`try_train_classifier_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Directory holding the per-stage checkpoint files (created if
+    /// absent): `cv.ckpt`, `smo.ckpt`, `hmm-benign.ckpt`,
+    /// `hmm-mixed.ckpt`.
+    pub dir: PathBuf,
+    /// Resume from checkpoints found in `dir` instead of starting fresh.
+    /// Checkpoints from a different run configuration (method, seed,
+    /// data, hyper-parameters) are rejected, not silently adopted.
+    pub resume: bool,
+    /// SMO checkpoint stride: the solver offers its state every `every`
+    /// iterations (0 disables SMO checkpoints; CV and Baum–Welch always
+    /// checkpoint at their natural chunk/iteration boundaries).
+    pub every: usize,
+    /// Wall-clock deadline: training pauses at the first checkpoint
+    /// boundary at or past this instant, leaving the state on disk for
+    /// a later `resume` run. An already-expired deadline pauses at the
+    /// very first boundary — useful for deterministic interrupt drills.
+    pub deadline: Option<Instant>,
+}
+
+impl CheckpointSpec {
+    /// A spec writing to `dir` with the default SMO stride, no resume,
+    /// no deadline.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointSpec {
+        CheckpointSpec { dir: dir.into(), resume: false, every: 200, deadline: None }
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Outcome of a checkpointed training run.
+#[derive(Debug)]
+pub enum TrainRun {
+    /// Training finished; the stage checkpoint files were removed.
+    Done(Box<Classifier>),
+    /// Training paused at a checkpoint boundary (deadline reached). The
+    /// named stage's state is on disk; rerunning with
+    /// [`CheckpointSpec::resume`] continues from it, bit-identically.
+    Paused {
+        /// Which stage paused (`cv`, `smo`, `hmm-benign`, `hmm-mixed`).
+        stage: &'static str,
+        /// The stage's progress counter at the pause point.
+        progress: u64,
+    },
+}
+
+/// Checkpointed variant of [`try_train_classifier`]: the long-running
+/// training stages (CV grid, SMO, Baum–Welch) write their state to
+/// `spec.dir` through the atomic-write protocol at every checkpoint
+/// boundary, and pause when `spec.deadline` passes. A later run with
+/// `spec.resume` picks up from the saved state and produces a model
+/// **bit-identical** to an uninterrupted run (DESIGN.md §13): all
+/// stochastic choices are either re-derived from `seed` (the
+/// deterministic prelude) or carried in the checkpoint itself (the
+/// Baum–Welch initialization).
+///
+/// # Errors
+///
+/// [`LeapsError::Data`] on degenerate inputs, [`LeapsError::Io`] when a
+/// checkpoint cannot be written or read, [`LeapsError::Model`] when an
+/// existing checkpoint is corrupt or belongs to a different run.
+///
+/// # Panics
+///
+/// Panics if `config` itself is invalid — a configuration bug, not a
+/// data condition.
+pub fn try_train_classifier_checkpointed(
+    method: Method,
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+    spec: &CheckpointSpec,
+) -> Result<TrainRun, LeapsError> {
+    config.validate();
+    if benign_train.is_empty() {
+        return Err(DataError::EmptyLog { role: "benign training" }.into());
+    }
+    if mixed.is_empty() {
+        return Err(DataError::EmptyLog { role: "mixed" }.into());
+    }
+    std::fs::create_dir_all(&spec.dir)
+        .map_err(|e| LeapsError::io(spec.dir.display().to_string(), &e))?;
+    // Everything that shapes the training trajectory goes into the
+    // fingerprint, so a checkpoint can never silently resume a
+    // different run.
+    let fingerprint = fingerprint64(&[
+        method.label(),
+        &seed.to_string(),
+        &benign_train.len().to_string(),
+        &mixed.len().to_string(),
+        &format!("{config:?}"),
+    ]);
+    match method {
+        // Call-graph fitting is a single linear pass — quicker than a
+        // checkpoint write; it never pauses.
+        Method::CGraph => Ok(TrainRun::Done(Box::new(Classifier::CGraph(
+            CallGraphClassifier::fit(benign_train.iter(), mixed.iter()),
+        )))),
+        Method::Svm | Method::Wsvm => {
+            svm_checkpointed(method, benign_train, mixed, config, seed, spec, fingerprint)
+        }
+        Method::Hmm => hmm_checkpointed(benign_train, mixed, config, seed, spec, fingerprint),
+    }
+}
+
+/// Loads and validates one stage's checkpoint for resume; `Ok(None)`
+/// when not resuming or the file does not exist yet.
+fn load_stage(
+    spec: &CheckpointSpec,
+    file: &str,
+    stage: &str,
+    fingerprint: u64,
+) -> Result<Option<Checkpoint>, LeapsError> {
+    let path = spec.dir.join(file);
+    if !spec.resume || !path.exists() {
+        return Ok(None);
+    }
+    let ckpt = load_checkpoint_file(&path)?;
+    let in_file = |inner: ModelError| {
+        LeapsError::Model(ModelError::InFile {
+            path: path.display().to_string(),
+            inner: Box::new(inner),
+        })
+    };
+    verify_checkpoint(&ckpt, stage, fingerprint).map_err(in_file)?;
+    Ok(Some(ckpt))
+}
+
+/// Wraps a `ModelError` from decoding `file`'s payload with the path.
+fn stage_decode_err(spec: &CheckpointSpec, file: &str, inner: ModelError) -> LeapsError {
+    LeapsError::Model(ModelError::InFile {
+        path: spec.dir.join(file).display().to_string(),
+        inner: Box::new(inner),
+    })
+}
+
+fn svm_checkpointed(
+    method: Method,
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+    spec: &CheckpointSpec,
+    fingerprint: u64,
+) -> Result<TrainRun, LeapsError> {
+    let (encoder, train_set, grid) = svm_prelude(method, benign_train, mixed, config, seed)?;
+    // The seed-expanded generator state, recorded in the CV/SMO
+    // checkpoints: both stages are deterministic given the seed, so it
+    // is never consumed on resume.
+    let rng_state = SimRng::new(seed).state();
+
+    // Stage 1: the CV grid, checkpointed per (λ, σ²) chunk.
+    let cv_resume = match load_stage(spec, "cv.ckpt", "cv", fingerprint)? {
+        Some(ckpt) => Some(cv_state(&ckpt).map_err(|e| stage_decode_err(spec, "cv.ckpt", e))?),
+        None => None,
+    };
+    let cv_path = spec.dir.join("cv.ckpt");
+    let mut io_error: Option<LeapsError> = None;
+    let mut paused: Option<u64> = None;
+    let best = grid.run_resumable(&train_set, cv_resume, &mut |state| {
+        let ckpt = cv_checkpoint(state, fingerprint, rng_state);
+        if let Err(e) = save_checkpoint_to(&cv_path, &ckpt) {
+            io_error = Some(e);
+            return false;
+        }
+        if spec.expired() {
+            paused = Some(ckpt.progress);
+            return false;
+        }
+        true
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    let Some(best) = best else {
+        let progress = paused.expect("CV paused without a deadline or I/O error");
+        return Ok(TrainRun::Paused { stage: "cv", progress });
+    };
+
+    // Stage 2: the final SMO solve, checkpointed every `spec.every`
+    // iterations. The kernel matrix is recomputed (it is a pure function
+    // of the training set), only the solver state is persisted.
+    let smo_resume = match load_stage(spec, "smo.ckpt", "smo", fingerprint)? {
+        Some(ckpt) => Some(smo_state(&ckpt).map_err(|e| stage_decode_err(spec, "smo.ckpt", e))?),
+        None => None,
+    };
+    let smo_path = spec.dir.join("smo.ckpt");
+    let mut paused: Option<u64> = None;
+    let model = smo_train_resumable(
+        &train_set,
+        Kernel::Gaussian { sigma2: best.sigma2 },
+        &SmoParams { lambda: best.lambda, ..Default::default() },
+        smo_resume,
+        spec.every,
+        &mut |state| {
+            let ckpt = smo_checkpoint(state, fingerprint, rng_state);
+            if let Err(e) = save_checkpoint_to(&smo_path, &ckpt) {
+                io_error = Some(e);
+                return false;
+            }
+            if spec.expired() {
+                paused = Some(ckpt.progress);
+                return false;
+            }
+            true
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    let Some(model) = model else {
+        let progress = paused.expect("SMO paused without a deadline or I/O error");
+        return Ok(TrainRun::Paused { stage: "smo", progress });
+    };
+
+    for file in ["cv.ckpt", "smo.ckpt"] {
+        let _ = std::fs::remove_file(spec.dir.join(file));
+    }
+    Ok(TrainRun::Done(Box::new(Classifier::Svm(SvmClassifier {
+        model,
+        encoder,
+        tuned: (best.lambda, best.sigma2),
+    }))))
+}
+
+fn hmm_checkpointed(
+    benign_train: &[PartitionedEvent],
+    mixed: &[PartitionedEvent],
+    config: &PipelineConfig,
+    seed: u64,
+    spec: &CheckpointSpec,
+    fingerprint: u64,
+) -> Result<TrainRun, LeapsError> {
+    let (encoder, table, benign_symbols, mixed_symbols) = hmm_prelude(benign_train, mixed, config);
+    const FILES: [&str; 2] = ["hmm-benign.ckpt", "hmm-mixed.ckpt"];
+    const STAGES: [&str; 2] = ["hmm-benign", "hmm-mixed"];
+    let mut resume = (None, None);
+    for (which, file) in FILES.iter().enumerate() {
+        // Both models share the envelope stage tag "hmm"; which model a
+        // file belongs to is carried by the file name.
+        if let Some(ckpt) = load_stage(spec, file, "hmm", fingerprint)? {
+            let state = hmm_state(&ckpt).map_err(|e| stage_decode_err(spec, file, e))?;
+            if which == 0 {
+                resume.0 = Some(state);
+            } else {
+                resume.1 = Some(state);
+            }
+        }
+    }
+    let mut io_error: Option<LeapsError> = None;
+    let mut paused: Option<(&'static str, u64)> = None;
+    let clf = HmmClassifier::fit_resumable(
+        &benign_symbols,
+        &mixed_symbols,
+        table.alphabet_size(),
+        HMM_TRAIN_CHUNK,
+        &HmmParams { seed, ..HmmParams::default() },
+        resume,
+        &mut |which, state| {
+            let ckpt = hmm_checkpoint(state, fingerprint);
+            if let Err(e) = save_checkpoint_to(&spec.dir.join(FILES[which]), &ckpt) {
+                io_error = Some(e);
+                return false;
+            }
+            if spec.expired() {
+                paused = Some((STAGES[which], ckpt.progress));
+                return false;
+            }
+            true
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    let Some(clf) = clf else {
+        let (stage, progress) = paused.expect("HMM paused without a deadline or I/O error");
+        return Ok(TrainRun::Paused { stage, progress });
+    };
+    for file in FILES {
+        let _ = std::fs::remove_file(spec.dir.join(file));
+    }
+    Ok(TrainRun::Done(Box::new(Classifier::Hmm(HmmDetector { clf, encoder, table }))))
 }
 
 /// Coalesced-point weight: mean maliciousness over the covered events,
@@ -496,6 +833,116 @@ mod tests {
         // The CFG guidance must help on benign recall (the paper's central
         // claim); allow equality in degenerate small-data cases.
         assert!(m_wsvm.tpr >= m_svm.tpr, "WSVM TPR {} < SVM TPR {}", m_wsvm.tpr, m_svm.tpr);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("leaps-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Runs checkpointed training to completion by repeatedly resuming
+    /// with an always-expired deadline (pause at every single checkpoint
+    /// boundary — the worst case), then asserts the final model is
+    /// byte-identical to an uninterrupted run.
+    fn interrupt_everywhere(method: Method) {
+        let d = dataset("vim_reverse_tcp");
+        let (train, _) = d.split_benign(0.5, 1);
+        let cfg = PipelineConfig::fast();
+        let clean = train_classifier(method, &train, &d.mixed, &cfg, 7);
+        let clean_bytes = crate::persist::save_classifier(&clean);
+
+        let dir = scratch_dir(method.label());
+        let mut spec = CheckpointSpec::new(&dir);
+        // A small SMO stride so the solve pauses several times without
+        // paying a full prelude recompute per iteration (iteration-level
+        // bit-identity is proven in leaps-svm's own tests).
+        spec.every = 64;
+        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let mut pauses = 0;
+        let done = loop {
+            match try_train_classifier_checkpointed(method, &train, &d.mixed, &cfg, 7, &spec)
+                .unwrap()
+            {
+                TrainRun::Done(clf) => break clf,
+                TrainRun::Paused { .. } => {
+                    pauses += 1;
+                    assert!(pauses < 100_000, "training never completed");
+                    spec.resume = true;
+                }
+            }
+        };
+        assert!(pauses > 0, "{method:?} never hit a checkpoint boundary");
+        assert_eq!(
+            crate::persist::save_classifier(&done),
+            clean_bytes,
+            "{method:?} resumed model diverged after {pauses} pauses"
+        );
+        // Completion must clean up the stage checkpoints.
+        let leftover: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftover.is_empty(), "checkpoints not cleaned up: {leftover:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wsvm_interrupted_at_every_checkpoint_is_bit_identical() {
+        interrupt_everywhere(Method::Wsvm);
+    }
+
+    #[test]
+    fn hmm_interrupted_at_every_checkpoint_is_bit_identical() {
+        interrupt_everywhere(Method::Hmm);
+    }
+
+    #[test]
+    fn cgraph_checkpointed_never_pauses() {
+        let d = dataset("vim_reverse_tcp");
+        let (train, _) = d.split_benign(0.5, 1);
+        let dir = scratch_dir("cgraph");
+        let mut spec = CheckpointSpec::new(&dir);
+        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let run = try_train_classifier_checkpointed(
+            Method::CGraph,
+            &train,
+            &d.mixed,
+            &PipelineConfig::fast(),
+            7,
+            &spec,
+        )
+        .unwrap();
+        assert!(matches!(run, TrainRun::Done(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_from_different_run_is_rejected() {
+        let d = dataset("vim_reverse_tcp");
+        let (train, _) = d.split_benign(0.5, 1);
+        let cfg = PipelineConfig::fast();
+        let dir = scratch_dir("mismatch");
+        let mut spec = CheckpointSpec::new(&dir);
+        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        // Pause a seed-7 run at its first boundary...
+        let run = try_train_classifier_checkpointed(Method::Wsvm, &train, &d.mixed, &cfg, 7, &spec)
+            .unwrap();
+        assert!(matches!(run, TrainRun::Paused { .. }));
+        // ...then try to resume it under seed 8: must be rejected.
+        spec.resume = true;
+        spec.deadline = None;
+        let err = try_train_classifier_checkpointed(Method::Wsvm, &train, &d.mixed, &cfg, 8, &spec)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn method_from_label_roundtrips() {
+        for m in Method::EXTENDED {
+            assert_eq!(Method::from_label(m.label()), Some(m));
+        }
+        assert_eq!(Method::from_label("wsvm"), Some(Method::Wsvm));
+        assert_eq!(Method::from_label("nope"), None);
     }
 
     #[test]

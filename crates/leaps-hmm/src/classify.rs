@@ -1,6 +1,6 @@
 //! Benign-vs-mixed classification with a pair of HMMs.
 
-use crate::hmm::{Hmm, HmmParams};
+use crate::hmm::{Hmm, HmmParams, HmmState};
 use std::collections::HashMap;
 
 /// A two-model HMM classifier over discrete event symbols.
@@ -34,17 +34,61 @@ impl HmmClassifier {
         chunk: usize,
         params: &HmmParams,
     ) -> HmmClassifier {
+        Self::fit_resumable(
+            benign_symbols,
+            mixed_symbols,
+            symbols,
+            chunk,
+            params,
+            (None, None),
+            &mut |_, _| true,
+        )
+        .expect("non-checkpointing fit cannot pause")
+    }
+
+    /// [`HmmClassifier::fit`] with per-iteration checkpoint hooks on
+    /// both underlying Baum–Welch runs.
+    ///
+    /// `checkpoint` receives `(model_index, state)` where index `0` is
+    /// the benign model and `1` the mixed model; returning `false`
+    /// pauses the fit (`None` is returned). `resume` carries the last
+    /// captured state per model: a complete benign state skips that
+    /// training entirely, so a fit paused inside the mixed model never
+    /// re-trains the benign one. Resumed fits are bit-identical to
+    /// uninterrupted ones (see [`Hmm::train_resumable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`HmmClassifier::fit`].
+    pub fn fit_resumable(
+        benign_symbols: &[usize],
+        mixed_symbols: &[usize],
+        symbols: usize,
+        chunk: usize,
+        params: &HmmParams,
+        resume: (Option<HmmState>, Option<HmmState>),
+        checkpoint: &mut dyn FnMut(usize, &HmmState) -> bool,
+    ) -> Option<HmmClassifier> {
         assert!(chunk >= 2, "chunks must hold at least two symbols");
         let chunks = |stream: &[usize]| -> Vec<Vec<usize>> {
             stream.chunks(chunk).map(<[usize]>::to_vec).collect()
         };
-        let benign = Hmm::train(&chunks(benign_symbols), symbols, params);
-        let mixed = Hmm::train(
+        let (benign_resume, mixed_resume) = resume;
+        let benign = Hmm::train_resumable(
+            &chunks(benign_symbols),
+            symbols,
+            params,
+            benign_resume,
+            &mut |state| checkpoint(0, state),
+        )?;
+        let mixed = Hmm::train_resumable(
             &chunks(mixed_symbols),
             symbols,
             &HmmParams { seed: params.seed ^ 0xbad, ..*params },
-        );
-        HmmClassifier { benign, mixed }
+            mixed_resume,
+            &mut |state| checkpoint(1, state),
+        )?;
+        Some(HmmClassifier { benign, mixed })
     }
 
     /// Per-symbol log-likelihood ratio `(benign − mixed) / len`; positive
@@ -172,6 +216,51 @@ mod tests {
             (0..300).map(|i| if (i / 25) % 2 == 0 { i % 2 } else { 2 + i % 2 }).collect();
         let clf = HmmClassifier::fit(&benign, &mixed, 4, 50, &HmmParams::default());
         assert!(!clf.is_benign(&repeat_pattern(&[2, 3], 12)));
+    }
+
+    #[test]
+    fn fit_pause_and_resume_is_bit_identical() {
+        let benign = repeat_pattern(&[0, 1, 2], 120);
+        let mixed = repeat_pattern(&[3, 4], 120);
+        let params = HmmParams { iterations: 4, ..HmmParams::default() };
+        let clean = HmmClassifier::fit(&benign, &mixed, 5, 30, &params);
+
+        // Pause after every (model, iteration) boundary and resume; the
+        // result must always match the uninterrupted fit.
+        let total = 2 * params.iterations;
+        for pause_at in 1..=total {
+            let mut captured: (Option<HmmState>, Option<HmmState>) = (None, None);
+            let mut n = 0usize;
+            let paused = HmmClassifier::fit_resumable(
+                &benign,
+                &mixed,
+                5,
+                30,
+                &params,
+                (None, None),
+                &mut |which, state| {
+                    n += 1;
+                    if which == 0 {
+                        captured.0 = Some(state.clone());
+                    } else {
+                        captured.1 = Some(state.clone());
+                    }
+                    n < pause_at
+                },
+            );
+            assert!(paused.is_none(), "should have paused at boundary {pause_at}");
+            let resumed = HmmClassifier::fit_resumable(
+                &benign,
+                &mixed,
+                5,
+                30,
+                &params,
+                captured,
+                &mut |_, _| true,
+            )
+            .expect("resumed fit must complete");
+            assert_eq!(resumed, clean, "resume after boundary {pause_at} diverged");
+        }
     }
 
     #[test]

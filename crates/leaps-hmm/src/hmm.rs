@@ -38,6 +38,32 @@ pub struct Hmm {
     b: Vec<f64>,
 }
 
+/// Resumable Baum–Welch state: the model parameters after `iteration`
+/// completed iterations, plus the post-initialization RNG state.
+///
+/// All of Baum–Welch's randomness is spent on the initial π/A/B draw —
+/// the iterations themselves are deterministic — so the captured `rng`
+/// is never re-consumed on resume; it is carried (and validated
+/// non-zero) so the checkpoint records the full generator state the run
+/// was derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmState {
+    /// Completed Baum–Welch iterations.
+    pub iteration: usize,
+    /// Number of hidden states `N`.
+    pub states: usize,
+    /// Number of observation symbols `M`.
+    pub symbols: usize,
+    /// Initial state distribution after `iteration` iterations.
+    pub pi: Vec<f64>,
+    /// Transition matrix after `iteration` iterations.
+    pub a: Vec<f64>,
+    /// Emission matrix after `iteration` iterations.
+    pub b: Vec<f64>,
+    /// Generator state captured right after the random initialization.
+    pub rng: [u64; 4],
+}
+
 /// Per-sequence E-step statistics: each training sequence's contribution
 /// to the Baum–Welch accumulators, computed independently of every other
 /// sequence so the E-step can fan out across threads.
@@ -93,8 +119,34 @@ impl Hmm {
     /// Panics if `symbols == 0`, `params.states == 0`, there are no
     /// non-empty sequences, or a sequence contains an out-of-range symbol.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // Baum-Welch index arithmetic reads best indexed
     pub fn train(sequences: &[Vec<usize>], symbols: usize, params: &HmmParams) -> Hmm {
+        Self::train_resumable(sequences, symbols, params, None, &mut |_| true)
+            .expect("non-checkpointing Baum–Welch cannot pause")
+    }
+
+    /// [`Hmm::train`] with per-iteration checkpoint hooks.
+    ///
+    /// After every completed Baum–Welch iteration `checkpoint` is called
+    /// with the current [`HmmState`]; returning `false` pauses training
+    /// (`None` is returned). Passing the captured state back as `resume`
+    /// continues from that exact iteration: the iterations are
+    /// deterministic given π/A/B, so the resumed model is bit-identical
+    /// to an uninterrupted run. A resume state whose `iteration` already
+    /// equals `params.iterations` returns the finished model immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`Hmm::train`], or if
+    /// `resume` disagrees with `params`/`symbols` on dimensions or holds
+    /// more iterations than `params.iterations`.
+    #[allow(clippy::needless_range_loop)] // Baum-Welch index arithmetic reads best indexed
+    pub fn train_resumable(
+        sequences: &[Vec<usize>],
+        symbols: usize,
+        params: &HmmParams,
+        resume: Option<HmmState>,
+        checkpoint: &mut dyn FnMut(&HmmState) -> bool,
+    ) -> Option<Hmm> {
         assert!(symbols > 0, "need at least one observation symbol");
         assert!(params.states > 0, "need at least one hidden state");
         let sequences: Vec<&Vec<usize>> = sequences.iter().filter(|s| !s.is_empty()).collect();
@@ -106,21 +158,44 @@ impl Hmm {
         }
 
         let n = params.states;
-        let mut rng = SimRng::new(params.seed);
-        let mut model = Hmm {
-            states: n,
-            symbols,
-            pi: random_stochastic(&mut rng, 1, n).remove(0),
-            a: random_stochastic(&mut rng, n, n).concat(),
-            b: random_stochastic(&mut rng, n, symbols).concat(),
+        let (mut model, rng_state, start_iteration) = match resume {
+            Some(state) => {
+                assert_eq!(state.states, n, "resume state count mismatch");
+                assert_eq!(state.symbols, symbols, "resume symbol count mismatch");
+                assert!(
+                    state.iteration <= params.iterations,
+                    "resume state has {} iterations, params only {}",
+                    state.iteration,
+                    params.iterations
+                );
+                // Validates the stored state is a reachable generator.
+                let _ = SimRng::from_state(state.rng);
+                (
+                    Hmm::from_parts(n, symbols, state.pi, state.a, state.b),
+                    state.rng,
+                    state.iteration,
+                )
+            }
+            None => {
+                let mut rng = SimRng::new(params.seed);
+                let mut model = Hmm {
+                    states: n,
+                    symbols,
+                    pi: random_stochastic(&mut rng, 1, n).remove(0),
+                    a: random_stochastic(&mut rng, n, n).concat(),
+                    b: random_stochastic(&mut rng, n, symbols).concat(),
+                };
+                if !sequences.iter().any(|s| s.len() >= 2) {
+                    // No transition is ever observed: fall back to uniform A
+                    // (see the method docs) instead of returning the random
+                    // init.
+                    model.a = vec![1.0 / n as f64; n * n];
+                }
+                (model, rng.state(), 0)
+            }
         };
-        if !sequences.iter().any(|s| s.len() >= 2) {
-            // No transition is ever observed: fall back to uniform A
-            // (see the method docs) instead of returning the random init.
-            model.a = vec![1.0 / n as f64; n * n];
-        }
 
-        for _ in 0..params.iterations {
+        for iteration in start_iteration..params.iterations {
             // E-step: independent per sequence, fanned across threads;
             // reduced below in sequence order for bit-identical results
             // at any thread count.
@@ -156,8 +231,24 @@ impl Hmm {
                 }
             }
             model.apply_floor(params.floor);
+
+            // Iteration boundary: offer the re-estimated parameters as a
+            // checkpoint (the final iteration included, so a deadline hit
+            // at the very end still leaves a complete state on disk).
+            let state = HmmState {
+                iteration: iteration + 1,
+                states: n,
+                symbols,
+                pi: model.pi.clone(),
+                a: model.a.clone(),
+                b: model.b.clone(),
+                rng: rng_state,
+            };
+            if !checkpoint(&state) {
+                return None;
+            }
         }
-        model
+        Some(model)
     }
 
     /// One sequence's Baum–Welch E-step against the current model:
@@ -486,6 +577,60 @@ mod tests {
         let uniform = 1.0 / with_short.state_count() as f64;
         let deviates = with_short.a.iter().any(|&x| (x - uniform).abs() > 1e-6);
         assert!(deviates, "A stayed uniform despite transition evidence: {:?}", with_short.a);
+    }
+
+    #[test]
+    fn pause_and_resume_is_bit_identical() {
+        let seqs = vec![alternating(30), constant(20, 1), alternating(25)];
+        let params = HmmParams { iterations: 8, ..HmmParams::default() };
+        let clean = Hmm::train(&seqs, 2, &params);
+        for pause_at in 1..=params.iterations {
+            let mut captured = None;
+            let paused = Hmm::train_resumable(&seqs, 2, &params, None, &mut |state| {
+                captured = Some(state.clone());
+                state.iteration < pause_at
+            });
+            assert!(paused.is_none(), "should have paused at iteration {pause_at}");
+            let resumed = Hmm::train_resumable(&seqs, 2, &params, captured, &mut |_| true)
+                .expect("resumed training must complete");
+            assert_eq!(resumed, clean, "resume after iteration {pause_at} diverged");
+        }
+    }
+
+    #[test]
+    fn full_resume_state_returns_immediately() {
+        let seqs = vec![alternating(30)];
+        let params = HmmParams::default();
+        let mut last = None;
+        let clean = Hmm::train_resumable(&seqs, 2, &params, None, &mut |s| {
+            last = Some(s.clone());
+            true
+        })
+        .unwrap();
+        let state = last.unwrap();
+        assert_eq!(state.iteration, params.iterations);
+        let mut called = false;
+        let resumed = Hmm::train_resumable(&seqs, 2, &params, Some(state), &mut |_| {
+            called = true;
+            true
+        })
+        .unwrap();
+        assert!(!called, "a complete state must not re-run any iteration");
+        assert_eq!(resumed, clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume state count mismatch")]
+    fn resume_state_dimension_checked() {
+        let seqs = vec![alternating(20)];
+        let params = HmmParams::default();
+        let mut captured = None;
+        let _ = Hmm::train_resumable(&seqs, 2, &params, None, &mut |s| {
+            captured = Some(s.clone());
+            false
+        });
+        let bad_params = HmmParams { states: params.states + 1, ..params };
+        let _ = Hmm::train_resumable(&seqs, 2, &bad_params, captured, &mut |_| true);
     }
 
     #[test]

@@ -449,6 +449,7 @@ pub fn error_family(e: &LeapsError) -> &'static str {
         LeapsError::Data(_) => "data",
         LeapsError::Io { .. } => "io",
         LeapsError::Protocol { .. } => "proto",
+        LeapsError::Deadline { .. } => "deadline",
     }
 }
 

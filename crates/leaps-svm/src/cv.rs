@@ -66,6 +66,17 @@ pub struct GridSearchResult {
     pub accuracy: f64,
 }
 
+/// Resumable grid-search state: the scores of the completed cells, a
+/// prefix of the (λ, σ², fold) lexicographic cell order. `None` entries
+/// are legitimate results (empty or degenerate folds), not gaps. Cells
+/// are evaluated and checkpointed one (λ, σ²) chunk (all folds) at a
+/// time, so a valid state always holds a whole number of chunks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CvState {
+    /// Per-cell scores in cell order; length = completed cells.
+    pub scores: Vec<Option<f64>>,
+}
+
 impl GridSearch {
     /// Runs the grid search: for each (λ, σ²), stratified k-fold CV
     /// score; returns the best configuration (ties → first in grid
@@ -82,6 +93,32 @@ impl GridSearch {
     /// Panics if the grid is empty or `folds < 2`.
     #[must_use]
     pub fn run(&self, set: &TrainSet) -> GridSearchResult {
+        self.run_resumable(set, None, &mut |_| true).expect("non-checkpointing CV cannot pause")
+    }
+
+    /// [`GridSearch::run`] with chunk-level checkpoint hooks.
+    ///
+    /// Cells are evaluated one (λ, σ²) chunk at a time (all folds of a
+    /// chunk fan out across threads); after each chunk `checkpoint` is
+    /// called with the accumulated [`CvState`]. Returning `false` pauses
+    /// the search (`None` is returned). Passing the captured state back
+    /// as `resume` skips every completed cell — each cell is a pure
+    /// function of `set` and the fold assignment (itself derived from
+    /// `self.seed`), so the resumed search selects the exact same
+    /// configuration as an uninterrupted one, tie-breaking included. A
+    /// resume state from a mid-chunk crash is truncated down to the last
+    /// whole chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty, `folds < 2`, or `resume` holds more
+    /// cells than the grid has.
+    pub fn run_resumable(
+        &self,
+        set: &TrainSet,
+        resume: Option<CvState>,
+        checkpoint: &mut dyn FnMut(&CvState) -> bool,
+    ) -> Option<GridSearchResult> {
         assert!(!self.lambdas.is_empty() && !self.sigma2s.is_empty(), "empty grid");
         assert!(self.folds >= 2, "need at least 2 folds");
         let fold_of = stratified_folds(set, self.folds, self.seed);
@@ -97,9 +134,32 @@ impl GridSearch {
             }
         }
         let scoring = self.scoring;
-        let fold_scores = leaps_par::par_map(&cells, |&(li, si, fold)| {
-            fold_score(set, &fold_of, self.lambdas[li], self.sigma2s[si], fold, scoring)
-        });
+        let mut fold_scores = match resume {
+            Some(mut state) => {
+                assert!(
+                    state.scores.len() <= cells.len(),
+                    "resume state has {} cells, grid only {}",
+                    state.scores.len(),
+                    cells.len()
+                );
+                // Realign to the last whole (λ, σ²) chunk.
+                state.scores.truncate(state.scores.len() - state.scores.len() % n_folds);
+                state.scores
+            }
+            None => Vec::new(),
+        };
+        while fold_scores.len() < cells.len() {
+            let chunk = &cells[fold_scores.len()..fold_scores.len() + n_folds];
+            fold_scores.extend(leaps_par::par_map(chunk, |&(li, si, fold)| {
+                fold_score(set, &fold_of, self.lambdas[li], self.sigma2s[si], fold, scoring)
+            }));
+            // Chunk boundary: offer the completed prefix as a checkpoint.
+            // (The final chunk is offered too, so a deadline hit after the
+            // last cell still leaves a complete state on disk.)
+            if !checkpoint(&CvState { scores: fold_scores.clone() }) {
+                return None;
+            }
+        }
 
         // Deterministic reduce: average per cell in fold order, select in
         // grid order with strict `>` so ties keep the first grid entry —
@@ -121,7 +181,7 @@ impl GridSearch {
                 }
             }
         }
-        best
+        Some(best)
     }
 }
 
@@ -252,6 +312,65 @@ mod tests {
             assert!(labels.contains(&1.0), "fold {fold} lacks positives");
             assert!(labels.contains(&-1.0), "fold {fold} lacks negatives");
         }
+    }
+
+    #[test]
+    fn pause_and_resume_matches_uninterrupted_run() {
+        let set = blob_set(12);
+        let gs = GridSearch {
+            lambdas: vec![1.0, 10.0],
+            sigma2s: vec![2.0, 8.0],
+            folds: 3,
+            ..Default::default()
+        };
+        let clean = gs.run(&set);
+        let chunks = gs.lambdas.len() * gs.sigma2s.len();
+        for pause_at in 1..chunks {
+            let mut captured = None;
+            let mut n = 0usize;
+            let paused = gs.run_resumable(&set, None, &mut |state| {
+                n += 1;
+                captured = Some(state.clone());
+                n < pause_at
+            });
+            assert!(paused.is_none(), "should have paused at chunk {pause_at}");
+            let resumed =
+                gs.run_resumable(&set, captured, &mut |_| true).expect("resumed run must complete");
+            assert_eq!(resumed, clean, "resume after chunk {pause_at} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_truncates_partial_chunk_to_boundary() {
+        let set = blob_set(10);
+        let gs = GridSearch {
+            lambdas: vec![1.0, 10.0],
+            sigma2s: vec![2.0],
+            folds: 3,
+            ..Default::default()
+        };
+        let clean = gs.run(&set);
+        // Capture a full first chunk, then corrupt it with one extra cell
+        // (simulating a mid-chunk crash artifact).
+        let mut state = None;
+        let _ = gs.run_resumable(&set, None, &mut |s| {
+            state = Some(s.clone());
+            false
+        });
+        let mut state = state.unwrap();
+        state.scores.push(Some(0.0));
+        let resumed = gs.run_resumable(&set, Some(state), &mut |_| true).unwrap();
+        assert_eq!(resumed, clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume state has")]
+    fn oversized_resume_state_rejected() {
+        let set = blob_set(10);
+        let gs =
+            GridSearch { lambdas: vec![1.0], sigma2s: vec![2.0], folds: 2, ..Default::default() };
+        let state = CvState { scores: vec![Some(0.5); 99] };
+        let _ = gs.run_resumable(&set, Some(state), &mut |_| true);
     }
 
     #[test]

@@ -38,6 +38,21 @@ impl Default for SmoParams {
     }
 }
 
+/// Resumable solver state at an iteration boundary: the dual variables,
+/// the gradient (error) cache and the number of completed iterations.
+/// Everything else the solver touches (the kernel matrix, labels, box
+/// caps) is recomputed deterministically from the training set, so a run
+/// resumed from this state is bit-identical to one that never stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoState {
+    /// Dual variables α, one per training sample.
+    pub alpha: Vec<f64>,
+    /// Gradient cache `G_i = Σ_j Q_ij α_j − 1`.
+    pub grad: Vec<f64>,
+    /// Completed SMO iterations.
+    pub iterations: usize,
+}
+
 /// Trains a (weighted) SVM on `set` with the given kernel.
 ///
 /// Samples with `cᵢ = 0` have an empty feasible box and are effectively
@@ -48,8 +63,34 @@ impl Default for SmoParams {
 ///
 /// Panics if `params.lambda <= 0` or `params.eps <= 0`.
 #[must_use]
-#[allow(clippy::needless_range_loop)] // SMO index arithmetic reads best indexed
 pub fn train(set: &TrainSet, kernel: Kernel, params: &SmoParams) -> SvmModel {
+    train_resumable(set, kernel, params, None, 0, &mut |_| true)
+        .expect("non-checkpointing SMO cannot pause")
+}
+
+/// [`train`] with iteration-level checkpoint hooks.
+///
+/// When `every > 0`, `checkpoint` is called at every `every`-th iteration
+/// boundary with the current [`SmoState`]; returning `false` pauses the
+/// solver (the function returns `None`). Passing the captured state back
+/// as `resume` continues the run exactly where it stopped: the kernel
+/// matrix is recomputed (it is a pure function of `set`), the α vector
+/// and gradient cache are restored bitwise, and every subsequent
+/// iteration performs the identical arithmetic — so pause/resume at any
+/// boundary yields a model bit-identical to an uninterrupted run.
+///
+/// # Panics
+///
+/// Panics if `params` is invalid or `resume` does not match `set`'s size.
+#[allow(clippy::needless_range_loop)] // SMO index arithmetic reads best indexed
+pub fn train_resumable(
+    set: &TrainSet,
+    kernel: Kernel,
+    params: &SmoParams,
+    resume: Option<SmoState>,
+    every: usize,
+    checkpoint: &mut dyn FnMut(&SmoState) -> bool,
+) -> Option<SvmModel> {
     assert!(params.lambda > 0.0, "lambda must be positive");
     assert!(params.eps > 0.0, "eps must be positive");
     let samples = set.samples();
@@ -76,11 +117,16 @@ pub fn train(set: &TrainSet, kernel: Kernel, params: &SmoParams) -> SvmModel {
     }
     let q = |i: usize, j: usize| y[i] * y[j] * k[i * n + j];
 
-    let mut alpha = vec![0.0f64; n];
-    // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1 = −1 at α = 0.
-    let mut grad = vec![-1.0f64; n];
+    let (mut alpha, mut grad, mut iterations) = match resume {
+        Some(state) => {
+            assert_eq!(state.alpha.len(), n, "resume state alpha length mismatch");
+            assert_eq!(state.grad.len(), n, "resume state gradient length mismatch");
+            (state.alpha, state.grad, state.iterations)
+        }
+        // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1 = −1 at α = 0.
+        None => (vec![0.0f64; n], vec![-1.0f64; n], 0usize),
+    };
 
-    let mut iterations = 0usize;
     loop {
         iterations += 1;
         if iterations > params.max_iter {
@@ -176,10 +222,19 @@ pub fn train(set: &TrainSet, kernel: Kernel, params: &SmoParams) -> SvmModel {
                 grad[t] += q(t, i) * di + q(t, j) * dj;
             }
         }
+
+        // Iteration boundary: everything the solver will ever read again
+        // lives in (alpha, grad, iterations) — offer it as a checkpoint.
+        if every > 0 && iterations % every == 0 {
+            let state = SmoState { alpha: alpha.clone(), grad: grad.clone(), iterations };
+            if !checkpoint(&state) {
+                return None;
+            }
+        }
     }
 
     let rho = compute_rho(&alpha, &grad, &y, &cap, params.eps);
-    SvmModel::from_training(samples, &alpha, -rho, kernel, iterations)
+    Some(SvmModel::from_training(samples, &alpha, -rho, kernel, iterations))
 }
 
 /// LIBSVM `calculate_rho`: average `y_i·G_i` over free support vectors,
@@ -341,6 +396,73 @@ mod tests {
         let model = train(&s, Kernel::Linear, &SmoParams::default());
         assert!(model.iterations() >= 1);
         assert!(model.iterations() < 1000);
+    }
+
+    fn overlapping_set() -> TrainSet {
+        // Overlapping classes so the solver needs many iterations.
+        let mut samples = Vec::new();
+        for i in 0..24 {
+            let x = 0.04 * f64::from(i);
+            samples.push(Sample::new(vec![x, 1.0 - x], 1.0, 1.0));
+            samples.push(Sample::new(vec![x + 0.3, 0.8 - x], -1.0, 0.2 + 0.02 * f64::from(i)));
+        }
+        set(samples)
+    }
+
+    #[test]
+    fn pause_and_resume_is_bit_identical() {
+        let s = overlapping_set();
+        let kernel = Kernel::Gaussian { sigma2: 0.5 };
+        let params = SmoParams { lambda: 50.0, ..Default::default() };
+        let reference = train(&s, kernel, &params);
+        assert!(reference.iterations() > 10, "need a long run: {}", reference.iterations());
+
+        for pause_at in [1usize, 2, 5, 9] {
+            // Pause at the `pause_at`-th checkpoint...
+            let mut captured = None;
+            let mut seen = 0usize;
+            let paused = train_resumable(&s, kernel, &params, None, 1, &mut |state| {
+                seen += 1;
+                if seen == pause_at {
+                    captured = Some(state.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            assert!(paused.is_none());
+            let state = captured.expect("checkpoint captured");
+            assert_eq!(state.iterations, pause_at);
+            // ...and resume: the final model must match bit for bit.
+            let resumed =
+                train_resumable(&s, kernel, &params, Some(state), 1, &mut |_| true).unwrap();
+            assert_eq!(resumed, reference, "paused at {pause_at}");
+        }
+    }
+
+    #[test]
+    fn zero_every_never_checkpoints() {
+        let s = overlapping_set();
+        let mut calls = 0usize;
+        let model =
+            train_resumable(&s, Kernel::Linear, &SmoParams::default(), None, 0, &mut |_| {
+                calls += 1;
+                true
+            })
+            .unwrap();
+        assert_eq!(calls, 0);
+        assert_eq!(model, train(&s, Kernel::Linear, &SmoParams::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha length mismatch")]
+    fn resume_state_must_match_set() {
+        let s = overlapping_set();
+        let bogus = SmoState { alpha: vec![0.0; 3], grad: vec![-1.0; 3], iterations: 1 };
+        let _ =
+            train_resumable(&s, Kernel::Linear, &SmoParams::default(), Some(bogus), 0, &mut |_| {
+                true
+            });
     }
 
     #[test]

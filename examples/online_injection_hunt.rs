@@ -14,7 +14,7 @@ use leaps::core::experiment::Experiment;
 use leaps::core::pipeline::Method;
 use leaps::etw::scenario::{GenParams, Scenario};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let experiment = Experiment {
         gen: GenParams {
             benign_events: 1500,
@@ -30,18 +30,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut wsvm_wins = 0usize;
     let scenarios = Scenario::online();
     for scenario in &scenarios {
-        let results = experiment.run_all_methods(*scenario)?;
+        // Supervised: a failing method is reported inline, the hunt
+        // continues across the remaining methods and datasets.
+        let results = experiment.run_all_methods(*scenario);
         let accs: Vec<String> = results
             .iter()
-            .map(|(m, metrics)| format!("{}={:.3}", m.label(), metrics.acc))
+            .map(|(m, outcome)| match outcome.metrics() {
+                Some(metrics) => format!("{}={:.3}", m.label(), metrics.acc),
+                None => format!("{}={}", m.label(), outcome.tag()),
+            })
             .collect();
-        let best =
-            results.iter().max_by(|a, b| a.1.acc.total_cmp(&b.1.acc)).expect("three methods").0;
-        if best == Method::Wsvm {
-            wsvm_wins += 1;
-        }
-        println!("  {:<32} {}  -> best: {}", scenario.name(), accs.join("  "), best.label());
+        let best = results
+            .iter()
+            .filter_map(|(m, outcome)| outcome.metrics().map(|metrics| (*m, metrics.acc)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        let verdict = match best {
+            Some((method, _)) => {
+                if method == Method::Wsvm {
+                    wsvm_wins += 1;
+                }
+                format!("best: {}", method.label())
+            }
+            None => "no method completed".to_owned(),
+        };
+        println!("  {:<32} {}  -> {}", scenario.name(), accs.join("  "), verdict);
     }
     println!("\nWSVM ranked first on {wsvm_wins}/{} online-injection datasets.", scenarios.len());
-    Ok(())
 }

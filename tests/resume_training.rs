@@ -1,0 +1,154 @@
+//! Crash-recovery properties: interrupting SMO, Baum–Welch or the CV
+//! grid search after ANY checkpoint boundary and resuming — with the
+//! captured state round-tripped through the serialized `LEAPS-CKPT v1`
+//! text format — reproduces the uninterrupted result bit for bit.
+//!
+//! These are the workspace-level counterparts of the per-crate pause
+//! tests: they additionally cross the persistence layer, so a format
+//! regression (lossy float encoding, dropped payload line) fails here
+//! even if the in-memory pause logic is sound.
+
+use leaps::core::persist::{
+    cv_checkpoint, cv_state, hmm_checkpoint, hmm_state, load_checkpoint, save_checkpoint,
+    smo_checkpoint, smo_state,
+};
+use leaps::etw::rng::SimRng;
+use leaps::hmm::hmm::{Hmm, HmmParams};
+use leaps::svm::cv::GridSearch;
+use leaps::svm::data::{Sample, TrainSet};
+use leaps::svm::kernel::Kernel;
+use leaps::svm::smo::{train, train_resumable, SmoParams};
+use proptest::prelude::*;
+
+/// Two jittered blobs with non-uniform weights; overlap keeps the SMO
+/// working set and the CV fold scores non-trivial.
+fn blob_set(seed: u64, per_class: usize) -> TrainSet {
+    let mut rng = SimRng::new(seed ^ 0xb10b);
+    let mut samples = Vec::new();
+    for _ in 0..per_class {
+        let jx = rng.f64() * 0.25;
+        let jy = rng.f64() * 0.25;
+        samples.push(Sample::new(vec![0.1 + jx, 0.15 + jy], 1.0, 0.5 + rng.f64() / 2.0));
+        samples.push(Sample::new(vec![0.4 + jx, 0.35 + jy], -1.0, 0.5 + rng.f64() / 2.0));
+    }
+    TrainSet::new(samples).expect("two non-degenerate classes")
+}
+
+fn symbol_corpus(seed: u64, count: usize, symbols: usize) -> Vec<Vec<usize>> {
+    let mut rng = SimRng::new(seed ^ 0xc0de);
+    (0..count).map(|_| (0..30).map(|_| rng.below(symbols)).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn smo_resumes_bit_identically_from_any_iteration(
+        seed in 0u64..500,
+        pause_at in 1usize..60,
+    ) {
+        let set = blob_set(seed, 12);
+        let kernel = Kernel::Gaussian { sigma2: 2.0 };
+        let params = SmoParams::default();
+        let reference = train(&set, kernel, &params);
+        let mut captured = None;
+        let mut offers = 0usize;
+        let paused = train_resumable(&set, kernel, &params, None, 1, &mut |s| {
+            offers += 1;
+            if offers == pause_at {
+                captured = Some(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        match paused {
+            // The solver converged before the chosen pause point.
+            Some(model) => prop_assert_eq!(&reference, &model),
+            None => {
+                let state = captured.expect("paused without a captured state");
+                let text = save_checkpoint(&smo_checkpoint(&state, 7, [1, 2, 3, 4]));
+                let state = smo_state(&load_checkpoint(&text).unwrap()).unwrap();
+                let resumed =
+                    train_resumable(&set, kernel, &params, Some(state), 0, &mut |_| true)
+                        .expect("non-checkpointing resume cannot pause");
+                prop_assert_eq!(&reference, &resumed);
+            }
+        }
+    }
+
+    #[test]
+    fn baum_welch_resumes_bit_identically_from_any_iteration(
+        seed in 0u64..500,
+        pause_at in 1usize..10,
+    ) {
+        let symbols = 6usize;
+        let seqs = symbol_corpus(seed, 3, symbols);
+        let params = HmmParams { states: 3, iterations: 8, seed, ..HmmParams::default() };
+        let reference = Hmm::train(&seqs, symbols, &params);
+        let mut captured = None;
+        let mut offers = 0usize;
+        let paused = Hmm::train_resumable(&seqs, symbols, &params, None, &mut |s| {
+            offers += 1;
+            if offers == pause_at {
+                captured = Some(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        match paused {
+            Some(model) => prop_assert_eq!(&reference, &model),
+            None => {
+                let state = captured.expect("paused without a captured state");
+                let text = save_checkpoint(&hmm_checkpoint(&state, 7));
+                let state = hmm_state(&load_checkpoint(&text).unwrap()).unwrap();
+                let resumed =
+                    Hmm::train_resumable(&seqs, symbols, &params, Some(state), &mut |_| true)
+                        .expect("non-checkpointing resume cannot pause");
+                prop_assert_eq!(&reference, &resumed);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn cv_grid_resumes_bit_identically_from_any_chunk(
+        seed in 0u64..500,
+        pause_at in 1usize..8,
+    ) {
+        let set = blob_set(seed, 10);
+        let gs = GridSearch {
+            lambdas: vec![1.0, 10.0],
+            sigma2s: vec![2.0, 8.0, 32.0],
+            folds: 3,
+            seed,
+            ..GridSearch::default()
+        };
+        let reference = gs.run(&set);
+        let mut captured = None;
+        let mut offers = 0usize;
+        let paused = gs.run_resumable(&set, None, &mut |s| {
+            offers += 1;
+            if offers == pause_at {
+                captured = Some(s.clone());
+                false
+            } else {
+                true
+            }
+        });
+        match paused {
+            Some(result) => prop_assert_eq!(reference, result),
+            None => {
+                let state = captured.expect("paused without a captured state");
+                let text = save_checkpoint(&cv_checkpoint(&state, 7, [1, 2, 3, 4]));
+                let state = cv_state(&load_checkpoint(&text).unwrap()).unwrap();
+                let resumed = gs
+                    .run_resumable(&set, Some(state), &mut |_| true)
+                    .expect("non-checkpointing resume cannot pause");
+                prop_assert_eq!(reference, resumed);
+            }
+        }
+    }
+}
