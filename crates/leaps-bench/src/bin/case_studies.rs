@@ -19,7 +19,7 @@
 
 use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
-use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use leaps_bench::{cell_status, fmt3, harness_experiment, run_supervised_sweep, sweep_exit};
 use std::process::ExitCode;
 
 const CASES: [(&str, &str); 3] = [
@@ -32,12 +32,9 @@ fn main() -> ExitCode {
     let experiment = harness_experiment();
     let scenarios: Vec<Scenario> =
         CASES.iter().map(|(_, name)| Scenario::by_name(name).expect("known dataset")).collect();
-    let report = match experiment.run_sweep(&scenarios, &Method::ALL, &sweep_options_from_env()) {
+    let report = match run_supervised_sweep(&experiment, &scenarios, &Method::ALL) {
         Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(e.exit_code());
-        }
+        Err(code) => return code,
     };
     for ((title, name), cells) in CASES.iter().zip(report.cells.chunks(Method::ALL.len())) {
         println!("{title} — {name} ({} runs)", experiment.runs);

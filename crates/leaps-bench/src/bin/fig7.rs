@@ -12,7 +12,7 @@
 use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
 use leaps_bench::chart::grouped_bars;
-use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use leaps_bench::{cell_status, fmt3, harness_experiment, run_supervised_sweep, sweep_exit};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,12 +27,9 @@ fn main() -> ExitCode {
         "Dataset", "Method", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
     let scenarios = Scenario::online();
-    let report = match experiment.run_sweep(&scenarios, &Method::ALL, &sweep_options_from_env()) {
+    let report = match run_supervised_sweep(&experiment, &scenarios, &Method::ALL) {
         Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(e.exit_code());
-        }
+        Err(code) => return code,
     };
     let mut acc_groups: Vec<(String, Vec<f64>)> = Vec::new();
     for (scenario, cells) in scenarios.iter().zip(report.cells.chunks(Method::ALL.len())) {

@@ -4,7 +4,9 @@
 //! latency percentiles (submit → sink delivery), and shed/degraded
 //! counts under backpressure. Every session count runs twice — with the
 //! idle-session reaper off and on — to price the reaper's periodic
-//! sessions-map sweep.
+//! sessions-map sweep. A final pass reruns a fixed workload with the
+//! metrics registry enabled vs disabled ([`leaps::obs::set_enabled`])
+//! and records the observability overhead (target < 2%).
 //!
 //! Writes `results/BENCH_serve.json` (override the path with
 //! `LEAPS_BENCH_OUT`) and prints the same numbers to stdout.
@@ -188,6 +190,24 @@ fn run(
     }
 }
 
+/// Prices the observability layer on the hot path: the same fixed
+/// workload with the global metrics registry enabled vs disabled,
+/// interleaved over several rounds to decorrelate machine drift,
+/// best-of each (the target in DESIGN.md §14 is < 2% overhead).
+fn metrics_overhead(models_dir: &std::path::Path, stream: &[PartitionedEvent]) -> (f64, f64) {
+    const ROUNDS: usize = 7;
+    const SESSIONS: usize = 8;
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for _ in 0..ROUNDS {
+        leaps::obs::set_enabled(false);
+        best_off = best_off.max(run(models_dir, stream, SESSIONS, false).events_per_sec);
+        leaps::obs::set_enabled(true);
+        best_on = best_on.max(run(models_dir, stream, SESSIONS, false).events_per_sec);
+    }
+    (best_on, best_off)
+}
+
 fn main() {
     let threads = par::thread_count();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -238,6 +258,12 @@ fn main() {
             results.push(r);
         }
     }
+    let (metrics_on, metrics_off) = metrics_overhead(&dir, &stream);
+    let overhead_pct = 100.0 * (metrics_off - metrics_on) / metrics_off.max(1e-12);
+    println!(
+        "metrics overhead (8 sessions, best of 7): {metrics_on:.0} events/s on vs \
+         {metrics_off:.0} events/s off -> {overhead_pct:+.2}% (target < 2%)"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 
     let out =
@@ -245,11 +271,15 @@ fn main() {
     let body: Vec<String> = results.iter().map(RunResult::json).collect();
     let json = format!(
         "{{\n  \"threads\": {},\n  \"cores\": {},\n  \"events_per_session\": {},\n  \
-         \"notes\": \"{}\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"notes\": \"{}\",\n  \"metrics_overhead\": {{\"events_per_sec_on\": {:.1}, \
+         \"events_per_sec_off\": {:.1}, \"overhead_pct\": {:.2}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
         threads,
         cores,
         EVENTS_PER_SESSION,
         notes,
+        metrics_on,
+        metrics_off,
+        overhead_pct,
         body.join(",\n")
     );
     std::fs::write(&out, json).expect("writing benchmark output");

@@ -13,7 +13,7 @@
 
 use leaps::core::pipeline::Method;
 use leaps::etw::scenario::Scenario;
-use leaps_bench::{cell_status, fmt3, harness_experiment, sweep_exit, sweep_options_from_env};
+use leaps_bench::{cell_status, fmt3, harness_experiment, run_supervised_sweep, sweep_exit};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,13 +28,9 @@ fn main() -> ExitCode {
         "Name", "Attack Method", "Application", "ACC", "PPV", "TPR", "TNR", "NPV"
     );
     let scenarios = Scenario::table1();
-    let report = match experiment.run_sweep(&scenarios, &[Method::Wsvm], &sweep_options_from_env())
-    {
+    let report = match run_supervised_sweep(&experiment, &scenarios, &[Method::Wsvm]) {
         Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(e.exit_code());
-        }
+        Err(code) => return code,
     };
     for (scenario, cell) in scenarios.iter().zip(&report.cells) {
         match cell.outcome.metrics() {

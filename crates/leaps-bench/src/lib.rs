@@ -28,7 +28,8 @@
 pub mod chart;
 
 use leaps::core::experiment::{CellOutcome, Experiment, SweepOptions, SweepReport};
-use leaps::etw::scenario::GenParams;
+use leaps::core::pipeline::Method;
+use leaps::etw::scenario::{GenParams, Scenario};
 use std::process::ExitCode;
 
 /// Builds the experiment configuration used by the harness binaries,
@@ -62,6 +63,28 @@ pub fn sweep_options_from_env() -> SweepOptions {
         resume: env_flag("LEAPS_RESUME"),
         chaos_cell: std::env::var("LEAPS_CHAOS_CELL").ok(),
     }
+}
+
+/// Runs `scenarios × methods` under the environment's supervision
+/// options ([`sweep_options_from_env`]) — the shared entry point of the
+/// sweep binaries (`table1`, `fig6`, `fig7`, `case_studies`). A
+/// harness-level failure (unwritable manifest, corrupt resume state,
+/// ...) is printed as the binaries' common `error:` line and mapped to
+/// the process exit code; per-cell failures land in the report instead
+/// (see [`sweep_exit`]).
+///
+/// # Errors
+///
+/// The exit code to terminate with when the sweep itself could not run.
+pub fn run_supervised_sweep(
+    experiment: &Experiment,
+    scenarios: &[Scenario],
+    methods: &[Method],
+) -> Result<SweepReport, ExitCode> {
+    experiment.run_sweep(scenarios, methods, &sweep_options_from_env()).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(e.exit_code())
+    })
 }
 
 /// Whether a boolean env var is set to a truthy value (`1`/`true`/`yes`).

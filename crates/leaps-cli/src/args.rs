@@ -48,7 +48,7 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Boolean flags that take no value.
-    const SWITCHES: [&'static str; 3] = ["lenient", "inject-panic", "resume"];
+    const SWITCHES: [&'static str; 5] = ["lenient", "inject-panic", "resume", "json", "reset"];
 
     /// Parses `tokens` (without the program name).
     ///

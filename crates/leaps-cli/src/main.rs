@@ -63,12 +63,16 @@ USAGE:
       highlight nodes absent from the reference log's CFG.
   leaps serve (--socket PATH | --tcp ADDR) --models DIR
               [--cap-mb N] [--queue N] [--workers N] [--idle-secs N]
+              [--metrics-jsonl PATH [--metrics-every-secs N]]
       Run the detection daemon: clients open per-process sessions over a
       line protocol and stream events; trained models load on demand
       from DIR (LRU-cached under N MiB), flooded sessions shed load with
       BUSY instead of stalling others. With --idle-secs N > 0, sessions
       and connections silent for over N seconds are reaped (default 0 =
-      never). Stop it with `leaps shutdown`.
+      never). With --metrics-jsonl, a background flusher appends one
+      JSON metrics snapshot to PATH every N seconds (default 5) and once
+      more at shutdown; each snapshot is a single appended line, so
+      readers never see a torn record. Stop it with `leaps shutdown`.
   leaps submit (--socket PATH | --tcp ADDR) --model NAME --target FILE
                [--pid N] [--client NAME] [--lenient]
       Stream a raw log to a running daemon as one session and print the
@@ -79,6 +83,17 @@ USAGE:
       `health ...` line for supervisors. --inject-panic (daemon started
       with LEAPS_CHAOS=1 only) crashes one pool job first, to verify
       supervision end to end.
+  leaps metrics (--socket PATH | --tcp ADDR) [--json] [--reset]
+      Dump a running daemon's metrics registry — every counter, gauge
+      and latency histogram, one metric per line in the stable METRICS
+      wire format (or one JSON object with --json). --reset zeroes
+      counters and histograms after the dump; gauges keep their level.
+      Like health, works without a HELLO handshake.
+  leaps top (--socket PATH | --tcp ADDR) [--interval-secs N] [--iterations N]
+      Live metrics view: poll a running daemon every N seconds (default
+      2) and render the sorted registry with histogram p50/p95/p99
+      latencies. --iterations K stops after K refreshes (default 0 =
+      until interrupted).
   leaps shutdown (--socket PATH | --tcp ADDR)
       Ask a running daemon to shut down gracefully (drains all sessions).
 
@@ -159,6 +174,8 @@ fn run(tokens: &[String]) -> Result<(), Failure> {
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "health" => cmd_health(&args),
+        "metrics" => cmd_metrics(&args),
+        "top" => cmd_top(&args),
         "shutdown" => cmd_shutdown(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -428,6 +445,16 @@ fn cmd_serve(args: &Args) -> Result<(), Failure> {
     };
     let server = Arc::new(Server::try_new(&config)?);
     let reaper = server.start_reaper();
+    let flusher = match args.get("metrics-jsonl") {
+        Some(path) => {
+            let every = args.parse_or("metrics-every-secs", 5u64)?;
+            if every == 0 {
+                return Err(Failure::usage("--metrics-every-secs must be >= 1"));
+            }
+            Some(start_metrics_flusher(path, std::time::Duration::from_secs(every))?)
+        }
+        None => None,
+    };
     let bound = endpoint.bind()?;
     let idle = if idle_secs == 0 { "off".to_owned() } else { format!("{idle_secs}s") };
     println!(
@@ -440,6 +467,10 @@ fn cmd_serve(args: &Args) -> Result<(), Failure> {
     if let Some(handle) = reaper {
         let _ = handle.join();
     }
+    if let Some((stop, handle)) = flusher {
+        drop(stop); // disconnects the channel: final flush, then exit
+        let _ = handle.join();
+    }
     let stats = server.stats();
     println!(
         "leaps-serve shut down: {} sessions served ({} reaped idle), \
@@ -447,6 +478,137 @@ fn cmd_serve(args: &Args) -> Result<(), Failure> {
         stats.closed, stats.reaped, stats.respawns
     );
     Ok(())
+}
+
+/// Starts the `--metrics-jsonl` background flusher: every `every`, and
+/// once more at shutdown, it appends one line
+/// `{"unix_ms":<now>,"counters":...,"gauges":...,"hists":...}` to
+/// `path`. The line is written with a single `write_all` on an
+/// append-mode file, so concurrent readers (and a crash mid-run) see
+/// whole records only. Dropping the returned sender stops the thread
+/// after a final flush.
+fn start_metrics_flusher(
+    path: &str,
+    every: std::time::Duration,
+) -> Result<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>), Failure> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| LeapsError::io(path, &e))?;
+    let path = path.to_owned();
+    let (stop, rx) = std::sync::mpsc::channel::<()>();
+    let handle = std::thread::spawn(move || loop {
+        let done = matches!(
+            rx.recv_timeout(every),
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected)
+        );
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        let body = leaps::obs::registry().snapshot().to_json();
+        // Splice the timestamp into the snapshot object: `{"unix_ms":T,` + rest.
+        let line = format!("{{\"unix_ms\":{unix_ms},{}\n", &body[1..]);
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            eprintln!("metrics flusher: appending to {path}: {e}");
+            return;
+        }
+        if done {
+            return;
+        }
+    });
+    Ok((stop, handle))
+}
+
+fn cmd_metrics(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    let snapshot = client.fetch_metrics(args.enabled("reset"), &mut verdicts)?;
+    if args.enabled("json") {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.encode());
+    }
+    Ok(())
+}
+
+/// Renders one `leaps top` frame: counters and gauges first, then the
+/// latency histograms with log-bucket quantiles.
+fn render_top(endpoint: &Endpoint, snapshot: &leaps::obs::Snapshot, iteration: u64) -> String {
+    use leaps::obs::Value;
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "leaps top — {endpoint} — {} metrics (refresh {iteration})\n",
+        snapshot.len()
+    );
+    let _ = writeln!(out, "{:<44} {:>14}", "METRIC", "VALUE");
+    for entry in &snapshot.entries {
+        match &entry.value {
+            Value::Counter(v) => {
+                let _ = writeln!(out, "{:<44} {v:>14}", entry.name);
+            }
+            Value::Gauge(v) => {
+                let _ = writeln!(out, "{:<44} {v:>14} (gauge)", entry.name);
+            }
+            Value::Hist(_) => {}
+        }
+    }
+    let hists: Vec<_> = snapshot
+        .entries
+        .iter()
+        .filter_map(|e| match &e.value {
+            Value::Hist(h) => Some((e.name.as_str(), h)),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<34} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "HISTOGRAM", "COUNT", "MEAN", "P50", "P95", "P99"
+        );
+        for (name, h) in hists {
+            let _ = writeln!(
+                out,
+                "{name:<34} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            );
+        }
+    }
+    out
+}
+
+fn cmd_top(args: &Args) -> Result<(), Failure> {
+    let endpoint = endpoint_of(args)?;
+    let interval = args.parse_or("interval-secs", 2u64)?;
+    if interval == 0 {
+        return Err(Failure::usage("--interval-secs must be >= 1"));
+    }
+    let iterations = args.parse_or("iterations", 0u64)?;
+    let clear_screen = std::io::IsTerminal::is_terminal(&std::io::stdout());
+    let mut verdicts = Vec::new();
+    let mut client = Client::connect(&endpoint)?;
+    let mut iteration = 0u64;
+    loop {
+        iteration += 1;
+        let snapshot = client.fetch_metrics(false, &mut verdicts)?;
+        if clear_screen {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&endpoint, &snapshot, iteration));
+        if iterations != 0 && iteration >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
 }
 
 fn cmd_health(args: &Args) -> Result<(), Failure> {
@@ -501,7 +663,7 @@ fn cmd_submit(args: &Args) -> Result<(), Failure> {
                 ))
                 .into());
             }
-            Reply::Ok { .. } | Reply::Verdict { .. } => {}
+            Reply::Ok { .. } | Reply::Verdict { .. } | Reply::Metric { .. } => {}
         }
     }
     let close = client.expect_ok(&Command::Close { pid }, &mut verdicts)?;

@@ -205,7 +205,10 @@ impl Experiment {
                         .as_deref()
                         .is_some_and(|spec| chaos_matches(spec, &key.0, method));
                     let start = Instant::now();
+                    let cell_span = leaps_obs::span!("sweep.cell");
                     let outcome = self.run_cell(scenario, method, deadline, chaos);
+                    drop(cell_span);
+                    leaps_obs::registry().counter(&format!("sweep.cells.{}", outcome.tag())).inc();
                     CellReport {
                         scenario: key.0,
                         method,

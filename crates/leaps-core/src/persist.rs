@@ -350,7 +350,11 @@ pub fn load_checkpoint(text: &str) -> Result<Checkpoint, ModelError> {
 ///
 /// [`LeapsError::Io`] naming the path that failed.
 pub fn save_checkpoint_to(path: &std::path::Path, ckpt: &Checkpoint) -> Result<(), LeapsError> {
-    write_atomic(path, &save_checkpoint(ckpt))
+    let _span = leaps_obs::span!("ckpt.write");
+    let text = save_checkpoint(ckpt);
+    leaps_obs::counter!("ckpt.writes").inc();
+    leaps_obs::counter!("ckpt.bytes").add(text.len() as u64);
+    write_atomic(path, &text)
 }
 
 /// Loads a checkpoint from a file, naming the file in every error (like

@@ -196,6 +196,7 @@ impl Hmm {
         };
 
         for iteration in start_iteration..params.iterations {
+            leaps_obs::counter!("train.bw.iters").inc();
             // E-step: independent per sequence, fanned across threads;
             // reduced below in sequence order for bit-identical results
             // at any thread count.

@@ -43,6 +43,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
+use leaps_obs::{counter, gauge, Gauge};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The pool could not be constructed (bad size or the OS refused to
@@ -89,6 +91,9 @@ struct Shard {
     /// stores its replacement's handle here before exiting, so shutdown
     /// can chase generations until one exits normally.
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// Global `pool.queue.<index>` depth gauge; shared when several
+    /// pools exist, but increments and decrements stay balanced.
+    depth: Gauge,
 }
 
 fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -109,12 +114,16 @@ fn worker_loop(shard: &Arc<Shard>) {
             Ok(job) => job,
             Err(_) => return, // every sender dropped: graceful drain end
         };
+        shard.depth.add(-1);
+        counter!("pool.jobs").inc();
         if catch_unwind(AssertUnwindSafe(job)).is_err() {
             shard.panics.fetch_add(1, Ordering::SeqCst);
+            counter!("pool.panics").inc();
             // Count the respawn before the successor exists, so health
             // probes that observe the successor's work also observe it.
             shard.respawns.fetch_add(1, Ordering::SeqCst);
             if respawn(shard) {
+                counter!("pool.respawns").inc();
                 return; // successor owns the shard from here
             }
             // Spawn refused: keep draining on this thread rather than
@@ -151,6 +160,9 @@ fn respawn(shard: &Arc<Shard>) -> bool {
 pub struct Pool {
     senders: Vec<Sender<Job>>,
     shards: Vec<Arc<Shard>>,
+    /// How much this pool added to the global `pool.workers` gauge
+    /// (zero for partially-built pools torn down by `try_new`).
+    gauged_workers: i64,
 }
 
 impl Pool {
@@ -186,6 +198,7 @@ impl Pool {
                 panics: AtomicU64::new(0),
                 respawns: AtomicU64::new(0),
                 worker: Mutex::new(None),
+                depth: leaps_obs::registry().gauge(&format!("pool.queue.{index}")),
             });
             let worker_shard = Arc::clone(&shard);
             let spawned = std::thread::Builder::new()
@@ -200,14 +213,16 @@ impl Pool {
                 Err(e) => {
                     // `Pool` drop semantics clean up the partial pool.
                     drop(tx);
-                    drop(Pool { senders, shards });
+                    drop(Pool { senders, shards, gauged_workers: 0 });
                     return Err(PoolError {
                         message: format!("spawning pool worker {index}: {e}"),
                     });
                 }
             }
         }
-        Ok(Pool { senders, shards })
+        let gauged_workers = i64::try_from(threads).unwrap_or(i64::MAX);
+        gauge!("pool.workers").add(gauged_workers);
+        Ok(Pool { senders, shards, gauged_workers })
     }
 
     /// Spawns a pool sized by the crate's thread policy
@@ -256,6 +271,7 @@ impl Pool {
         F: FnOnce() + Send + 'static,
     {
         let idx = shard % self.senders.len();
+        self.shards[idx].depth.add(1);
         self.senders[idx]
             .send(Box::new(job))
             .expect("pool shard queue disconnected while the pool exists");
@@ -270,6 +286,7 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        gauge!("pool.workers").add(-self.gauged_workers);
         self.senders.clear();
         for shard in &self.shards {
             // Chase worker generations: joining one may reveal a
@@ -430,6 +447,23 @@ mod tests {
         // Shutdown must join the respawned generation, not hang.
         pool.shutdown();
         assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn panics_and_respawns_flow_into_the_global_metrics_registry() {
+        // The registry is process-global and other pool tests run in
+        // parallel in this binary, so assert deltas, not exact values.
+        let reg = leaps_obs::registry();
+        let (jobs, panics, respawns) =
+            (reg.counter("pool.jobs"), reg.counter("pool.panics"), reg.counter("pool.respawns"));
+        let before = (jobs.value(), panics.value(), respawns.value());
+        let pool = Pool::new(1);
+        pool.submit(0, || panic!("metrics panic (expected in this test)"));
+        pool.submit(0, || {});
+        pool.shutdown();
+        assert!(jobs.value() >= before.0 + 2, "both jobs counted, panicking or not");
+        assert!(panics.value() > before.1, "the caught panic is counted");
+        assert!(respawns.value() > before.2, "the respawned generation is counted");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::daemon::{Endpoint, Stream};
 use crate::proto::{Command, Reply};
 use leaps_core::error::LeapsError;
 use leaps_core::stream::Verdict;
+use leaps_obs::Snapshot;
 use std::io::{BufRead, BufReader, Write};
 
 /// A connected protocol client.
@@ -109,5 +110,43 @@ impl Client {
                 other.to_line()
             ))),
         }
+    }
+
+    /// Sends `METRICS [reset]` and reads the whole dump: the
+    /// `OK metrics n=<k>` acknowledgement (interleaved verdicts go to
+    /// `verdicts`, as in [`Client::request`]) followed by exactly `k`
+    /// `METRIC` lines, reassembled into a [`Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`LeapsError::Protocol`] on transport failure, a non-`OK`
+    /// acknowledgement, a malformed count, or a non-`METRIC` line inside
+    /// the announced block.
+    pub fn fetch_metrics(
+        &mut self,
+        reset: bool,
+        verdicts: &mut Vec<(u32, Verdict)>,
+    ) -> Result<Snapshot, LeapsError> {
+        let detail = self.expect_ok(&Command::Metrics { reset }, verdicts)?;
+        let count: usize = detail
+            .split_ascii_whitespace()
+            .find_map(|tok| tok.strip_prefix("n="))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                LeapsError::protocol(format!("bad METRICS acknowledgement {detail:?}"))
+            })?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.next_reply()? {
+                Reply::Metric { metric } => entries.push(metric),
+                other => {
+                    return Err(LeapsError::protocol(format!(
+                        "expected METRIC line, got {:?}",
+                        other.to_line()
+                    )))
+                }
+            }
+        }
+        Ok(Snapshot { entries })
     }
 }

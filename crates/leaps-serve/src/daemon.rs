@@ -266,14 +266,17 @@ impl BoundDaemon {
 }
 
 /// Renders the `HEALTH` reply detail: worker liveness, self-healing
-/// counters, session/registry state and the idle policy.
+/// counters, session/registry state and the idle policy. Keys follow
+/// the protocol counter vocabulary (`crate::proto` header).
 fn health_fields(server: &Server) -> String {
     let stats = server.stats();
     let r = stats.registry;
     let idle_secs = server.idle_ttl().map_or(0, |ttl| ttl.as_secs());
     format!(
-        "health workers={} panics={} respawns={} sessions={} opened={} closed={} reaped={} \
-         models={} cached_bytes={} loads={} hits={} evictions={} idle_secs={idle_secs}",
+        "health pool.workers={} pool.panics={} pool.respawns={} serve.sessions={} \
+         serve.opened={} serve.closed={} serve.reaped={} registry.models={} \
+         registry.cached_bytes={} registry.loads={} registry.hits={} registry.evictions={} \
+         idle_secs={idle_secs}",
         stats.workers,
         stats.panics,
         stats.respawns,
@@ -289,12 +292,14 @@ fn health_fields(server: &Server) -> String {
     )
 }
 
-/// Renders a session report as `key=value` stats tokens.
+/// Renders a session report as `key=value` stats tokens, using the
+/// `session.*`/`stream.*` names of the protocol counter vocabulary.
 fn report_fields(report: &SessionReport) -> String {
     let s = report.stream;
     format!(
-        "model={} queued={} submitted={} shed={} verdicts={} accepted={} duplicates={} \
-         gaps={} missing={} reordered={} degraded={}",
+        "model={} session.queued={} session.submitted={} session.shed={} session.verdicts={} \
+         stream.accepted={} stream.duplicates={} stream.gaps={} stream.missing={} \
+         stream.reordered={} stream.degraded={}",
         report.model,
         report.queued,
         report.submitted,
@@ -368,19 +373,28 @@ fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) 
         }
         let reply = match Command::parse_line(&line) {
             Err(e) => Reply::Err { family: "proto".to_owned(), message: e.to_string() },
-            Ok(command) => match dispatch(server, &writer, &mut client, command) {
-                Dispatch::Reply(reply) => reply,
-                Dispatch::Last(reply) => {
-                    let _ = write_reply(&writer, &reply);
-                    break;
+            Ok(command) => {
+                let latency = command_span(&command);
+                let outcome = dispatch(server, &writer, &mut client, command);
+                drop(latency);
+                match outcome {
+                    Dispatch::Reply(reply) => reply,
+                    Dispatch::Done => {
+                        line.clear();
+                        continue;
+                    }
+                    Dispatch::Last(reply) => {
+                        let _ = write_reply(&writer, &reply);
+                        break;
+                    }
+                    Dispatch::Shutdown(reply) => {
+                        let _ = write_reply(&writer, &reply);
+                        server.begin_shutdown();
+                        endpoint.wake();
+                        break;
+                    }
                 }
-                Dispatch::Shutdown(reply) => {
-                    let _ = write_reply(&writer, &reply);
-                    server.begin_shutdown();
-                    endpoint.wake();
-                    break;
-                }
-            },
+            }
         };
         line.clear();
         if write_reply(&writer, &reply).is_err() {
@@ -399,6 +413,54 @@ enum Dispatch {
     Last(Reply),
     /// Reply, then shut the daemon down.
     Shutdown(Reply),
+    /// The handler already wrote its reply (a multi-line block that had
+    /// to go out under one writer lock); keep the connection open.
+    Done,
+}
+
+/// Per-command daemon latency, recorded into `proto.<verb>.us`. One
+/// `match` arm per verb so each histogram handle is cached in a static —
+/// the `EVENT` hot path never touches the registry lock.
+fn command_span(command: &Command) -> leaps_obs::Span {
+    use leaps_obs::span;
+    match command {
+        Command::Hello { .. } => span!("proto.hello"),
+        Command::Open { .. } => span!("proto.open"),
+        Command::Event { .. } => span!("proto.event"),
+        Command::Close { .. } => span!("proto.close"),
+        Command::Stats { .. } => span!("proto.stats"),
+        Command::Reload { .. } => span!("proto.reload"),
+        Command::Health => span!("proto.health"),
+        Command::Metrics { .. } => span!("proto.metrics"),
+        Command::Shutdown => span!("proto.shutdown"),
+        Command::Bye => span!("proto.bye"),
+        Command::Panic { .. } => span!("proto.panic"),
+    }
+}
+
+/// Serves `METRICS [reset]`: snapshots the global registry, then writes
+/// the `OK metrics n=<k>` acknowledgement and all `k` `METRIC` lines in
+/// **one** buffered write under **one** writer-lock hold, so concurrent
+/// `VERDICT` pushes can never land inside the block. With `reset`,
+/// counters and histograms are zeroed after the snapshot (gauges keep
+/// their level — they track live state, not history).
+fn write_metrics_block(writer: &Arc<Mutex<Stream>>, reset: bool) -> Dispatch {
+    let registry = leaps_obs::registry();
+    let snapshot = registry.snapshot();
+    if reset {
+        registry.reset();
+    }
+    let mut block = Reply::Ok { detail: format!("metrics n={}", snapshot.len()) }.to_line();
+    block.push('\n');
+    for entry in snapshot.entries {
+        block.push_str(&Reply::Metric { metric: entry }.to_line());
+        block.push('\n');
+    }
+    let mut writer = lock_unpoisoned(writer);
+    // A dead connection surfaces on the reader side; nothing to do here.
+    let _ = writer.write_all(block.as_bytes());
+    let _ = writer.flush();
+    Dispatch::Done
 }
 
 fn dispatch(
@@ -424,6 +486,9 @@ fn dispatch(
     if command == Command::Health {
         return Dispatch::Reply(Reply::Ok { detail: health_fields(server) });
     }
+    if let Command::Metrics { reset } = command {
+        return write_metrics_block(writer, reset);
+    }
     if let Command::Panic { shard } = command {
         if std::env::var("LEAPS_CHAOS").as_deref() != Ok("1") {
             return Dispatch::Reply(proto_err(
@@ -437,7 +502,10 @@ fn dispatch(
         return Dispatch::Reply(proto_err("HELLO first"));
     };
     match command {
-        Command::Hello { .. } | Command::Health | Command::Panic { .. } => {
+        Command::Hello { .. }
+        | Command::Health
+        | Command::Metrics { .. }
+        | Command::Panic { .. } => {
             unreachable!("handled above")
         }
         Command::Open { pid, model } => {
@@ -473,8 +541,9 @@ fn dispatch(
             let r = stats.registry;
             Dispatch::Reply(Reply::Ok {
                 detail: format!(
-                    "stats sessions={} workers={} opened={} closed={} models={} \
-                     cached_bytes={} loads={} hits={} evictions={}",
+                    "stats serve.sessions={} pool.workers={} serve.opened={} serve.closed={} \
+                     registry.models={} registry.cached_bytes={} registry.loads={} \
+                     registry.hits={} registry.evictions={}",
                     stats.sessions,
                     stats.workers,
                     stats.opened,

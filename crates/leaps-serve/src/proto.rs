@@ -12,6 +12,7 @@
 //!                                      VERDICT pid=<pid> <verdict-body>   (async)
 //! STATS [pid=<pid>]                    OK stats <counters>
 //! HEALTH                               OK health <liveness counters>
+//! METRICS [reset]                      OK metrics n=<k>  +  k × `METRIC <metric-line>`
 //! RELOAD model=<name>                  OK reload ... | ERR ...
 //! CLOSE pid=<pid>                      OK close <final counters>
 //! SHUTDOWN                             OK shutdown
@@ -20,11 +21,40 @@
 //! ```
 //!
 //! `HEALTH` is the supervisor probe: worker liveness plus the
-//! self-healing counters (`panics`, `respawns`, `reaped`), session and
-//! registry state, and the idle policy (`idle_secs`, `0` = disabled).
+//! self-healing counters (`pool.panics`, `pool.respawns`,
+//! `serve.reaped`), session and registry state, and the idle policy
+//! (`idle_secs`, `0` = disabled). `METRICS` dumps the full `leaps-obs`
+//! registry, one `METRIC` line per metric in the stable
+//! one-metric-per-line snapshot format (`leaps_obs::snapshot`), count
+//! announced up front in the `OK metrics n=<k>` acknowledgement; the
+//! whole block is written under one writer lock so verdicts never
+//! interleave inside it. With `reset`, counters and histograms are
+//! zeroed *after* the snapshot is taken (gauges are levels and keep
+//! their value). Both probes are allowed before `HELLO`.
 //! `PANIC` deliberately crashes one pool job to exercise supervision;
 //! the daemon refuses it unless it was started with `LEAPS_CHAOS=1` in
 //! the environment.
+//!
+//! # Counter vocabulary
+//!
+//! `STATS`, `CLOSE`, `HEALTH` and `METRICS` share **one naming scheme**:
+//! dotted `layer.name` tokens, identical whether they appear as a
+//! `key=value` field in an acknowledgement or as a metric line in a
+//! `METRICS` dump.
+//!
+//! | layer       | names                                                                  |
+//! |-------------|------------------------------------------------------------------------|
+//! | `pool.*`    | `pool.workers`, `pool.jobs`, `pool.panics`, `pool.respawns`, `pool.queue.<shard>` |
+//! | `serve.*`   | `serve.sessions`, `serve.opened`, `serve.closed`, `serve.reaped`, `serve.events`, `serve.shed`, `serve.verdicts`, `serve.degraded` |
+//! | `registry.*`| `registry.models`, `registry.cached_bytes`, `registry.loads`, `registry.hits`, `registry.evictions` |
+//! | `proto.*`   | `proto.<verb>.us` per-command daemon latency histograms                 |
+//! | `session.*` | per-session lifetime counters: `session.queued`, `session.submitted`, `session.shed`, `session.verdicts` |
+//! | `stream.*`  | per-session stream health: `stream.accepted`, `stream.duplicates`, `stream.gaps`, `stream.missing`, `stream.reordered`, `stream.degraded` |
+//! | `train.*` / `ckpt.*` / `sweep.*` | training-side metrics (`METRICS` only; a daemon normally shows them at zero) |
+//!
+//! `session.*`/`stream.*` are per-session and therefore appear only in
+//! `STATS pid=`/`CLOSE` acknowledgements; everything else is
+//! process-global and appears in `METRICS` (and aggregated in `HEALTH`).
 //!
 //! Every command receives exactly one acknowledgement (`OK`, `BUSY` or
 //! `ERR`); `VERDICT` lines are pushed asynchronously by pool workers and
@@ -241,6 +271,12 @@ pub enum Command {
     /// Probes daemon liveness: worker, panic/respawn, session, reap and
     /// registry counters plus the idle policy.
     Health,
+    /// Dumps the full `leaps-obs` metrics registry (optionally zeroing
+    /// counters and histograms after the snapshot).
+    Metrics {
+        /// Whether to reset counters/histograms after snapshotting.
+        reset: bool,
+    },
     /// Asks the daemon to drain every session and exit.
     Shutdown,
     /// Ends the connection (open sessions are drained and closed).
@@ -266,6 +302,8 @@ impl Command {
             Command::Stats { pid: None } => "STATS".to_owned(),
             Command::Reload { model } => format!("RELOAD model={model}"),
             Command::Health => "HEALTH".to_owned(),
+            Command::Metrics { reset: false } => "METRICS".to_owned(),
+            Command::Metrics { reset: true } => "METRICS reset".to_owned(),
             Command::Shutdown => "SHUTDOWN".to_owned(),
             Command::Bye => "BYE".to_owned(),
             Command::Panic { shard } => format!("PANIC shard={shard}"),
@@ -321,6 +359,8 @@ impl Command {
                 Ok(Command::Reload { model })
             }
             "HEALTH" if rest.is_empty() => Ok(Command::Health),
+            "METRICS" if rest.is_empty() => Ok(Command::Metrics { reset: false }),
+            "METRICS" if rest == "reset" => Ok(Command::Metrics { reset: true }),
             "SHUTDOWN" if rest.is_empty() => Ok(Command::Shutdown),
             "BYE" if rest.is_empty() => Ok(Command::Bye),
             "PANIC" => {
@@ -376,14 +416,22 @@ pub enum Reply {
         /// The verdict.
         verdict: Verdict,
     },
+    /// One metric of a `METRICS` dump (exactly `n` follow the
+    /// `OK metrics n=<n>` acknowledgement, never interleaved with other
+    /// replies).
+    Metric {
+        /// The metric, in the stable snapshot line format.
+        metric: leaps_obs::MetricValue,
+    },
 }
 
 impl Reply {
     /// Whether this reply acknowledges a command (everything except the
-    /// asynchronous `VERDICT` push).
+    /// asynchronous `VERDICT` push and the `METRIC` lines that follow an
+    /// `OK metrics` acknowledgement).
     #[must_use]
     pub fn is_ack(&self) -> bool {
-        !matches!(self, Reply::Verdict { .. })
+        !matches!(self, Reply::Verdict { .. } | Reply::Metric { .. })
     }
 
     /// Serializes the reply as one protocol line (no newline).
@@ -397,6 +445,7 @@ impl Reply {
             Reply::Verdict { pid, verdict } => {
                 format!("VERDICT pid={pid} {}", verdict.to_line())
             }
+            Reply::Metric { metric } => format!("METRIC {}", metric.to_line()),
         }
     }
 
@@ -433,6 +482,11 @@ impl Reply {
                 let verdict = Verdict::parse_line(body)
                     .ok_or_else(|| ProtoError::new(format!("bad verdict body {body:?}")))?;
                 Ok(Reply::Verdict { pid: field_u32(pid_token, "pid")?, verdict })
+            }
+            "METRIC" => {
+                let metric = leaps_obs::MetricValue::parse_line(rest)
+                    .map_err(|e| ProtoError::new(format!("bad metric line: {e}")))?;
+                Ok(Reply::Metric { metric })
             }
             _ => Err(ProtoError::new(format!("unknown reply {verb:?}"))),
         }
@@ -511,6 +565,8 @@ mod tests {
             Command::Stats { pid: Some(9) },
             Command::Reload { model: "vim_wsvm".to_owned() },
             Command::Health,
+            Command::Metrics { reset: false },
+            Command::Metrics { reset: true },
             Command::Shutdown,
             Command::Bye,
             Command::Panic { shard: 3 },
@@ -532,6 +588,7 @@ mod tests {
         assert!(Command::parse_line("EVENT pid=3").is_err(), "missing body");
         assert!(Command::parse_line("SHUTDOWN now").is_err());
         assert!(Command::parse_line("HEALTH now").is_err());
+        assert!(Command::parse_line("METRICS hard").is_err());
         assert!(Command::parse_line("PANIC shard=x").is_err());
         assert_eq!(Command::parse_line("PANIC"), Ok(Command::Panic { shard: 0 }));
     }
@@ -552,6 +609,28 @@ mod tests {
         }
         assert!(Reply::parse_line("VERDICT pid=3 num=x").is_err());
         assert!(Reply::parse_line("WHAT 1").is_err());
+    }
+
+    #[test]
+    fn metric_replies_round_trip_and_reject_damage() {
+        let reg = leaps_obs::MetricsRegistry::new();
+        reg.counter("serve.events").add(12);
+        reg.gauge("serve.sessions").set(2);
+        reg.histogram("proto.event.us").record(37);
+        for entry in reg.snapshot().entries {
+            let reply = Reply::Metric { metric: entry };
+            let line = reply.to_line();
+            assert!(line.starts_with("METRIC "), "{line}");
+            assert!(!reply.is_ack(), "METRIC lines must not satisfy an ack wait");
+            assert_eq!(Reply::parse_line(&line).as_ref(), Ok(&reply), "round-trip of {line:?}");
+        }
+        assert!(Reply::parse_line("METRIC").is_err(), "empty metric body");
+        assert!(Reply::parse_line("METRIC serve.events counter x").is_err());
+        assert!(Reply::parse_line("METRIC serve.events tally 3").is_err(), "unknown kind");
+        assert!(
+            Reply::parse_line("METRIC h hist count=1 sum=2 buckets=1,0").is_err(),
+            "truncated buckets"
+        );
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl Registry {
             if let Some(entry) = inner.entries.get_mut(name) {
                 entry.last_used = inner.tick;
                 inner.hits += 1;
+                leaps_obs::counter!("registry.hits").inc();
                 return Ok(Arc::clone(&entry.classifier));
             }
         }
@@ -143,11 +144,13 @@ impl Registry {
         inner.tick += 1;
         let tick = inner.tick;
         inner.loads += 1;
+        leaps_obs::counter!("registry.loads").inc();
         inner.entries.insert(
             name.to_owned(),
             Entry { classifier: Arc::clone(&classifier), bytes, last_used: tick },
         );
         self.evict_over_cap(&mut inner, name);
+        self.publish_gauges(&inner);
         Ok(classifier)
     }
 
@@ -170,7 +173,15 @@ impl Registry {
             };
             inner.entries.remove(&victim);
             inner.evictions += 1;
+            leaps_obs::counter!("registry.evictions").inc();
         }
+    }
+
+    /// Publishes the cache's level gauges after any mutation.
+    fn publish_gauges(&self, inner: &Inner) {
+        leaps_obs::gauge!("registry.models").set(inner.entries.len() as i64);
+        let bytes: u64 = inner.entries.values().map(|e| e.bytes).sum();
+        leaps_obs::gauge!("registry.cached_bytes").set(i64::try_from(bytes).unwrap_or(i64::MAX));
     }
 
     /// Hot-reloads `name` from disk, replacing the cached copy.
@@ -196,8 +207,10 @@ impl Registry {
         inner.tick += 1;
         let tick = inner.tick;
         inner.loads += 1;
+        leaps_obs::counter!("registry.loads").inc();
         inner.entries.insert(name.to_owned(), Entry { classifier, bytes, last_used: tick });
         self.evict_over_cap(&mut inner, name);
+        self.publish_gauges(&inner);
         Ok(())
     }
 

@@ -186,6 +186,8 @@ impl Server {
         let detector = StreamDetector::new((*classifier).clone());
         sessions.insert(key, Arc::new(Session::new(pid, model.to_owned(), shard, detector, sink)));
         self.opened.fetch_add(1, Ordering::Relaxed);
+        leaps_obs::counter!("serve.opened").inc();
+        leaps_obs::gauge!("serve.sessions").add(1);
         Ok(())
     }
 
@@ -215,9 +217,11 @@ impl Server {
             }
             state.submitted += 1;
             state.last_activity = std::time::Instant::now();
+            leaps_obs::counter!("serve.events").inc();
             let outcome = if state.queue.len() >= self.queue_cap {
                 state.queue.pop_front();
                 state.shed += 1;
+                leaps_obs::counter!("serve.shed").inc();
                 Submit::Busy { shed: state.shed }
             } else {
                 Submit::Accepted { queued: state.queue.len() + 1 }
@@ -266,6 +270,8 @@ impl Server {
         }
         lock_unpoisoned(&self.sessions).remove(&(client.to_owned(), pid));
         self.closed.fetch_add(1, Ordering::Relaxed);
+        leaps_obs::counter!("serve.closed").inc();
+        leaps_obs::gauge!("serve.sessions").add(-1);
         Ok(session.report())
     }
 
@@ -350,6 +356,7 @@ impl Server {
             }
         }
         self.reaped.fetch_add(reaped, Ordering::Relaxed);
+        leaps_obs::counter!("serve.reaped").add(reaped as u64);
         reaped
     }
 

@@ -226,6 +226,9 @@ pub(crate) fn drain(session: &Session) {
         for verdict in &verdicts {
             session.sink.deliver(session.pid, verdict);
         }
+        leaps_obs::counter!("serve.verdicts").add(verdicts.len() as u64);
+        leaps_obs::counter!("serve.degraded")
+            .add(verdicts.iter().filter(|v| v.degraded).count() as u64);
         lock_unpoisoned(&session.state).verdicts += verdicts.len() as u64;
     }
 }

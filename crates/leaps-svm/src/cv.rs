@@ -153,6 +153,7 @@ impl GridSearch {
             fold_scores.extend(leaps_par::par_map(chunk, |&(li, si, fold)| {
                 fold_score(set, &fold_of, self.lambdas[li], self.sigma2s[si], fold, scoring)
             }));
+            leaps_obs::counter!("train.cv.cells").add(chunk.len() as u64);
             // Chunk boundary: offer the completed prefix as a checkpoint.
             // (The final chunk is offered too, so a deadline hit after the
             // last cell still leaves a complete state on disk.)

@@ -132,6 +132,7 @@ pub fn train_resumable(
         if iterations > params.max_iter {
             break;
         }
+        leaps_obs::counter!("train.smo.passes").inc();
         // WSS1: maximal violating pair.
         let mut m_val = f64::NEG_INFINITY;
         let mut m_idx = usize::MAX;

@@ -23,6 +23,7 @@
 //! | [`cgraph`] | `leaps-cgraph` | call-graph baseline (III-D-1) |
 //! | [`core`] | `leaps-core` | pipeline, datasets, metrics (II, V) |
 //! | [`faults`] | `leaps-faults` | deterministic telemetry fault injection |
+//! | [`obs`] | `leaps-obs` | workspace metrics & stage-tracing registry |
 //! | [`serve`] | `leaps-serve` | multi-session streaming detection service |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@ pub use leaps_core as core;
 pub use leaps_etw as etw;
 pub use leaps_faults as faults;
 pub use leaps_hmm as hmm;
+pub use leaps_obs as obs;
 pub use leaps_serve as serve;
 pub use leaps_svm as svm;
 pub use leaps_trace as trace;
