@@ -52,11 +52,10 @@ impl LatencySink {
 
 impl VerdictSink for LatencySink {
     fn deliver(&self, _pid: u32, verdict: &Verdict) {
-        let submitted =
-            *self.submit_times[verdict.last_event as usize].lock().expect("submit-time lock");
+        let submitted = *par::lock_unpoisoned(&self.submit_times[verdict.last_event as usize]);
         if let Some(t) = submitted {
             let us = t.elapsed().as_secs_f64() * 1e6;
-            self.latencies_us.lock().expect("latency lock").push(us);
+            par::lock_unpoisoned(&self.latencies_us).push(us);
         }
         if verdict.degraded {
             self.degraded.fetch_add(1, Ordering::Relaxed);
@@ -148,10 +147,11 @@ fn run(
         let server = Arc::clone(&server);
         let sink = Arc::clone(sink);
         let events = stream.to_vec();
+        // lint:allow(stray-spawn): load-generator client threads model N independent clients; their panics must abort the benchmark, not be absorbed by a supervisor
         submitters.push(std::thread::spawn(move || {
             for event in events {
                 let num = event.num as usize;
-                *sink.submit_times[num].lock().expect("submit-time lock") = Some(Instant::now());
+                *par::lock_unpoisoned(&sink.submit_times[num]) = Some(Instant::now());
                 let outcome = server.submit("bench", pid as u32, event).expect("submit");
                 let _ = matches!(outcome, Submit::Busy { .. });
             }
@@ -170,7 +170,7 @@ fn run(
     let mut latencies: Vec<f64> = Vec::new();
     let mut degraded = 0u64;
     for sink in &sinks {
-        latencies.extend(sink.latencies_us.lock().expect("latency lock").iter().copied());
+        latencies.extend(par::lock_unpoisoned(&sink.latencies_us).iter().copied());
         degraded += sink.degraded.load(Ordering::Relaxed);
     }
     latencies.sort_by(f64::total_cmp);

@@ -29,14 +29,14 @@ use crate::infer::CfgWithEvents;
 use crate::weight::WeightAssessment;
 use leaps_etw::addr::Va;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 
 /// A node correspondence between a mixed CFG and a benign CFG.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CfgAlignment {
     /// Mixed-CFG address → benign-CFG address for matched nodes.
-    pub node_map: HashMap<Va, Va>,
+    pub node_map: BTreeMap<Va, Va>,
 }
 
 impl CfgAlignment {
@@ -68,16 +68,16 @@ fn hash_one(items: &[u64]) -> u64 {
 /// Computes WL signatures for every node of `cfg`. Purely structural:
 /// the initial label is (out-degree, in-degree); each round rehashes the
 /// node with the sorted multisets of its predecessor/successor labels.
-fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
+fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> BTreeMap<Va, u64> {
     let nodes = cfg.nodes();
-    let mut preds: HashMap<Va, Vec<Va>> = HashMap::new();
-    let mut succs: HashMap<Va, Vec<Va>> = HashMap::new();
+    let mut preds: BTreeMap<Va, Vec<Va>> = BTreeMap::new();
+    let mut succs: BTreeMap<Va, Vec<Va>> = BTreeMap::new();
     for (s, t) in cfg.iter_edges() {
         succs.entry(s).or_default().push(t);
         preds.entry(t).or_default().push(s);
     }
     let empty: Vec<Va> = Vec::new();
-    let mut labels: HashMap<Va, u64> = nodes
+    let mut labels: BTreeMap<Va, u64> = nodes
         .iter()
         .map(|&n| {
             let out = succs.get(&n).unwrap_or(&empty).len() as u64;
@@ -86,7 +86,7 @@ fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
         })
         .collect();
     for _ in 0..rounds {
-        let mut next = HashMap::with_capacity(labels.len());
+        let mut next = BTreeMap::new();
         for &n in &nodes {
             let mut out_labels: Vec<u64> =
                 succs.get(&n).unwrap_or(&empty).iter().map(|m| labels[m]).collect();
@@ -107,10 +107,10 @@ fn wl_signatures_at(cfg: &Cfg, rounds: usize) -> HashMap<Va, u64> {
 
 /// Collects signatures that occur exactly once, as `sig → node`.
 fn unique_signatures(
-    labels: &HashMap<Va, u64>,
-    restrict: Option<&HashSet<Va>>,
-) -> HashMap<u64, Va> {
-    let mut counts: HashMap<u64, usize> = HashMap::new();
+    labels: &BTreeMap<Va, u64>,
+    restrict: Option<&BTreeSet<Va>>,
+) -> BTreeMap<u64, Va> {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
     for (n, &sig) in labels {
         if restrict.is_none_or(|r| r.contains(n)) {
             *counts.entry(sig).or_insert(0) += 1;
@@ -147,9 +147,9 @@ fn unique_signatures(
 ///    (the "pivotal node" idea from the paper's sketch).
 #[must_use]
 pub fn align(benign: &Cfg, mixed: &Cfg) -> CfgAlignment {
-    let mut node_map: HashMap<Va, Va> = HashMap::new();
-    let mut unmatched_benign: HashSet<Va> = benign.nodes().into_iter().collect();
-    let mut unmatched_mixed: HashSet<Va> = mixed.nodes().into_iter().collect();
+    let mut node_map: BTreeMap<Va, Va> = BTreeMap::new();
+    let mut unmatched_benign: BTreeSet<Va> = benign.nodes().into_iter().collect();
+    let mut unmatched_mixed: BTreeSet<Va> = mixed.nodes().into_iter().collect();
 
     // Phase 1+2: tree-guided descent from matched roots.
     let b_feats = subtree_features(benign);
@@ -216,13 +216,13 @@ const MATCH_THRESHOLD: f64 = 0.5;
 
 /// Per-node structural features of the (forest-shaped) explicit graph:
 /// `(subtree size, height, out-degree)` with cycle-guarded DFS.
-fn subtree_features(cfg: &Cfg) -> HashMap<Va, (usize, usize, usize)> {
-    let mut memo: HashMap<Va, (usize, usize, usize)> = HashMap::new();
+fn subtree_features(cfg: &Cfg) -> BTreeMap<Va, (usize, usize, usize)> {
+    let mut memo: BTreeMap<Va, (usize, usize, usize)> = BTreeMap::new();
     fn visit(
         cfg: &Cfg,
         node: Va,
-        memo: &mut HashMap<Va, (usize, usize, usize)>,
-        on_stack: &mut HashSet<Va>,
+        memo: &mut BTreeMap<Va, (usize, usize, usize)>,
+        on_stack: &mut BTreeSet<Va>,
     ) -> (usize, usize) {
         if let Some(&(size, height, _)) = memo.get(&node) {
             return (size, height);
@@ -243,7 +243,7 @@ fn subtree_features(cfg: &Cfg) -> HashMap<Va, (usize, usize, usize)> {
         (size, height)
     }
     for node in cfg.nodes() {
-        let mut on_stack = HashSet::new();
+        let mut on_stack = BTreeSet::new();
         visit(cfg, node, &mut memo, &mut on_stack);
     }
     memo
@@ -251,7 +251,7 @@ fn subtree_features(cfg: &Cfg) -> HashMap<Va, (usize, usize, usize)> {
 
 /// In-degree-0 nodes.
 fn roots_of(cfg: &Cfg) -> Vec<Va> {
-    let mut has_pred: HashSet<Va> = HashSet::new();
+    let mut has_pred: BTreeSet<Va> = BTreeSet::new();
     for (_, t) in cfg.iter_edges() {
         has_pred.insert(t);
     }
@@ -272,11 +272,11 @@ fn similarity(a: (usize, usize, usize), b: (usize, usize, usize)) -> f64 {
 fn greedy_pair(
     b_candidates: &[Va],
     m_candidates: &[Va],
-    b_feats: &HashMap<Va, (usize, usize, usize)>,
-    m_feats: &HashMap<Va, (usize, usize, usize)>,
-    node_map: &mut HashMap<Va, Va>,
-    unmatched_benign: &mut HashSet<Va>,
-    unmatched_mixed: &mut HashSet<Va>,
+    b_feats: &BTreeMap<Va, (usize, usize, usize)>,
+    m_feats: &BTreeMap<Va, (usize, usize, usize)>,
+    node_map: &mut BTreeMap<Va, Va>,
+    unmatched_benign: &mut BTreeSet<Va>,
+    unmatched_mixed: &mut BTreeSet<Va>,
     queue: &mut Vec<(Va, Va)>,
 ) {
     let mut scored: Vec<(f64, Va, Va)> = Vec::new();
@@ -336,7 +336,7 @@ pub fn assess_weights_aligned(benign: &CfgWithEvents, mixed: &CfgWithEvents) -> 
     let mut reach = ReachabilityCache::new(benign);
 
     // Neighbor sets in the mixed graph (undirected view).
-    let mut neighbors: HashMap<Va, Vec<Va>> = HashMap::new();
+    let mut neighbors: BTreeMap<Va, Vec<Va>> = BTreeMap::new();
     for (s, t) in mixed.cfg.iter_edges() {
         neighbors.entry(s).or_default().push(t);
         neighbors.entry(t).or_default().push(s);
@@ -348,7 +348,7 @@ pub fn assess_weights_aligned(benign: &CfgWithEvents, mixed: &CfgWithEvents) -> 
     // subgraphs (connected to benign code only through the hijack edge)
     // decay toward 0.
     let nodes = mixed.cfg.nodes();
-    let mut anchor: HashMap<Va, f64> = nodes
+    let mut anchor: BTreeMap<Va, f64> = nodes
         .iter()
         .map(|&n| (n, if alignment.node_map.contains_key(&n) { 1.0 } else { 0.0 }))
         .collect();
@@ -369,7 +369,7 @@ pub fn assess_weights_aligned(benign: &CfgWithEvents, mixed: &CfgWithEvents) -> 
     }
     let anchoring = |n: Va| -> f64 { anchor.get(&n).copied().unwrap_or(0.0) };
 
-    let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
+    let mut sums: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
     for (start, end) in mixed.cfg.iter_edges() {
         let score = match (alignment.to_benign(start), alignment.to_benign(end)) {
             (Some(bs), Some(be)) => {

@@ -23,7 +23,7 @@
 use crate::graph::{Cfg, ReachabilityCache};
 use crate::infer::CfgWithEvents;
 use leaps_etw::addr::Va;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options for the weight assessment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,7 @@ impl Default for WeightConfig {
 /// Result of Algorithm 2: per-event benignity scores in `[0, 1]`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WeightAssessment {
-    event_benignity: HashMap<u64, f64>,
+    event_benignity: BTreeMap<u64, f64>,
 }
 
 impl WeightAssessment {
@@ -71,7 +71,7 @@ impl WeightAssessment {
         self.event_benignity.len()
     }
 
-    /// Iterates `(event number, benignity)` pairs in arbitrary order.
+    /// Iterates `(event number, benignity)` pairs in event order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         self.event_benignity.iter().map(|(&k, &v)| (k, v))
     }
@@ -150,7 +150,7 @@ pub fn assess_weights(
 ) -> WeightAssessment {
     let density = DensityArray::from_cfg(benign);
     let mut reach = ReachabilityCache::new(benign);
-    let mut sums: HashMap<u64, (f64, usize)> = HashMap::new();
+    let mut sums: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
 
     for (start, end) in mixed.cfg.iter_edges() {
         let score = edge_benignity(benign, &mut reach, &density, start, end, config);

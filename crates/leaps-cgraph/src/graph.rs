@@ -1,15 +1,15 @@
 //! System-level function call graphs built from system stack traces.
 
 use leaps_trace::partition::PartitionedEvent;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A call graph over system-level symbols (`module!function`), recording
 /// both individual invocation edges and complete per-event invocation
 /// chains.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CallGraph {
-    edges: HashSet<(String, String)>,
-    chains: HashSet<Vec<String>>,
+    edges: BTreeSet<(String, String)>,
+    chains: BTreeSet<Vec<String>>,
 }
 
 impl CallGraph {
@@ -43,10 +43,10 @@ impl CallGraph {
     /// Whether the invocation edge `caller → callee` was observed.
     #[must_use]
     pub fn has_edge(&self, caller: &str, callee: &str) -> bool {
-        // HashSet<(String, String)> lookup without allocation is awkward;
+        // BTreeSet<(String, String)> lookup without allocation is awkward;
         // graphs are queried orders of magnitude more than built, but the
-        // tuple-key representation keeps construction simple and queries
-        // are still O(1) amortized after the to_owned.
+        // tuple-key representation keeps construction simple and the
+        // O(log n) ordered lookup keeps persisted iteration sorted.
         self.edges.contains(&(caller.to_owned(), callee.to_owned()))
     }
 
@@ -68,12 +68,13 @@ impl CallGraph {
         self.chains.len()
     }
 
-    /// Iterates all edges (for persistence), arbitrary order.
+    /// Iterates all edges (for persistence) in sorted order, so
+    /// persisted artifacts are byte-identical across runs.
     pub fn edges(&self) -> impl Iterator<Item = (&str, &str)> {
         self.edges.iter().map(|(a, b)| (a.as_str(), b.as_str()))
     }
 
-    /// Iterates all chains (for persistence), arbitrary order.
+    /// Iterates all chains (for persistence) in sorted order.
     pub fn chains(&self) -> impl Iterator<Item = &[String]> {
         self.chains.iter().map(Vec::as_slice)
     }

@@ -320,7 +320,7 @@ fn train_checkpointed(
         every,
         deadline: args
             .parse_opt::<u64>("deadline-secs")?
-            .map(|secs| std::time::Instant::now() + std::time::Duration::from_secs(secs)),
+            .map(|secs| leaps::obs::now_micros().saturating_add(secs.saturating_mul(1_000_000))),
         ..CheckpointSpec::new(dir)
     };
     println!(
@@ -499,11 +499,13 @@ fn start_metrics_flusher(
         .map_err(|e| LeapsError::io(path, &e))?;
     let path = path.to_owned();
     let (stop, rx) = std::sync::mpsc::channel::<()>();
+    // lint:allow(stray-spawn): the metrics flusher must outlive any one request and dies with the process via the stop channel; routing it through the supervised pool would deadlock shutdown
     let handle = std::thread::spawn(move || loop {
         let done = matches!(
             rx.recv_timeout(every),
             Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected)
         );
+        // lint:allow(raw-clock): metrics lines carry epoch wall-clock timestamps for cross-host correlation; the swappable obs clock is monotonic-relative and cannot produce these
         let unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_millis());

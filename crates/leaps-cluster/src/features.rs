@@ -173,10 +173,8 @@ impl FeatureEncoder {
     ) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
         // Cluster assignment scans the vocabulary; memoize per distinct
         // set so long logs with repeating behaviour encode in linear time.
-        let mut lib_cache: std::collections::HashMap<Vec<String>, u32> =
-            std::collections::HashMap::new();
-        let mut func_cache: std::collections::HashMap<Vec<String>, u32> =
-            std::collections::HashMap::new();
+        let mut lib_cache: BTreeMap<Vec<String>, u32> = BTreeMap::new();
+        let mut func_cache: BTreeMap<Vec<String>, u32> = BTreeMap::new();
         let per_event: Vec<[f64; 3]> = events
             .iter()
             .map(|e| {

@@ -22,7 +22,6 @@ use leaps_etw::rng::splitmix64;
 use leaps_etw::scenario::{GenParams, Scenario};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
 
 /// Experiment parameters: which dataset sizes, how many randomized runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,7 +125,7 @@ impl Experiment {
         &self,
         scenario: Scenario,
         method: Method,
-        deadline: Option<Instant>,
+        deadline: Option<u64>,
         chaos: bool,
     ) -> CellOutcome {
         assert!(self.runs > 0, "need at least one run");
@@ -134,7 +133,7 @@ impl Experiment {
         let mut per_run = Vec::with_capacity(self.runs);
         for run in 0..self.runs {
             let run_seed = splitmix64(&mut state);
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.is_some_and(|d| leaps_obs::now_micros() >= d) {
                 return CellOutcome::Deadline;
             }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -172,7 +171,9 @@ impl Experiment {
         methods: &[Method],
         options: &SweepOptions,
     ) -> Result<SweepReport, LeapsError> {
-        let deadline = options.deadline_secs.map(|s| Instant::now() + Duration::from_secs(s));
+        let deadline = options
+            .deadline_secs
+            .map(|s| leaps_obs::now_micros().saturating_add(s.saturating_mul(1_000_000)));
         let mut completed: HashMap<(String, &'static str), CellReport> = HashMap::new();
         if options.resume {
             if let Some(path) = options.manifest.as_ref().filter(|p| p.exists()) {
@@ -204,7 +205,7 @@ impl Experiment {
                         .chaos_cell
                         .as_deref()
                         .is_some_and(|spec| chaos_matches(spec, &key.0, method));
-                    let start = Instant::now();
+                    let start_us = leaps_obs::now_micros();
                     let cell_span = leaps_obs::span!("sweep.cell");
                     let outcome = self.run_cell(scenario, method, deadline, chaos);
                     drop(cell_span);
@@ -213,7 +214,7 @@ impl Experiment {
                         scenario: key.0,
                         method,
                         outcome,
-                        secs: start.elapsed().as_secs_f64(),
+                        secs: leaps_obs::now_micros().saturating_sub(start_us) as f64 / 1e6,
                     }
                 };
                 report.cells.push(cell);

@@ -41,7 +41,6 @@ use leaps_svm::model::SvmModel;
 use leaps_svm::smo::{train as smo_train, train_resumable as smo_train_resumable, SmoParams};
 use leaps_trace::partition::PartitionedEvent;
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// The detection methods: the three the paper compares in Figures 6 and
 /// 7, plus the HMM sequence model it names as future work (Section VI-B).
@@ -382,11 +381,13 @@ pub struct CheckpointSpec {
     /// iterations (0 disables SMO checkpoints; CV and Baum–Welch always
     /// checkpoint at their natural chunk/iteration boundaries).
     pub every: usize,
-    /// Wall-clock deadline: training pauses at the first checkpoint
-    /// boundary at or past this instant, leaving the state on disk for
-    /// a later `resume` run. An already-expired deadline pauses at the
-    /// very first boundary — useful for deterministic interrupt drills.
-    pub deadline: Option<Instant>,
+    /// Obs-clock deadline in microseconds (compared against
+    /// [`leaps_obs::now_micros`]): training pauses at the first
+    /// checkpoint boundary at or past this instant, leaving the state
+    /// on disk for a later `resume` run. An already-expired deadline
+    /// (e.g. `Some(0)`) pauses at the very first boundary — useful for
+    /// deterministic interrupt drills.
+    pub deadline: Option<u64>,
 }
 
 impl CheckpointSpec {
@@ -398,7 +399,7 @@ impl CheckpointSpec {
     }
 
     fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| leaps_obs::now_micros() >= d)
     }
 }
 
@@ -858,7 +859,7 @@ mod tests {
         // paying a full prelude recompute per iteration (iteration-level
         // bit-identity is proven in leaps-svm's own tests).
         spec.every = 64;
-        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        spec.deadline = Some(0); // expired from the start: pause at every boundary
         let mut pauses = 0;
         let done = loop {
             match try_train_classifier_checkpointed(method, &train, &d.mixed, &cfg, 7, &spec)
@@ -900,7 +901,7 @@ mod tests {
         let (train, _) = d.split_benign(0.5, 1);
         let dir = scratch_dir("cgraph");
         let mut spec = CheckpointSpec::new(&dir);
-        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        spec.deadline = Some(0); // expired from the start: pause at every boundary
         let run = try_train_classifier_checkpointed(
             Method::CGraph,
             &train,
@@ -921,8 +922,8 @@ mod tests {
         let cfg = PipelineConfig::fast();
         let dir = scratch_dir("mismatch");
         let mut spec = CheckpointSpec::new(&dir);
-        spec.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
-        // Pause a seed-7 run at its first boundary...
+        spec.deadline = Some(0); // expired from the start: pause at every boundary
+                                 // Pause a seed-7 run at its first boundary...
         let run = try_train_classifier_checkpointed(Method::Wsvm, &train, &d.mixed, &cfg, 7, &spec)
             .unwrap();
         assert!(matches!(run, TrainRun::Paused { .. }));

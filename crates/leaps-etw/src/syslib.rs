@@ -12,7 +12,7 @@
 use crate::addr::{AddressRange, Va};
 use crate::event::{EventType, StackFrame};
 use crate::module::{FunctionSym, ModuleImage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Identifier of an API in the catalog.
@@ -290,8 +290,8 @@ pub const VARIANT_POOL: usize = 48;
 pub struct SysCatalog {
     libs: Vec<ModuleImage>,
     apis: Vec<ApiRuntime>,
-    by_name: HashMap<&'static str, ApiId>,
-    variants: HashMap<&'static str, Vec<StackFrame>>,
+    by_name: BTreeMap<&'static str, ApiId>,
+    variants: BTreeMap<&'static str, Vec<StackFrame>>,
 }
 
 const USER_LIB_BASE: u64 = 0x7ffb_0000_0000;
@@ -309,7 +309,7 @@ impl SysCatalog {
     fn build() -> SysCatalog {
         // Assign each library a base address; user-mode and kernel-mode
         // libraries live in disjoint halves of the address space.
-        let mut lib_base: HashMap<&'static str, (Va, bool)> = HashMap::new();
+        let mut lib_base: BTreeMap<&'static str, (Va, bool)> = BTreeMap::new();
         let mut user_idx = 0u64;
         let mut kernel_idx = 0u64;
         for lib in LIBS {
@@ -327,8 +327,8 @@ impl SysCatalog {
 
         // Collect every (lib, func) pair referenced by the API catalog and
         // assign deterministic addresses in first-appearance order.
-        let mut func_addr: HashMap<(&'static str, &'static str), Va> = HashMap::new();
-        let mut per_lib_count: HashMap<&'static str, u64> = HashMap::new();
+        let mut func_addr: BTreeMap<(&'static str, &'static str), Va> = BTreeMap::new();
+        let mut per_lib_count: BTreeMap<&'static str, u64> = BTreeMap::new();
         for spec in APIS {
             for &(lib, func) in spec.chain {
                 assert!(
@@ -350,7 +350,7 @@ impl SysCatalog {
         // Each referenced library gets a pool of such symbols; the
         // execution engine splices them into chains at random, which makes
         // observed call chains variable the way real ETW stacks are.
-        let mut variants: HashMap<&'static str, Vec<StackFrame>> = HashMap::new();
+        let mut variants: BTreeMap<&'static str, Vec<StackFrame>> = BTreeMap::new();
         let referenced: Vec<&'static str> = {
             let mut libs: Vec<&'static str> = per_lib_count.keys().copied().collect();
             libs.sort_unstable();
@@ -371,7 +371,7 @@ impl SysCatalog {
         }
 
         // Materialize module images.
-        let mut funcs_per_lib: HashMap<&'static str, Vec<FunctionSym>> = HashMap::new();
+        let mut funcs_per_lib: BTreeMap<&'static str, Vec<FunctionSym>> = BTreeMap::new();
         for (&(lib, func), &addr) in &func_addr {
             funcs_per_lib.entry(lib).or_default().push(FunctionSym { name: func.to_owned(), addr });
         }
@@ -389,7 +389,7 @@ impl SysCatalog {
             .collect();
 
         // Materialize API frame chains.
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let apis: Vec<ApiRuntime> = APIS
             .iter()
             .enumerate()

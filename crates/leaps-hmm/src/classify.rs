@@ -1,7 +1,7 @@
 //! Benign-vs-mixed classification with a pair of HMMs.
 
 use crate::hmm::{Hmm, HmmParams, HmmState};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A two-model HMM classifier over discrete event symbols.
 ///
@@ -128,19 +128,19 @@ impl HmmClassifier {
     }
 }
 
-/// A growable mapping from arbitrary hashable observations to dense
+/// A growable mapping from arbitrary ordered observations to dense
 /// symbol ids, with a reserved "unknown" symbol for observations first
 /// seen at test time.
 #[derive(Debug, Clone, Default)]
-pub struct SymbolTable<T: std::hash::Hash + Eq> {
-    ids: HashMap<T, usize>,
+pub struct SymbolTable<T: Ord> {
+    ids: BTreeMap<T, usize>,
 }
 
-impl<T: std::hash::Hash + Eq> SymbolTable<T> {
+impl<T: Ord> SymbolTable<T> {
     /// Creates an empty table.
     #[must_use]
     pub fn new() -> Self {
-        SymbolTable { ids: HashMap::new() }
+        SymbolTable { ids: BTreeMap::new() }
     }
 
     /// Interns an observation during training, returning its id.
@@ -162,8 +162,8 @@ impl<T: std::hash::Hash + Eq> SymbolTable<T> {
         self.ids.len() + 1
     }
 
-    /// Iterates `(observation, id)` pairs in arbitrary order (for
-    /// persistence).
+    /// Iterates `(observation, id)` pairs in observation order (for
+    /// persistence; sorted, so persisted artifacts are stable).
     pub fn entries(&self) -> impl Iterator<Item = (&T, usize)> {
         self.ids.iter().map(|(k, &v)| (k, v))
     }
@@ -176,7 +176,7 @@ impl<T: std::hash::Hash + Eq> SymbolTable<T> {
     /// Panics if ids are not dense.
     #[must_use]
     pub fn from_entries(entries: impl IntoIterator<Item = (T, usize)>) -> SymbolTable<T> {
-        let ids: HashMap<T, usize> = entries.into_iter().collect();
+        let ids: BTreeMap<T, usize> = entries.into_iter().collect();
         let n = ids.len();
         let mut seen = vec![false; n];
         for &v in ids.values() {

@@ -1,0 +1,315 @@
+//! A minimal Rust lexer: just enough fidelity that the lints never
+//! fire on commented-out code or on patterns inside string literals.
+//!
+//! Handled faithfully: line and (nested) block comments, string
+//! literals with escapes, raw strings `r#"…"#` with any number of
+//! hashes, byte/raw-byte strings, raw identifiers `r#match`, and the
+//! `'a` lifetime vs `'a'` char-literal ambiguity. Everything else is
+//! reduced to identifiers, numbers and single-character punctuation —
+//! the lints pattern-match on token runs, so `::` is simply two `:`
+//! tokens.
+
+/// One lexed token. String literals keep their cooked content (needed
+/// by the metric-vocabulary lint); other payloads are the raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime(String),
+    /// A char or byte literal; content is irrelevant to every lint.
+    CharLit,
+    /// A string literal (plain, raw, byte or raw-byte); payload is
+    /// the literal's body with raw-string hashes stripped but escape
+    /// sequences left as written.
+    Str(String),
+    /// An integer or float literal.
+    Number,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment captured during lexing; the suppression parser reads
+/// these. `has_code_before` is true for trailing comments (`let x = 1;
+/// // why`), which bind to their own line rather than the next one.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub has_code_before: bool,
+}
+
+/// Lexer output: the token stream and every comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn code_on_line(&self, line: u32) -> bool {
+        self.out.tokens.last().is_some_and(|t| t.line == line)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.quote(line),
+                'r' if self.raw_prefix(0) => self.raw(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_prefix(1) => {
+                    self.bump();
+                    self.raw(line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when position `at` starts `r"`, `r#"` or a raw identifier
+    /// `r#ident` — all of which the raw-token path handles.
+    fn raw_prefix(&self, at: usize) -> bool {
+        matches!(self.peek(at + 1), Some('"') | Some('#'))
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let has_code_before = self.code_on_line(line);
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line, has_code_before });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let has_code_before = self.code_on_line(line);
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line, has_code_before });
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut body = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    body.push('\\');
+                    if let Some(e) = self.bump() {
+                        body.push(e);
+                    }
+                }
+                '"' => break,
+                c => body.push(c),
+            }
+        }
+        self.push(Tok::Str(body), line);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char
+    /// literal (`'a'`, `'\n'`, `'\u{1F600}'`). Disambiguation: after
+    /// an identifier-shaped body, a closing `'` means char literal;
+    /// anything else means lifetime. Escapes always mean char.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // the escaped char (or `u`)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::CharLit, line);
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') && name.chars().count() == 1 {
+                    self.bump();
+                    self.push(Tok::CharLit, line);
+                } else {
+                    self.push(Tok::Lifetime(name), line);
+                }
+            }
+            Some(_) => {
+                // Non-alphabetic char literal: `'+'`, `' '`, `'''`…
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::CharLit, line);
+            }
+            None => {}
+        }
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`, …) and raw identifiers
+    /// (`r#match`). Called with `pos` on the `r`.
+    fn raw(&mut self, line: u32) {
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // Raw identifier `r#ident`: lex the ident part normally.
+            self.ident(line);
+            return;
+        }
+        self.bump(); // opening quote
+        let mut body = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote only terminates when followed by enough #s.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    seen += 1;
+                    self.bump();
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                body.push('"');
+                for _ in 0..seen {
+                    body.push('#');
+                }
+            } else {
+                body.push(c);
+            }
+        }
+        self.push(Tok::Str(body), line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        // Byte char `b'x'` — `pos` is on the quote.
+        self.bump();
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push(Tok::CharLit, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Float like `1.5`; leaves `0..n` as number-punct-punct.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Number, line);
+    }
+}

@@ -1,0 +1,87 @@
+//! `leaps-lint` — the workspace invariant checker.
+//!
+//! The LEAPS paper is "statistical learning *guided by program
+//! analysis*"; this crate turns program analysis on the codebase
+//! itself. It lexes every Rust source file in the workspace (no
+//! `syn`, no external deps — the build must work offline) and runs
+//! two analysis tiers over the token streams:
+//!
+//! 1. **Token-level invariant lints** ([`token_lints`]) — each
+//!    enforces one cross-crate rule established by an earlier PR:
+//!    poison-tolerant locking, the single swappable clock, supervised
+//!    spawning, deterministic iteration in result paths, no `unsafe`,
+//!    and the dotted metric vocabulary (DESIGN.md §14).
+//! 2. **Lock-order analysis** ([`lockorder`]) — an intraprocedural
+//!    scan that extracts per-function guard acquisition sequences by
+//!    field/static name, merges them into the global lock-order
+//!    graph, and fails on cycles: a static deadlock detector for
+//!    `leaps-serve`'s registry/session/writer locks and `leaps-par`'s
+//!    shard queues.
+//!
+//! Findings can be suppressed in-line with
+//! `// lint:allow(<lint-id>): <reason>` — the reason is mandatory; a
+//! reason-less suppression is itself an error-severity finding
+//! (`bad-suppression`). See DESIGN.md §15 for the invariant table.
+
+pub mod lexer;
+pub mod lints;
+pub mod lockorder;
+pub mod report;
+pub mod source;
+pub mod token_lints;
+pub mod vocab;
+pub mod walker;
+
+use lints::Finding;
+use source::SourceFile;
+
+/// Outcome of analysing a set of files: the surviving findings, the
+/// suppressions that fired (for reporting), and the lock-order graph.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<SuppressedFinding>,
+    pub lock_graph: lockorder::LockGraph,
+}
+
+/// A finding that was silenced by a `lint:allow` comment; retained so
+/// reports can show what is being waived and why.
+pub struct SuppressedFinding {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// Runs every lint tier over `files` and partitions the results into
+/// live findings and suppressed ones. Findings are returned sorted by
+/// (file, line, lint) so output is deterministic.
+pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in files {
+        token_lints::check_file(file, files, &mut raw);
+        raw.extend(source::check_suppression_hygiene(file));
+    }
+    let mut lock_graph = lockorder::LockGraph::default();
+    for file in files {
+        lockorder::scan_file(file, &mut lock_graph);
+    }
+    raw.extend(lock_graph.cycle_findings());
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in raw {
+        let sup = files
+            .iter()
+            .find(|s| s.rel_path == f.file)
+            .and_then(|s| s.suppression_for(f.lint, f.line));
+        match sup {
+            // A reason-less suppression must not silence the finding
+            // it targets: surface both.
+            Some(s) if !s.reason.is_empty() => {
+                suppressed.push(SuppressedFinding { finding: f, reason: s.reason.clone() });
+            }
+            _ => findings.push(f),
+        }
+    }
+    findings.sort();
+    suppressed.sort_by(|a, b| a.finding.cmp(&b.finding));
+    Analysis { findings, suppressed, lock_graph }
+}

@@ -1,0 +1,125 @@
+//! The lint registry: stable IDs, severities and allowlist policy.
+//!
+//! Policy lives here, in one table, so DESIGN.md §15 has a single
+//! thing to mirror. Each allowlist names crates whose *job* is the
+//! thing the lint forbids elsewhere (e.g. `leaps-obs` owns the real
+//! clock, `leaps-par` owns thread spawning); everything else needs an
+//! in-line `lint:allow` with a written reason.
+
+use std::cmp::Ordering;
+
+/// Stable lint identifiers — these appear in suppression comments and
+/// in `results/LINT_baseline.json`, so they must never be renamed.
+pub const LOCK_UNWRAP: &str = "lock-unwrap";
+pub const RAW_CLOCK: &str = "raw-clock";
+pub const STRAY_SPAWN: &str = "stray-spawn";
+pub const HASH_ITER_ORDER: &str = "hash-iter-order";
+pub const UNSAFE_BLOCK: &str = "unsafe-block";
+pub const METRIC_VOCAB: &str = "metric-vocab";
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+pub const ALL_LINTS: &[&str] = &[
+    LOCK_UNWRAP,
+    RAW_CLOCK,
+    STRAY_SPAWN,
+    HASH_ITER_ORDER,
+    UNSAFE_BLOCK,
+    METRIC_VOCAB,
+    LOCK_ORDER_CYCLE,
+    BAD_SUPPRESSION,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Ord for Finding {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.file, self.line, self.lint, &self.message).cmp(&(
+            &other.file,
+            other.line,
+            other.lint,
+            &other.message,
+        ))
+    }
+}
+
+impl PartialOrd for Finding {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-lint policy consulted by the token lints.
+pub struct Policy {
+    /// Crates where the lint does not apply at all.
+    pub allowed_crates: &'static [&'static str],
+    /// Whether test code (files under `tests/`, `#[cfg(test)]`
+    /// items) is exempt.
+    pub skip_tests: bool,
+    pub severity: Severity,
+}
+
+/// Looks up the policy for a token-level lint.
+pub fn policy(lint: &str) -> Policy {
+    match lint {
+        // Poison-tolerance applies to tests too: a panicking test
+        // thread must not wedge its harness via a poisoned lock.
+        LOCK_UNWRAP => {
+            Policy { allowed_crates: &[], skip_tests: false, severity: Severity::Warning }
+        }
+        // `leaps-obs` owns the real clock; `leaps-bench` reports
+        // human wall-time. Tests are exempt: liveness deadlines in
+        // tests must track real time, not the swappable clock.
+        RAW_CLOCK => Policy {
+            allowed_crates: &["leaps-obs", "leaps-bench"],
+            skip_tests: true,
+            severity: Severity::Warning,
+        },
+        // `leaps-par` owns supervised spawning; `leaps-serve` spawns
+        // named daemon/connection threads through std::thread::Builder.
+        STRAY_SPAWN => Policy {
+            allowed_crates: &["leaps-par", "leaps-serve"],
+            skip_tests: true,
+            severity: Severity::Warning,
+        },
+        // Bit-identity only matters on result paths, which tests are
+        // not; test assertions iterate maps freely.
+        HASH_ITER_ORDER => {
+            Policy { allowed_crates: &[], skip_tests: true, severity: Severity::Warning }
+        }
+        UNSAFE_BLOCK => {
+            Policy { allowed_crates: &[], skip_tests: false, severity: Severity::Error }
+        }
+        // `leaps-obs` defines the macros and exercises them with
+        // scratch names in its own tests/docs.
+        METRIC_VOCAB => Policy {
+            allowed_crates: &["leaps-obs"],
+            skip_tests: false,
+            severity: Severity::Warning,
+        },
+        _ => Policy { allowed_crates: &[], skip_tests: false, severity: Severity::Error },
+    }
+}

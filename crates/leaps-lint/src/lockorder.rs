@@ -1,0 +1,395 @@
+//! Tier 2: intraprocedural lock-order analysis — the static deadlock
+//! detector.
+//!
+//! For every function in non-test code we simulate the token stream,
+//! tracking which mutex guards are held at each point:
+//!
+//! * an acquisition is `lock_unpoisoned(&path.to.lock)` or
+//!   `<recv>.lock()`; the lock's identity is the last field/static
+//!   identifier of the operand (`&self.inner` → `inner`);
+//! * `let g = <acquisition>;` (possibly through `.unwrap()`-style
+//!   adapters) binds a guard, held until its block closes or an
+//!   explicit `drop(g)`;
+//! * a chained acquisition (`lock_unpoisoned(&q).recv()`) is a
+//!   temporary, held only to the end of the statement.
+//!
+//! Acquiring lock `b` while holding `a` emits the edge `a → b` into
+//! the global lock-order graph; a cycle in that graph means two code
+//! paths acquire the same locks in opposite orders — a deadlock the
+//! schedule can realise. Identity is by *name*, which deliberately
+//! merges every `state` field across sessions: coarser than alias
+//! analysis, but safe for this codebase's naming discipline and
+//! simple enough to audit by eye.
+
+use crate::lexer::{Tok, Token};
+use crate::lints::{Finding, Severity, LOCK_ORDER_CYCLE};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where an edge was observed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Site {
+    pub file: String,
+    pub func: String,
+    pub line: u32,
+}
+
+/// The global lock-order graph: `(held, acquired) → sites`.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub edges: BTreeMap<(String, String), Vec<Site>>,
+}
+
+impl LockGraph {
+    fn add_edge(&mut self, held: &str, acquired: &str, site: Site) {
+        // Same-name self-edges are suppressed: with name-level lock
+        // identity they are usually two different instances (one
+        // session's `state` vs another's), not reacquisition.
+        if held == acquired {
+            return;
+        }
+        self.edges.entry((held.to_string(), acquired.to_string())).or_default().push(site);
+    }
+
+    /// All lock names appearing in the graph.
+    pub fn nodes(&self) -> BTreeSet<&str> {
+        self.edges.keys().flat_map(|(a, b)| [a.as_str(), b.as_str()]).collect()
+    }
+
+    /// Detects cycles with an iterative three-colour DFS over the
+    /// (deterministically ordered) adjacency; each distinct cycle
+    /// yields one error-severity finding naming the full path.
+    pub fn cycle_findings(&self) -> Vec<Finding> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
+        let mut findings = Vec::new();
+        let nodes: Vec<&str> = self.nodes().into_iter().collect();
+        for &root in &nodes {
+            if color.get(root).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next-child-index); `path` mirrors it.
+            let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+            let mut path: Vec<&str> = vec![root];
+            color.insert(root, 1);
+            while !stack.is_empty() {
+                let (node, child) = {
+                    let top = stack.last_mut().expect("stack checked non-empty");
+                    let c = top.1;
+                    top.1 += 1;
+                    (top.0, c)
+                };
+                let next = adj.get(node).and_then(|c| c.get(child).copied());
+                match next {
+                    None => {
+                        color.insert(node, 2);
+                        stack.pop();
+                        path.pop();
+                    }
+                    Some(n) => match color.get(n).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(n, 1);
+                            stack.push((n, 0));
+                            path.push(n);
+                        }
+                        1 => {
+                            let start = path.iter().position(|&p| p == n).unwrap_or(0);
+                            findings.push(self.cycle_finding(&path[start..], n));
+                        }
+                        _ => {}
+                    },
+                }
+            }
+        }
+        findings
+    }
+
+    fn cycle_finding(&self, cycle: &[&str], back_to: &str) -> Finding {
+        let mut route = cycle.join(" -> ");
+        route.push_str(" -> ");
+        route.push_str(back_to);
+        // Attribute the finding to the edge that closes the cycle.
+        let site = self
+            .edges
+            .get(&(cycle[cycle.len() - 1].to_string(), back_to.to_string()))
+            .and_then(|s| s.first());
+        let mut sites: Vec<String> = Vec::new();
+        for w in cycle.windows(2) {
+            if let Some(s) = self.edges.get(&(w[0].to_string(), w[1].to_string())) {
+                if let Some(first) = s.first() {
+                    sites.push(format!("{}->{} at {}:{}", w[0], w[1], first.file, first.line));
+                }
+            }
+        }
+        Finding {
+            lint: LOCK_ORDER_CYCLE,
+            file: site.map(|s| s.file.clone()).unwrap_or_default(),
+            line: site.map(|s| s.line).unwrap_or(0),
+            severity: Severity::Error,
+            message: format!(
+                "lock-order cycle {route}: opposite acquisition orders can deadlock \
+                 [{}]",
+                sites.join("; ")
+            ),
+        }
+    }
+}
+
+/// Scans one file's functions into the graph. Test code is excluded:
+/// tests intentionally hold fixture locks around arbitrary calls and
+/// alias lock names across harnesses.
+pub fn scan_file(file: &SourceFile, graph: &mut LockGraph) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_fn = matches!(&toks[i].tok, Tok::Ident(s) if s == "fn");
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        if file.is_test_line(toks[i].line) {
+            i += 2;
+            continue;
+        }
+        // Find the body `{` (paren-depth 0, past signature + where).
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                Tok::Punct('{') if paren == 0 => break,
+                Tok::Punct(';') if paren == 0 => break, // trait method decl
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].tok == Tok::Punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let body_end = matching_brace(toks, j);
+        scan_fn(&file.rel_path, name, &toks[j..body_end], graph);
+        i = body_end;
+    }
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+struct Guard {
+    var: String,
+    lock: String,
+    depth: i32,
+}
+
+/// Simulates one function body (`toks[0]` is its `{`).
+fn scan_fn(file: &str, func: &str, toks: &[Token], graph: &mut LockGraph) {
+    let mut held: Vec<Guard> = Vec::new();
+    let mut transients: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_start = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                stmt_start = i + 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                held.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                transients.clear();
+                stmt_start = i + 1;
+                i += 1;
+            }
+            Tok::Ident(s) if s == "drop" && punct(toks.get(i + 1), '(') => {
+                if let Some(Tok::Ident(v)) = toks.get(i + 2).map(|t| &t.tok) {
+                    if punct(toks.get(i + 3), ')') {
+                        held.retain(|g| &g.var != v);
+                        i += 4;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                if let Some((lock, after)) = acquisition_at(toks, i) {
+                    let line = toks[i].line;
+                    for g in &held {
+                        graph.add_edge(&g.lock, &lock, site(file, func, line));
+                    }
+                    for t in &transients {
+                        graph.add_edge(t, &lock, site(file, func, line));
+                    }
+                    // Skip `.unwrap()` / `.expect(…)` / `.unwrap_or_else(…)`
+                    // adapters, then decide binding vs temporary.
+                    let end = skip_adapters(toks, after);
+                    if punct(toks.get(end), ';') {
+                        if let Some(var) = let_binding_var(&toks[stmt_start..i]) {
+                            held.push(Guard { var, lock, depth });
+                            i = end;
+                            continue;
+                        }
+                    }
+                    transients.push(lock);
+                    i = after;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn site(file: &str, func: &str, line: u32) -> Site {
+    Site { file: file.to_string(), func: func.to_string(), line }
+}
+
+fn punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Recognises an acquisition starting at `i`; returns the lock name
+/// and the index just past the acquisition call.
+fn acquisition_at(toks: &[Token], i: usize) -> Option<(String, usize)> {
+    match &toks[i].tok {
+        // `lock_unpoisoned(<operand>)` — free call or method form.
+        Tok::Ident(s) if s == "lock_unpoisoned" && punct(toks.get(i + 1), '(') => {
+            let close = matching_paren(toks, i + 1);
+            let lock = last_ident(&toks[i + 2..close])?;
+            Some((lock, close + 1))
+        }
+        // `<recv>.lock()`
+        Tok::Punct('.')
+            if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "lock")
+                && punct(toks.get(i + 2), '(')
+                && punct(toks.get(i + 3), ')') =>
+        {
+            let lock = receiver_last_ident(toks, i)?;
+            Some((lock, i + 4))
+        }
+        _ => None,
+    }
+}
+
+fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Last identifier of an operand expression — the field/static name
+/// that identifies the lock (`&self.inner` → `inner`).
+fn last_ident(toks: &[Token]) -> Option<String> {
+    toks.iter().rev().find_map(|t| match &t.tok {
+        Tok::Ident(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// The final field/static identifier of the receiver before `.lock()`:
+/// the token just before the dot, or — for `f(…).lock()` — the last
+/// identifier inside the call.
+fn receiver_last_ident(toks: &[Token], dot: usize) -> Option<String> {
+    match toks.get(dot.checked_sub(1)?).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.clone()),
+        Some(Tok::Punct(')')) => {
+            let mut depth = 0i32;
+            let mut j = dot - 1;
+            loop {
+                match toks[j].tok {
+                    Tok::Punct(')') => depth += 1,
+                    Tok::Punct('(') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j = j.checked_sub(1)?;
+            }
+            last_ident(&toks[j..dot])
+        }
+        _ => None,
+    }
+}
+
+/// Skips result adapters (`.unwrap()`, `.expect(…)`,
+/// `.unwrap_or_else(…)`) after an acquisition; returns the index of
+/// the first token past them.
+fn skip_adapters(toks: &[Token], mut i: usize) -> usize {
+    const ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+    loop {
+        let is_adapter = punct(toks.get(i), '.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok),
+                Some(Tok::Ident(m)) if ADAPTERS.contains(&m.as_str()))
+            && punct(toks.get(i + 2), '(');
+        if !is_adapter {
+            return i;
+        }
+        i = matching_paren(toks, i + 2) + 1;
+    }
+}
+
+/// If a statement prefix is `let [mut] name =`, returns `name`.
+fn let_binding_var(stmt: &[Token]) -> Option<String> {
+    let mut it = stmt.iter();
+    let first = it.next()?;
+    if !matches!(&first.tok, Tok::Ident(s) if s == "let") {
+        return None;
+    }
+    let mut next = it.next()?;
+    if matches!(&next.tok, Tok::Ident(s) if s == "mut") {
+        next = it.next()?;
+    }
+    let Tok::Ident(name) = &next.tok else { return None };
+    // The `=` must follow (possibly after a type ascription).
+    if it.any(|t| t.tok == Tok::Punct('=')) {
+        Some(name.clone())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,106 @@
+//! `leaps-lint` CLI.
+//!
+//! ```text
+//! leaps-lint --workspace [--root DIR] [--deny-warnings] [--json] [--lock-graph]
+//! leaps-lint <path>… (files or directories)
+//! ```
+//!
+//! Exit codes: 0 clean · 1 warnings · 2 errors (or warnings under
+//! `--deny-warnings`) · 3 usage · 4 I/O. See README "Correctness
+//! tooling".
+
+use leaps_lint::{analyze, report, walker};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    workspace: bool,
+    root: PathBuf,
+    deny_warnings: bool,
+    json: bool,
+    lock_graph: bool,
+    paths: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: leaps-lint (--workspace | PATH...) [--root DIR] [--deny-warnings] [--json] [--lock-graph]"
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        workspace: false,
+        root: PathBuf::from("."),
+        deny_warnings: false,
+        json: false,
+        lock_graph: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
+            "--lock-graph" => opts.lock_graph = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+    if opts.workspace != opts.paths.is_empty() {
+        // Either --workspace or explicit paths, never both or neither.
+        if opts.workspace {
+            return Err("--workspace does not take extra paths".to_string());
+        }
+        return Err("nothing to lint: pass --workspace or paths".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::from(0);
+            }
+            eprintln!("leaps-lint: {msg}\n{}", usage());
+            return ExitCode::from(report::EXIT_USAGE as u8);
+        }
+    };
+    if opts.workspace && !opts.root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "leaps-lint: `{}` is not a workspace root (no Cargo.toml); use --root",
+            opts.root.display()
+        );
+        return ExitCode::from(report::EXIT_USAGE as u8);
+    }
+    let files = if opts.workspace {
+        walker::workspace_files(&opts.root)
+    } else {
+        walker::explicit_files(&opts.root, &opts.paths)
+    };
+    let files = match files {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("leaps-lint: I/O error: {e}");
+            return ExitCode::from(report::EXIT_IO as u8);
+        }
+    };
+    let analysis = analyze(&files);
+    if opts.json {
+        print!("{}", report::json(&analysis));
+    } else {
+        print!("{}", report::text(&analysis));
+        if opts.lock_graph {
+            print!("{}", report::lock_graph_text(&analysis));
+        }
+    }
+    ExitCode::from(report::exit_code(&analysis, opts.deny_warnings) as u8)
+}

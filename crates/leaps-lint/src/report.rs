@@ -1,0 +1,177 @@
+//! Reporters: human-readable text and machine-readable JSON (used by
+//! `results/LINT_baseline.json`), plus the exit-code policy.
+//!
+//! Exit codes (documented in README "Correctness tooling"):
+//! * `0` — clean (or warnings only, without `--deny-warnings`)
+//! * `1` — warnings found and not denied
+//! * `2` — errors found, or warnings under `--deny-warnings`
+//! * `3` — usage error (bad flags/paths)
+//! * `4` — I/O error reading the workspace
+
+use crate::lints::{Severity, ALL_LINTS};
+use crate::Analysis;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+pub const EXIT_CLEAN: i32 = 0;
+pub const EXIT_WARNINGS: i32 = 1;
+pub const EXIT_ERRORS: i32 = 2;
+pub const EXIT_USAGE: i32 = 3;
+pub const EXIT_IO: i32 = 4;
+
+/// Picks the process exit code for an analysis.
+pub fn exit_code(analysis: &Analysis, deny_warnings: bool) -> i32 {
+    let errors = analysis.findings.iter().any(|f| f.severity == Severity::Error);
+    let warnings = analysis.findings.iter().any(|f| f.severity == Severity::Warning);
+    if errors || (warnings && deny_warnings) {
+        EXIT_ERRORS
+    } else if warnings {
+        EXIT_WARNINGS
+    } else {
+        EXIT_CLEAN
+    }
+}
+
+/// Human-readable report: one line per finding, a suppression digest,
+/// and the lock-order verdict.
+pub fn text(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {}: [{}] {}",
+            f.file,
+            f.line,
+            f.severity.label(),
+            f.lint,
+            f.message
+        );
+    }
+    if !analysis.suppressed.is_empty() {
+        let _ =
+            writeln!(out, "-- {} finding(s) suppressed with reasons:", analysis.suppressed.len());
+        for s in &analysis.suppressed {
+            let _ = writeln!(
+                out,
+                "   {}:{}: [{}] allowed: {}",
+                s.finding.file, s.finding.line, s.finding.lint, s.reason
+            );
+        }
+    }
+    let edges = analysis.lock_graph.edges.len();
+    let cyclic = analysis.findings.iter().any(|f| f.lint == "lock-order-cycle");
+    let _ = writeln!(
+        out,
+        "-- lock-order graph: {} lock(s), {} edge(s), {}",
+        analysis.lock_graph.nodes().len(),
+        edges,
+        if cyclic { "CYCLIC" } else { "acyclic" }
+    );
+    let (errs, warns) = tally(analysis);
+    let _ = writeln!(out, "-- {} error(s), {} warning(s)", errs, warns);
+    out
+}
+
+/// Lock-order graph dump for `--lock-graph`: every edge with its
+/// first witnessing site.
+pub fn lock_graph_text(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for ((a, b), sites) in &analysis.lock_graph.edges {
+        let s = &sites[0];
+        let _ = writeln!(out, "{a} -> {b}  ({} in {}:{})", s.func, s.file, s.line);
+    }
+    out
+}
+
+fn tally(analysis: &Analysis) -> (usize, usize) {
+    let errs = analysis.findings.iter().filter(|f| f.severity == Severity::Error).count();
+    (errs, analysis.findings.len() - errs)
+}
+
+/// Machine-readable JSON report. Hand-rolled (std-only crate) but
+/// fully escaped; key order is deterministic.
+pub fn json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \"message\": {}}}",
+            if i == 0 { "" } else { "," },
+            esc(f.lint),
+            esc(&f.file),
+            f.line,
+            esc(f.severity.label()),
+            esc(&f.message)
+        );
+    }
+    out.push_str("\n  ],\n  \"suppressed\": [");
+    for (i, s) in analysis.suppressed.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+            if i == 0 { "" } else { "," },
+            esc(s.finding.lint),
+            esc(&s.finding.file),
+            s.finding.line,
+            esc(&s.reason)
+        );
+    }
+    out.push_str("\n  ],\n  \"lock_graph\": {\n    \"edges\": [");
+    for (i, ((a, b), sites)) in analysis.lock_graph.edges.iter().enumerate() {
+        let s = &sites[0];
+        let _ = write!(
+            out,
+            "{}\n      {{\"from\": {}, \"to\": {}, \"func\": {}, \"file\": {}, \"line\": {}}}",
+            if i == 0 { "" } else { "," },
+            esc(a),
+            esc(b),
+            esc(&s.func),
+            esc(&s.file),
+            s.line
+        );
+    }
+    let cyclic = analysis.findings.iter().any(|f| f.lint == "lock-order-cycle");
+    let _ = write!(out, "\n    ],\n    \"acyclic\": {}\n  }},\n", !cyclic);
+    let mut by_lint: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &analysis.findings {
+        *by_lint.entry(f.lint).or_insert(0) += 1;
+    }
+    let (errs, warns) = tally(analysis);
+    let _ = write!(
+        out,
+        "  \"summary\": {{\"total\": {}, \"errors\": {}, \"warnings\": {}, \"by_lint\": {{",
+        analysis.findings.len(),
+        errs,
+        warns
+    );
+    let mut first = true;
+    for lint in ALL_LINTS {
+        if let Some(n) = by_lint.get(lint) {
+            let _ = write!(out, "{}{}: {}", if first { "" } else { ", " }, esc(lint), n);
+            first = false;
+        }
+    }
+    out.push_str("}}\n}\n");
+    out
+}
+
+/// JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,195 @@
+//! Per-file model: token stream plus the metadata lints key off —
+//! which crate the file belongs to, whether a given line is test
+//! code, and any `lint:allow` suppressions.
+
+use crate::lexer::{self, Tok, Token};
+use crate::lints::{Finding, Severity, BAD_SUPPRESSION};
+
+/// A suppression comment: `// lint:allow(<id>): <reason>`. The
+/// suppression applies to findings of lint `lint` on `target_line`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub lint: String,
+    pub reason: String,
+    /// Line of the comment itself (for diagnostics).
+    pub comment_line: u32,
+    /// Line whose findings this suppression silences: the comment's
+    /// own line for trailing comments, else the next line of code.
+    pub target_line: u32,
+}
+
+/// A lexed source file with workspace context.
+pub struct SourceFile {
+    /// Path relative to the workspace root (stable across machines).
+    pub rel_path: String,
+    /// Crate the file belongs to (`leaps-serve`, …) or a synthetic
+    /// name (`workspace-tests`, `examples`) for root-level dirs.
+    pub crate_name: String,
+    /// True when the whole file is test code (under a `tests/` dir).
+    pub is_test_file: bool,
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+    /// Sorted half-open `(start, end)` line ranges lexed from
+    /// `#[cfg(test)]` / `#[test]` items; lines inside are test code.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, crate_name: &str, is_test_file: bool, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let suppressions = parse_suppressions(&lexed);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            is_test_file,
+            tokens: lexed.tokens,
+            suppressions,
+            test_ranges,
+        }
+    }
+
+    /// True when `line` is test code: the file lives under `tests/`
+    /// or the line falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file || self.test_ranges.iter().any(|&(s, e)| line >= s && line < e)
+    }
+
+    /// The suppression covering a finding of `lint` at `line`, if any.
+    pub fn suppression_for(&self, lint: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions.iter().find(|s| s.lint == lint && s.target_line == line)
+    }
+}
+
+/// Extracts `lint:allow` suppressions from the comment stream. The
+/// reason (everything after the closing `): `) may be empty here —
+/// hygiene checking is a separate pass so the omission is reportable.
+fn parse_suppressions(lexed: &lexer::Lexed) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let body = c.text.trim_start_matches('/').trim_start_matches('!').trim();
+        let Some(rest) = body.strip_prefix("lint:allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let lint = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim_start_matches(':').trim().to_string();
+        let target_line = if c.has_code_before {
+            c.line
+        } else {
+            // Standalone comment: binds to the next line with code.
+            lexed.tokens.iter().map(|t| t.line).find(|&l| l > c.line).unwrap_or(c.line + 1)
+        };
+        out.push(Suppression { lint, reason, comment_line: c.line, target_line });
+    }
+    out
+}
+
+/// Emits a `bad-suppression` finding for every reason-less
+/// suppression in `file`. Reasons are mandatory: a waiver nobody can
+/// justify in writing is a waiver that should not exist.
+pub fn check_suppression_hygiene(file: &SourceFile) -> Vec<Finding> {
+    file.suppressions
+        .iter()
+        .filter(|s| s.reason.is_empty())
+        .map(|s| Finding {
+            lint: BAD_SUPPRESSION,
+            file: file.rel_path.clone(),
+            line: s.comment_line,
+            severity: Severity::Error,
+            message: format!(
+                "suppression of `{}` has no reason; write `// lint:allow({}): <why>`",
+                s.lint, s.lint
+            ),
+        })
+        .collect()
+}
+
+/// Finds line ranges belonging to `#[cfg(test)]` or `#[test]` items.
+/// After the attribute, any further attributes are skipped, then the
+/// item's first `{` at paren-depth 0 opens the range, which runs to
+/// its matching `}`.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_test_attr(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Skip this attribute and any that follow it.
+        let mut j = skip_attr(tokens, i);
+        while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('#'))) {
+            j = skip_attr(tokens, j);
+        }
+        // Find the item body `{` at paren-depth 0, then its close.
+        let mut paren = 0i32;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                Tok::Punct('{') if paren == 0 => break,
+                Tok::Punct(';') if paren == 0 => break, // e.g. `mod x;`
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].tok == Tok::Punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end_line = tokens.get(j).map_or(u32::MAX, |t| t.line + 1);
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+/// True when token `i` starts `#[test]`, `#[cfg(test)]` or a
+/// `#[cfg_attr(…, test)]`-style attribute mentioning `test`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].tok != Tok::Punct('#') {
+        return false;
+    }
+    if !matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('['))) {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    let mentions =
+        |word: &str| tokens[i..end].iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == word));
+    // `#[cfg(not(test))]` guards *non*-test code.
+    mentions("test") && !mentions("not")
+}
+
+/// Returns the index just past the `#[…]` attribute starting at `i`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}

@@ -1,0 +1,88 @@
+//! Workspace file walker: finds every first-party `.rs` file and
+//! classifies it (owning crate, test-ness) for the lint policies.
+//!
+//! Skipped entirely: `target/`, `.git/`, vendored third-party shims
+//! (`crates/compat-*` — not ours to lint), and `fixtures/` dirs
+//! (known-bad lint-test inputs that must not fail the real run).
+
+use crate::source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects and lexes all first-party workspace sources under `root`
+/// (which must contain the workspace `Cargo.toml`). Files are
+/// returned sorted by relative path so analysis order — and therefore
+/// all output — is deterministic.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    paths.iter().map(|p| load(root, p)).collect()
+}
+
+/// Lexes an explicit set of files or directories (relative to `root`
+/// or absolute); used to lint out-of-tree paths and fixtures.
+pub fn explicit_files(root: &Path, args: &[String]) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for a in args {
+        let p = PathBuf::from(a);
+        let p = if p.is_absolute() { p } else { root.join(p) };
+        if p.is_dir() {
+            collect_rs(&p, &mut paths)?;
+        } else {
+            paths.push(p);
+        }
+    }
+    paths.sort();
+    paths.iter().map(|p| load(root, p)).collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target"
+                || name == ".git"
+                || name == "fixtures"
+                || name.starts_with("compat-")
+            {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn load(root: &Path, path: &Path) -> io::Result<SourceFile> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let (crate_name, is_test) = classify(&rel_str);
+    Ok(SourceFile::parse(&rel_str, &crate_name, is_test, &src))
+}
+
+/// Derives (crate name, whole-file-is-test) from a relative path.
+/// `crates/<name>/…` belongs to `<name>`; root `tests/` is the
+/// workspace integration-test harness; root `examples/` are demos.
+fn classify(rel: &str) -> (String, bool) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let is_test = parts.iter().any(|p| *p == "tests" || *p == "benches");
+    let crate_name = match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        ["examples", ..] => "examples".to_string(),
+        ["tests", ..] => "workspace-tests".to_string(),
+        _ => "unknown".to_string(),
+    };
+    (crate_name, is_test)
+}

@@ -1,0 +1,161 @@
+//! End-to-end lint engine tests: every lint ID has a known-bad
+//! fixture under `tests/fixtures/` (a directory the workspace walker
+//! deliberately skips) and must fire exactly where expected; the
+//! suppression machinery and exit-code mapping are pinned here too.
+
+use leaps_lint::lints::{
+    Severity, BAD_SUPPRESSION, HASH_ITER_ORDER, LOCK_ORDER_CYCLE, LOCK_UNWRAP, METRIC_VOCAB,
+    RAW_CLOCK, STRAY_SPAWN, UNSAFE_BLOCK,
+};
+use leaps_lint::source::SourceFile;
+use leaps_lint::{analyze, report, Analysis};
+
+/// Parses fixture text as if it lived in a crate with no allowlist
+/// exemptions for any lint under test.
+fn fixture(name: &str, src: &str) -> SourceFile {
+    SourceFile::parse(&format!("crates/leaps-core/src/{name}"), "leaps-core", false, src)
+}
+
+fn run(name: &str, src: &str) -> Analysis {
+    analyze(&[fixture(name, src)])
+}
+
+/// `(lint, line)` pairs of the surviving findings, sorted.
+fn hits(analysis: &Analysis) -> Vec<(&'static str, u32)> {
+    analysis.findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn lock_unwrap_fires_on_unwrap_and_expect() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_lock_unwrap.rs"));
+    assert_eq!(hits(&analysis), vec![(LOCK_UNWRAP, 7), (LOCK_UNWRAP, 11)]);
+    assert!(analysis.findings[0].message.contains("lock_unpoisoned"));
+}
+
+#[test]
+fn raw_clock_fires_outside_tests_only() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_raw_clock.rs"));
+    assert_eq!(hits(&analysis), vec![(RAW_CLOCK, 6), (RAW_CLOCK, 10)]);
+}
+
+#[test]
+fn raw_clock_is_exempt_in_allowlisted_crates() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }";
+    let file = SourceFile::parse("crates/leaps-obs/src/lib.rs", "leaps-obs", false, src);
+    assert!(analyze(&[file]).findings.is_empty());
+}
+
+#[test]
+fn stray_spawn_fires_on_free_fn_and_builder() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_stray_spawn.rs"));
+    assert_eq!(hits(&analysis), vec![(STRAY_SPAWN, 7), (STRAY_SPAWN, 11)]);
+}
+
+#[test]
+fn hash_iter_order_fires_on_adapters_for_loops_and_fn_returns() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_hash_iter.rs"));
+    let lints: Vec<_> = hits(&analysis);
+    assert!(
+        lints.contains(&(HASH_ITER_ORDER, 12)),
+        "adapter iteration over the ascribed HashMap: {lints:?}"
+    );
+    assert!(
+        lints.contains(&(HASH_ITER_ORDER, 20)),
+        "for-loop over a hash-returning fn call: {lints:?}"
+    );
+    assert!(lints.iter().all(|&(l, _)| l == HASH_ITER_ORDER), "{lints:?}");
+}
+
+#[test]
+fn unsafe_block_is_an_error_even_in_tests() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_unsafe.rs"));
+    assert_eq!(hits(&analysis), vec![(UNSAFE_BLOCK, 4), (UNSAFE_BLOCK, 12)]);
+    assert!(analysis.findings.iter().all(|f| f.severity == Severity::Error));
+    assert_eq!(report::exit_code(&analysis, false), report::EXIT_ERRORS);
+}
+
+#[test]
+fn metric_vocab_fires_on_off_vocabulary_names_only() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_metric_vocab.rs"));
+    assert_eq!(hits(&analysis), vec![(METRIC_VOCAB, 5), (METRIC_VOCAB, 6)]);
+    // The two in-vocabulary calls (pool.jobs, sweep.cell.us) pass.
+}
+
+#[test]
+fn lock_order_cycle_is_detected_and_is_an_error() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_lock_cycle.rs"));
+    assert_eq!(analysis.findings.len(), 1, "{:?}", analysis.findings);
+    let f = &analysis.findings[0];
+    assert_eq!(f.lint, LOCK_ORDER_CYCLE);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("alpha") && f.message.contains("beta"), "{}", f.message);
+    assert_eq!(report::exit_code(&analysis, false), report::EXIT_ERRORS);
+}
+
+#[test]
+fn consistent_lock_order_is_acyclic_and_clean() {
+    let analysis = run("good.rs", include_str!("fixtures/good_lock_order.rs"));
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    // Both functions contribute the same alpha→beta edge.
+    assert!(analysis.lock_graph.edges.contains_key(&("alpha".into(), "beta".into())));
+    assert!(!analysis.lock_graph.edges.contains_key(&("beta".into(), "alpha".into())));
+    assert_eq!(report::exit_code(&analysis, true), report::EXIT_CLEAN);
+}
+
+#[test]
+fn reasonless_suppression_is_an_error_and_does_not_silence() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_suppression.rs"));
+    assert_eq!(hits(&analysis), vec![(BAD_SUPPRESSION, 7), (LOCK_UNWRAP, 8)]);
+    assert!(analysis.suppressed.is_empty(), "nothing may be waived without a reason");
+    assert_eq!(report::exit_code(&analysis, false), report::EXIT_ERRORS);
+}
+
+#[test]
+fn reasoned_suppressions_silence_standalone_and_trailing() {
+    let analysis = run("good.rs", include_str!("fixtures/good_suppressed.rs"));
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    let waived: Vec<_> = analysis.suppressed.iter().map(|s| s.finding.lint).collect();
+    assert_eq!(waived, vec![LOCK_UNWRAP, RAW_CLOCK]);
+    assert!(analysis.suppressed.iter().all(|s| !s.reason.is_empty()));
+    assert_eq!(report::exit_code(&analysis, true), report::EXIT_CLEAN);
+}
+
+#[test]
+fn suppression_for_the_wrong_lint_does_not_silence() {
+    let src = "use std::sync::Mutex;\n\
+               pub fn take(m: &Mutex<u32>) -> u32 {\n\
+               \x20   // lint:allow(raw-clock): wrong lint id on purpose\n\
+               \x20   *m.lock().unwrap()\n\
+               }\n";
+    let analysis = run("bad.rs", src);
+    assert_eq!(hits(&analysis), vec![(LOCK_UNWRAP, 4)]);
+}
+
+#[test]
+fn exit_codes_partition_clean_warning_error() {
+    let clean = run("ok.rs", "pub fn nothing() {}");
+    assert_eq!(report::exit_code(&clean, true), report::EXIT_CLEAN);
+
+    let warn = run("bad.rs", include_str!("fixtures/bad_lock_unwrap.rs"));
+    assert_eq!(report::exit_code(&warn, false), report::EXIT_WARNINGS);
+    assert_eq!(report::exit_code(&warn, true), report::EXIT_ERRORS, "--deny-warnings escalates");
+}
+
+#[test]
+fn json_report_is_well_formed_and_names_every_finding() {
+    let analysis = run("bad.rs", include_str!("fixtures/bad_lock_unwrap.rs"));
+    let json = report::json(&analysis);
+    assert!(json.contains("\"lock-unwrap\""), "{json}");
+    assert!(json.contains("\"by_lint\""), "{json}");
+    // Messages contain backquotes and parens; the escaper must keep
+    // the document balanced.
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+}
+
+#[test]
+fn test_code_detection_handles_cfg_not_test() {
+    let src = "#[cfg(not(test))]\n\
+               pub fn prod() -> std::time::Instant { std::time::Instant::now() }\n";
+    let analysis = run("bad.rs", src);
+    assert_eq!(hits(&analysis), vec![(RAW_CLOCK, 2)], "cfg(not(test)) guards non-test code");
+}

@@ -1,0 +1,24 @@
+//! Fixture: iterating hash-ordered containers in non-test code
+//! triggers `hash-iter-order` — via an adapter on an ascribed name,
+//! via a `for … in` loop, and via a call to a hash-returning fn.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(input: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    for (k, v) in input {
+        *counts.entry(k.clone()).or_insert(0) += *v;
+    }
+    counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+fn gather(items: &[u32]) -> HashSet<u32> {
+    items.iter().copied().collect()
+}
+
+pub fn first(items: &[u32]) -> Option<u32> {
+    for x in gather(items) {
+        return Some(x);
+    }
+    None
+}

@@ -1,0 +1,25 @@
+//! Fixture: two functions acquiring the same two locks in opposite
+//! orders — the global lock-order graph gets alpha→beta and
+//! beta→alpha, a cycle the detector must report.
+
+use leaps_par::lock_unpoisoned;
+use std::sync::Mutex;
+
+pub struct State {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl State {
+    pub fn forward(&self) -> u32 {
+        let a = lock_unpoisoned(&self.alpha);
+        let b = lock_unpoisoned(&self.beta);
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = lock_unpoisoned(&self.beta);
+        let a = lock_unpoisoned(&self.alpha);
+        *a + *b
+    }
+}

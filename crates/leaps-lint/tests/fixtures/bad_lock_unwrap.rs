@@ -1,0 +1,12 @@
+//! Fixture: `.lock().unwrap()` and `.lock().expect(…)` in non-test
+//! code must both trigger `lock-unwrap`.
+
+use std::sync::Mutex;
+
+pub fn take(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn take_expect(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}

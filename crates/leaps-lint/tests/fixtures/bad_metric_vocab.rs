@@ -1,0 +1,10 @@
+//! Fixture: metric names off the dotted vocabulary trigger
+//! `metric-vocab` in both the macro and registry-method forms.
+
+pub fn record() {
+    leaps_obs::counter!("benchmarkTotal").inc();
+    leaps_obs::registry().counter("pool.bogus_counter").inc();
+    // In-vocabulary names are fine in any form:
+    leaps_obs::counter!("pool.jobs").inc();
+    leaps_obs::registry().histogram("sweep.cell.us").record(1);
+}

@@ -1,0 +1,20 @@
+//! Fixture: raw clock reads outside `leaps-obs` trigger `raw-clock`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_exempt() {
+        // raw-clock skips test code: this must NOT be reported.
+        let _ = std::time::Instant::now();
+    }
+}

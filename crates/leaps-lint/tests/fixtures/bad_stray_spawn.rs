@@ -1,0 +1,12 @@
+//! Fixture: unsupervised thread creation triggers `stray-spawn`, both
+//! the free function and the `Builder` method form.
+
+use std::thread;
+
+pub fn fire() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}
+
+pub fn fire_named() -> std::io::Result<thread::JoinHandle<()>> {
+    thread::Builder::new().name("rogue".into()).spawn(|| {})
+}

@@ -1,0 +1,9 @@
+//! Fixture: a reason-less `lint:allow` is itself an error finding and
+//! must NOT silence the finding it targets.
+
+use std::sync::Mutex;
+
+pub fn take(m: &Mutex<u32>) -> u32 {
+    // lint:allow(lock-unwrap)
+    *m.lock().unwrap()
+}

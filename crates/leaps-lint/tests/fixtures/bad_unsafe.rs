@@ -1,0 +1,14 @@
+//! Fixture: any `unsafe` is an error-severity finding, even in tests.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_reported() {
+        let v = [1u8];
+        assert_eq!(unsafe { *v.get_unchecked(0) }, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: the same two locks taken in a consistent order from two
+//! functions — and a chained transient that is released at the `;` —
+//! must produce an acyclic graph and no findings.
+
+use leaps_par::lock_unpoisoned;
+use std::sync::Mutex;
+
+pub struct State {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl State {
+    pub fn sum(&self) -> u32 {
+        let a = lock_unpoisoned(&self.alpha);
+        let b = lock_unpoisoned(&self.beta);
+        *a + *b
+    }
+
+    pub fn bump(&self) {
+        *lock_unpoisoned(&self.alpha) += 1;
+        // The transient alpha guard above is gone by this statement, so
+        // taking beta alone here adds no edge.
+        let mut b = lock_unpoisoned(&self.beta);
+        *b += 1;
+        drop(b);
+        let a = lock_unpoisoned(&self.alpha);
+        let b2 = lock_unpoisoned(&self.beta);
+        let _ = *a + *b2;
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a suppression with a written reason silences its target
+//! finding (which is still reported in the suppressed list), in both
+//! the standalone and trailing comment positions.
+
+use std::sync::Mutex;
+
+pub fn take(m: &Mutex<u32>) -> u32 {
+    // lint:allow(lock-unwrap): this fixture wants the poison panic to propagate
+    *m.lock().unwrap()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // lint:allow(raw-clock): fixture exercises trailing-comment binding
+}

@@ -1,0 +1,126 @@
+//! Lexer fidelity: the lints are only as trustworthy as the token
+//! stream, so these fixtures pin the tricky corners — raw strings,
+//! nested block comments, the `'a` lifetime vs `'a'` char ambiguity,
+//! and forbidden patterns hidden inside literals or comments.
+
+use leaps_lint::lexer::{lex, Tok};
+use leaps_lint::source::SourceFile;
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+fn strings(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Str(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_keep_their_body() {
+    let src = r####"let s = r##"say "hi"# ok"##;"####;
+    assert_eq!(strings(src), vec![r##"say "hi"# ok"##.to_string()]);
+    // The quotes and hashes inside must not leak tokens.
+    assert_eq!(idents(src), vec!["let", "s"]);
+}
+
+#[test]
+fn raw_string_terminator_needs_exact_hash_count() {
+    // `"#` inside an `r##` string is body text, not a terminator.
+    let src = r###"let s = r##"a "# b"##;"###;
+    assert_eq!(strings(src), vec![r##"a "# b"##.to_string()]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_lex_as_strings() {
+    assert_eq!(strings(r#"let b = b"bytes";"#), vec!["bytes".to_string()]);
+    assert_eq!(strings(r##"let b = br#"raw bytes"#;"##), vec!["raw bytes".to_string()]);
+}
+
+#[test]
+fn nested_block_comments_are_one_comment() {
+    let src = "/* outer /* inner */ still comment */ fn after() {}";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+    assert!(lexed.comments[0].text.contains("still comment"));
+    // Only the code after the comment becomes tokens.
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>(),
+        vec!["fn", "after"]
+    );
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let lexed = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes =
+        lexed.tokens.iter().filter(|t| matches!(&t.tok, Tok::Lifetime(s) if s == "a")).count();
+    let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::CharLit).count();
+    assert_eq!(lifetimes, 2, "both `'a` positions are lifetimes");
+    assert_eq!(chars, 1, "`'a'` is a char literal");
+    // `'static` is a lifetime (multi-char body can't be a char).
+    let lexed = lex("fn g(x: &'static str) {}");
+    assert!(lexed.tokens.iter().any(|t| matches!(&t.tok, Tok::Lifetime(s) if s == "static")));
+    // Escaped and punctuation char literals.
+    let lexed = lex(r"let t = ('\n', '+', ' ');");
+    assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::CharLit).count(), 3);
+}
+
+#[test]
+fn raw_identifier_lexes_as_ident() {
+    assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+}
+
+#[test]
+fn integer_range_is_not_a_float() {
+    let lexed = lex("for i in 0..n {}");
+    let dots = lexed.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+    assert_eq!(dots, 2, "`0..n` keeps both range dots");
+    let lexed = lex("let x = 1.5;");
+    assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count(), 0);
+}
+
+#[test]
+fn forbidden_patterns_inside_literals_do_not_fire() {
+    // `.lock().unwrap()` as string content, `Instant::now()` in
+    // comments: no tokens, hence no findings.
+    let src = r#"
+        //! Never write `m.lock().unwrap()` — and Instant::now() is banned.
+        /* let x = m.lock().unwrap(); */
+        pub fn doc_only() -> &'static str {
+            "call m.lock().unwrap() then Instant::now()"
+        }
+    "#;
+    let file = SourceFile::parse("crates/leaps-core/src/doc.rs", "leaps-core", false, src);
+    let analysis = leaps_lint::analyze(&[file]);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn trailing_vs_standalone_comment_binding() {
+    let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].has_code_before, "same-line comment is trailing");
+    assert!(!lexed.comments[1].has_code_before, "own-line comment is standalone");
+}

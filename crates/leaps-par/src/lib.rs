@@ -28,6 +28,22 @@ pub mod pool;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, shrugging off poisoning.
+///
+/// Poisoning marks that a holder panicked mid-critical-section; for
+/// every lock in this workspace the protected state is kept
+/// consistent at each await-free step, so the right response is to
+/// keep serving, not to wedge every future holder behind a panic.
+/// This is the *only* sanctioned way to take a `Mutex` here — the
+/// `lock-unwrap` lint (see `leaps-lint`) rejects `.lock().unwrap()`
+/// workspace-wide, precisely because a supervisor that unwraps a
+/// poisoned lock turns one contained worker panic into a permanent
+/// outage.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Runtime thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -229,7 +245,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "worker panicked")]
     fn worker_panics_propagate() {
-        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let _guard = lock_unpoisoned(&OVERRIDE_LOCK);
         // Force the parallel path even on single-core CI machines.
         set_thread_override(Some(2));
         let result = std::panic::catch_unwind(|| {
@@ -247,7 +263,7 @@ mod tests {
 
     #[test]
     fn override_and_env_precedence() {
-        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let _guard = lock_unpoisoned(&OVERRIDE_LOCK);
         set_thread_override(Some(3));
         assert_eq!(thread_count(), 3);
         set_thread_override(None);

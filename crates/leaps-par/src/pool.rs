@@ -37,10 +37,11 @@
 //! scoped `par_*` helpers runs it serially instead of spawning a nested
 //! pool.
 
+use crate::lock_unpoisoned;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use leaps_obs::{counter, gauge, Gauge};
@@ -94,10 +95,6 @@ struct Shard {
     /// Global `pool.queue.<index>` depth gauge; shared when several
     /// pools exist, but increments and decrements stay balanced.
     depth: Gauge,
-}
-
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The supervised worker loop: one generation of one shard's worker.
@@ -340,11 +337,11 @@ mod tests {
         for i in 0..200 {
             let seen = Arc::clone(&seen);
             pool.submit(7, move || {
-                seen.lock().unwrap().push(i);
+                lock_unpoisoned(&seen).push(i);
             });
         }
         pool.shutdown();
-        let seen = seen.lock().unwrap();
+        let seen = lock_unpoisoned(&seen);
         assert_eq!(*seen, (0..200).collect::<Vec<_>>());
     }
 
@@ -356,11 +353,11 @@ mod tests {
             let names = Arc::clone(&names);
             pool.submit(shard, move || {
                 let name = std::thread::current().name().unwrap_or("?").to_owned();
-                names.lock().unwrap().push((shard, name));
+                lock_unpoisoned(&names).push((shard, name));
             });
         }
         pool.shutdown();
-        let names = names.lock().unwrap();
+        let names = lock_unpoisoned(&names);
         let worker_of =
             |shard: usize| names.iter().find(|(s, _)| *s == shard).map(|(_, n)| n.clone()).unwrap();
         assert_eq!(worker_of(0), worker_of(2), "shards 0 and 2 share a worker of 2");
@@ -376,11 +373,34 @@ mod tests {
         pool.submit(0, move || {
             // Must not deadlock or spawn a nested scoped pool.
             let values = crate::par_map_indexed(16, |i| i * i);
-            out2.lock().unwrap().extend(values);
+            lock_unpoisoned(&out2).extend(values);
         });
         pool.shutdown();
-        let out = out.lock().unwrap();
+        let out = lock_unpoisoned(&out);
         assert_eq!(*out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poisoned_shared_lock_does_not_wedge_the_pool() {
+        // A job panics *while holding* a shared mutex, poisoning it.
+        // `lock_unpoisoned` must shrug that off: later jobs on the
+        // same pool still take the lock and the pool keeps serving.
+        let pool = Pool::new(2);
+        let shared: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let poisoner = Arc::clone(&shared);
+        pool.submit(0, move || {
+            let _guard = lock_unpoisoned(&poisoner);
+            panic!("injected panic under the lock (expected in this test)");
+        });
+        for i in 0..32 {
+            let shared = Arc::clone(&shared);
+            pool.submit(0, move || {
+                lock_unpoisoned(&shared).push(i);
+            });
+        }
+        pool.shutdown();
+        assert!(shared.is_poisoned(), "the panicking holder must have poisoned the lock");
+        assert_eq!(*lock_unpoisoned(&shared), (0..32).collect::<Vec<_>>());
     }
 
     #[test]
@@ -397,7 +417,7 @@ mod tests {
         for i in 0..50 {
             let seen = Arc::clone(&seen);
             pool.submit(4, move || {
-                seen.lock().unwrap().push(i);
+                lock_unpoisoned(&seen).push(i);
             });
             if i % 10 == 3 {
                 pool.submit(4, || panic!("injected pool panic (expected in this test)"));
@@ -416,14 +436,14 @@ mod tests {
             // Wait for the panicked shard to drain by watching the
             // ordered jobs complete.
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
-            while seen.lock().unwrap().len() < 50 {
+            while lock_unpoisoned(&seen).len() < 50 {
                 assert!(std::time::Instant::now() < deadline, "shard 4 never drained");
                 std::thread::yield_now();
             }
             stats_before_drop = pool.stats();
         }
         pool.shutdown();
-        let seen = seen.lock().unwrap();
+        let seen = lock_unpoisoned(&seen);
         assert_eq!(*seen, (0..50).collect::<Vec<_>>(), "FIFO must survive respawns");
         assert_eq!(other.load(Ordering::Relaxed), 20);
         assert_eq!(stats_before_drop.panics, 5, "every injected panic is counted");

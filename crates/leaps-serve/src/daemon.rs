@@ -37,7 +37,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Read deadline on daemon connections: the cadence at which an idle
 /// handler thread re-checks shutdown and the idle TTL.
@@ -339,7 +339,7 @@ fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) 
     let mut reader = BufReader::new(stream);
     let mut client: Option<String> = None;
     let mut line = String::new();
-    let mut last_activity = Instant::now();
+    let mut last_activity_us = leaps_obs::now_micros();
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client went away
@@ -350,7 +350,8 @@ fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) 
                     break;
                 }
                 if let Some(ttl) = server.idle_ttl() {
-                    if last_activity.elapsed() > ttl {
+                    let ttl_us = u64::try_from(ttl.as_micros()).unwrap_or(u64::MAX);
+                    if leaps_obs::now_micros().saturating_sub(last_activity_us) > ttl_us {
                         let _ = write_reply(
                             &writer,
                             &Reply::Err {
@@ -366,7 +367,7 @@ fn handle_connection(server: &Arc<Server>, endpoint: &Endpoint, stream: Stream) 
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
-        last_activity = Instant::now();
+        last_activity_us = leaps_obs::now_micros();
         if line.trim().is_empty() {
             line.clear();
             continue;

@@ -49,14 +49,12 @@ pub use registry::{Registry, RegistryStats};
 pub use server::{Server, ServerConfig, ServerStats};
 pub use session::{BufferSink, SessionKey, SessionReport, Submit, VerdictSink};
 
-/// Locks a mutex, recovering the guard from a poisoned lock.
-///
-/// Every lock in this crate guards state that stays consistent across a
-/// panic (counters, queues whose invariants are re-checked by every
-/// drain pass), so a worker that panicked while holding one must not
-/// cascade into aborting connection threads or the daemon itself — the
-/// self-healing contract is that one crashing job costs at most its own
-/// session.
-pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+/// Poison-tolerant locking, re-exported from [`leaps_par`] so every
+/// crate (and downstream user) takes locks the same way: every lock
+/// in this crate guards state that stays consistent across a panic
+/// (counters, queues whose invariants are re-checked by every drain
+/// pass), so a worker that panicked while holding one must not
+/// cascade into aborting connection threads or the daemon itself —
+/// the self-healing contract is that one crashing job costs at most
+/// its own session.
+pub use leaps_par::lock_unpoisoned;

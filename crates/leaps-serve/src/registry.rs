@@ -29,7 +29,7 @@ use crate::proto::valid_name;
 use leaps_core::error::LeapsError;
 use leaps_core::persist::{load_classifier, ModelError};
 use leaps_core::pipeline::Classifier;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -57,7 +57,7 @@ struct Entry {
 }
 
 struct Inner {
-    entries: HashMap<String, Entry>,
+    entries: BTreeMap<String, Entry>,
     tick: u64,
     loads: u64,
     hits: u64,
@@ -83,7 +83,7 @@ impl Registry {
             dir: dir.into(),
             cap_bytes,
             inner: Mutex::new(Inner {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 tick: 0,
                 loads: 0,
                 hits: 0,

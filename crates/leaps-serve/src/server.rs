@@ -13,7 +13,7 @@ use leaps_core::error::LeapsError;
 use leaps_core::stream::StreamDetector;
 use leaps_par::pool::Pool;
 use leaps_trace::partition::PartitionedEvent;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
@@ -79,7 +79,7 @@ pub struct ServerStats {
 /// embedders and pool workers share one `Arc<Server>`.
 pub struct Server {
     registry: Registry,
-    sessions: Mutex<HashMap<SessionKey, Arc<Session>>>,
+    sessions: Mutex<BTreeMap<SessionKey, Arc<Session>>>,
     pool: Pool,
     queue_cap: usize,
     idle_ttl: Option<Duration>,
@@ -114,7 +114,7 @@ impl Server {
             .map_err(|e| LeapsError::protocol(format!("spawning worker pool: {e}")))?;
         Ok(Server {
             registry: Registry::new(&config.models_dir, config.cache_cap_bytes),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
             pool,
             queue_cap: config.queue_cap.max(1),
             idle_ttl: config.idle_ttl.filter(|ttl| !ttl.is_zero()),
@@ -216,7 +216,7 @@ impl Server {
                 )));
             }
             state.submitted += 1;
-            state.last_activity = std::time::Instant::now();
+            state.last_activity_us = leaps_obs::now_micros();
             leaps_obs::counter!("serve.events").inc();
             let outcome = if state.queue.len() >= self.queue_cap {
                 state.queue.pop_front();
@@ -337,13 +337,15 @@ impl Server {
     /// and detector immediately; a client touching a reaped session gets
     /// the ordinary "no session" protocol error.
     pub fn reap_idle(&self, ttl: Duration) -> usize {
+        let now_us = leaps_obs::now_micros();
+        let ttl_us = u64::try_from(ttl.as_micros()).unwrap_or(u64::MAX);
         let victims: Vec<SessionKey> = {
             let sessions = lock_unpoisoned(&self.sessions);
             sessions
                 .iter()
                 .filter(|(_, session)| {
                     let state = lock_unpoisoned(&session.state);
-                    !state.closing && state.last_activity.elapsed() > ttl
+                    !state.closing && now_us.saturating_sub(state.last_activity_us) > ttl_us
                 })
                 .map(|(key, _)| key.clone())
                 .collect()

@@ -25,7 +25,6 @@ use leaps_core::stream::{StreamDetector, StreamStats, Verdict};
 use leaps_trace::partition::PartitionedEvent;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
 /// Sessions are keyed by `(client, pid)`: one monitored process of one
 /// connected client.
@@ -117,8 +116,9 @@ pub(crate) struct QueueState {
     pub(crate) shed: u64,
     pub(crate) submitted: u64,
     pub(crate) verdicts: u64,
-    /// Last submit (or open) — read by the idle reaper.
-    pub(crate) last_activity: Instant,
+    /// Last submit (or open) as an obs-clock timestamp (µs) — read by
+    /// the idle reaper; on the obs clock so idle tests can freeze time.
+    pub(crate) last_activity_us: u64,
 }
 
 /// One open session. Shared between the submitting connection thread and
@@ -159,7 +159,7 @@ impl Session {
                 shed: 0,
                 submitted: 0,
                 verdicts: 0,
-                last_activity: Instant::now(),
+                last_activity_us: leaps_obs::now_micros(),
             }),
             idle: Condvar::new(),
             detector: Mutex::new(detector),

@@ -11,7 +11,8 @@ use leaps_core::stream::Verdict;
 use leaps_etw::event::{EventType, StackFrame};
 use leaps_etw::Va;
 use leaps_serve::{
-    BufferSink, Client, Command, Endpoint, Reply, Server, ServerConfig, Submit, VerdictSink,
+    lock_unpoisoned, BufferSink, Client, Command, Endpoint, Reply, Server, ServerConfig, Submit,
+    VerdictSink,
 };
 use leaps_trace::partition::PartitionedEvent;
 use std::path::PathBuf;
@@ -113,11 +114,11 @@ struct GateSink {
 
 impl VerdictSink for GateSink {
     fn deliver(&self, pid: u32, verdict: &Verdict) {
-        let mut gated = self.gated.lock().unwrap();
+        let mut gated = lock_unpoisoned(&self.gated);
         if *gated {
             *gated = false;
             self.entered.send(()).unwrap();
-            self.release.lock().unwrap().recv().unwrap();
+            lock_unpoisoned(&self.release).recv().unwrap();
         }
         drop(gated);
         self.inner.deliver(pid, verdict);

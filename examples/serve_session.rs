@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let endpoint = bound.endpoint().clone();
     println!("daemon listening on {endpoint}");
     let daemon_server = Arc::clone(&server);
+    // lint:allow(stray-spawn): the daemon accept loop is the process under demonstration, not a unit of pooled work; it is joined explicitly after shutdown below
     let daemon = std::thread::spawn(move || bound.run(&daemon_server));
 
     // Online: a fresh infected run streams through one session.

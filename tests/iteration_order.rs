@@ -1,0 +1,112 @@
+//! Bit-identity of result-path iteration: every structure that feeds a
+//! persisted artifact, a wire reply or a downstream computation must
+//! iterate in an order independent of how it was built. These tests
+//! construct the same logical value via differently-ordered insertions
+//! and assert the observed sequences are identical — exactly what
+//! hash-ordered maps do not guarantee (and what the `hash-iter-order`
+//! lint now rejects statically).
+
+use leaps::cfg::align::assess_weights_aligned;
+use leaps::cfg::infer::infer_cfg;
+use leaps::cfg::weight::WeightAssessment;
+use leaps::cgraph::graph::CallGraph;
+use leaps::etw::addr::Va;
+use leaps::etw::event::{EventType, StackFrame};
+use leaps::hmm::classify::SymbolTable;
+use leaps::trace::partition::PartitionedEvent;
+
+fn sys_event(num: u64, syms: &[(&str, &str)]) -> PartitionedEvent {
+    PartitionedEvent {
+        num,
+        etype: EventType::FileRead,
+        tid: 1,
+        app_stack: vec![StackFrame::new("app", "main", Va(0x1000), true)],
+        system_stack: syms
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, f))| StackFrame::new(m, f, Va(0x7000 + i as u64), false))
+            .collect(),
+        truth: None,
+    }
+}
+
+#[test]
+fn callgraph_persisted_iteration_is_insertion_order_independent() {
+    let events = [
+        sys_event(1, &[("kernel32", "ReadFile"), ("ntdll", "NtReadFile")]),
+        sys_event(2, &[("ws2_32", "send"), ("ntdll", "NtDeviceIoControlFile")]),
+        sys_event(3, &[("advapi32", "RegOpenKeyExW"), ("ntdll", "NtOpenKey")]),
+        sys_event(4, &[("kernel32", "WriteFile"), ("ntdll", "NtWriteFile")]),
+    ];
+    let forward = CallGraph::from_events(events.iter());
+    let reversed = CallGraph::from_events(events.iter().rev());
+    let fwd_edges: Vec<_> = forward.edges().collect();
+    let rev_edges: Vec<_> = reversed.edges().collect();
+    assert_eq!(fwd_edges, rev_edges, "persisted edge order must not depend on insertion order");
+    assert!(fwd_edges.windows(2).all(|w| w[0] <= w[1]), "edges iterate sorted");
+    let fwd_chains: Vec<_> = forward.chains().collect();
+    let rev_chains: Vec<_> = reversed.chains().collect();
+    assert_eq!(fwd_chains, rev_chains);
+    assert!(fwd_chains.windows(2).all(|w| w[0] <= w[1]), "chains iterate sorted");
+}
+
+#[test]
+fn weight_assessment_iterates_in_event_order_regardless_of_input_order() {
+    let means = [(9u64, 0.25), (1, 1.0), (5, 0.5), (3, 0.75)];
+    let forward = WeightAssessment::from_means(means);
+    let reversed = WeightAssessment::from_means(means.iter().rev().copied());
+    let a: Vec<_> = forward.iter().collect();
+    let b: Vec<_> = reversed.iter().collect();
+    assert_eq!(a, b);
+    assert_eq!(a.first(), Some(&(1u64, 1.0)), "iteration starts at the smallest event");
+    assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "strictly increasing event numbers");
+}
+
+#[test]
+fn symbol_table_persisted_entries_are_sorted_and_order_independent() {
+    let entries = [((3u32, 1u32, 4u32), 0usize), ((1, 5, 9), 1), ((2, 6, 5), 2)];
+    let forward = SymbolTable::from_entries(entries);
+    let reversed = SymbolTable::from_entries(entries.iter().rev().copied());
+    let a: Vec<_> = forward.entries().map(|(k, v)| (*k, v)).collect();
+    let b: Vec<_> = reversed.entries().map(|(k, v)| (*k, v)).collect();
+    assert_eq!(a, b, "persisted symbol order must not depend on intern order");
+    assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "entries iterate in observation order");
+}
+
+fn app_event(num: u64, addrs: &[u64]) -> PartitionedEvent {
+    PartitionedEvent {
+        num,
+        etype: EventType::FileRead,
+        tid: 1,
+        app_stack: addrs
+            .iter()
+            .map(|&a| StackFrame::new("app", format!("f{a}"), Va(a), true))
+            .collect(),
+        system_stack: Vec::new(),
+        truth: None,
+    }
+}
+
+#[test]
+fn aligned_assessment_is_bit_identical_across_runs() {
+    let benign = infer_cfg(&[
+        app_event(1, &[0x1000, 0x1010, 0x1011]),
+        app_event(2, &[0x1000, 0x1020, 0x1021]),
+        app_event(3, &[0x1000, 0x1010, 0x1012]),
+    ]);
+    let mixed = infer_cfg(&[
+        app_event(1, &[0x9000, 0x9010, 0x9011]),
+        app_event(2, &[0x9000, 0x9020, 0x9021]),
+        app_event(3, &[0x9000, 0x9010, 0x9012]),
+        app_event(4, &[0x9000, 0x9010, 0xf000, 0xf001]),
+    ]);
+    // Two full runs over WL hashing, unique-signature matching and the
+    // per-event mean accumulation: every f64 must come out identical.
+    let first: Vec<(u64, f64)> = assess_weights_aligned(&benign, &mixed).iter().collect();
+    let second: Vec<(u64, f64)> = assess_weights_aligned(&benign, &mixed).iter().collect();
+    assert_eq!(first.len(), 4);
+    for ((na, va), (nb, vb)) in first.iter().zip(&second) {
+        assert_eq!(na, nb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "event {na}: {va} vs {vb}");
+    }
+}
